@@ -1,0 +1,420 @@
+// Benchmarks mirroring the experiment suite (DESIGN.md §3): one
+// Benchmark function (or group) per table/figure, built on the same
+// workloads as cmd/bpmsbench. Run with:
+//
+//	go test -bench=. -benchmem
+package bpms_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bpms/internal/bench"
+	"bpms/internal/engine"
+	"bpms/internal/expr"
+	"bpms/internal/mine"
+	"bpms/internal/model"
+	"bpms/internal/resource"
+	"bpms/internal/rules"
+	"bpms/internal/sim"
+	"bpms/internal/storage"
+	"bpms/internal/task"
+	"bpms/internal/timer"
+	"bpms/internal/verify"
+)
+
+func newBenchEngine(b *testing.B, procs ...*model.Process) *engine.Engine {
+	b.Helper()
+	e, err := engine.New(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	for _, p := range procs {
+		if err := e.Deploy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// T1: engine throughput by topology — one sub-benchmark per topology.
+
+func benchCases(b *testing.B, proc *model.Process, vars map[string]any) {
+	e := newBenchEngine(b, proc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := e.StartInstance(proc.ID, vars)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Status != engine.StatusCompleted {
+			b.Fatalf("status %s", v.Status)
+		}
+	}
+}
+
+func BenchmarkT1_Sequence10(b *testing.B) { benchCases(b, model.Sequence(10), nil) }
+func BenchmarkT1_Parallel5(b *testing.B)  { benchCases(b, model.Parallel(5), nil) }
+func BenchmarkT1_Choice8(b *testing.B) {
+	benchCases(b, model.Choice(8), map[string]any{"branch": 3})
+}
+func BenchmarkT1_Loop5(b *testing.B) {
+	benchCases(b, model.Loop(), map[string]any{"limit": 5, "count": 0})
+}
+func BenchmarkT1_Mixed(b *testing.B) {
+	benchCases(b, model.Mixed(), map[string]any{"amount": 80})
+}
+
+// T2: work-item lifecycle.
+
+func BenchmarkT2_TaskLifecycle(b *testing.B) {
+	dir := resource.NewDirectory()
+	dir.AddUser(&resource.User{ID: "u1", Roles: []string{"r"}})
+	svc := task.NewService(task.Config{Directory: dir})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := svc.Create(task.Spec{InstanceID: "i", ElementID: "e", Role: "r"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Claim(it.ID, "u1"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Start(it.ID, "u1"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Complete(it.ID, "u1", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F1: concurrent clients.
+
+func BenchmarkF1_ParallelClients(b *testing.B) {
+	e := newBenchEngine(b, model.Mixed())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.StartInstance("mixed", map[string]any{"amount": 80}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// T3: soundness verification, with and without reduction.
+
+func BenchmarkT3_VerifyReduced50(b *testing.B) {
+	p := model.RandomStructured(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Check(p, verify.Options{UseReduction: true, MaxStates: 2000000})
+		if err != nil || !res.Sound {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkT3_VerifyDirect25(b *testing.B) {
+	p := model.RandomStructured(25, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Check(p, verify.Options{UseReduction: false, MaxStates: 2000000})
+		if err != nil || !res.Sound {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// T4: journal append and replay.
+
+func BenchmarkT4_Append256B(b *testing.B) {
+	j, err := storage.OpenFileJournal(b.TempDir(), storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT4_Replay(b *testing.B) {
+	dir := b.TempDir()
+	j, err := storage.OpenFileJournal(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	const records = 10000
+	for i := 0; i < records; i++ {
+		j.Append(payload)
+	}
+	j.Sync()
+	b.SetBytes(256 * records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := j.Replay(1, func(uint64, []byte) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != records {
+			b.Fatalf("replayed %d", count)
+		}
+	}
+	b.StopTimer()
+	j.Close()
+}
+
+// F2: allocation-policy simulation (one 100-case run per iteration).
+
+func benchPolicy(b *testing.B, pol resource.Policy) {
+	proc := model.New("mmc").
+		Start("s").UserTask("serve", model.Role("agent")).End("e").
+		Seq("s", "serve", "e").MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Process:        proc,
+			Cases:          100,
+			Interarrival:   sim.Exp(25 * time.Second),
+			DefaultService: sim.Exp(80 * time.Second),
+			Resources:      map[string][]string{"agent": {"w1", "w2", "w3", "w4"}},
+			Policy:         pol,
+			Seed:           int64(i),
+		})
+		if err != nil || res.Completed != 100 {
+			b.Fatalf("completed=%d err=%v", res.Completed, err)
+		}
+	}
+}
+
+func BenchmarkF2_SimRandomPolicy(b *testing.B)  { benchPolicy(b, resource.NewRandomPolicy(1)) }
+func BenchmarkF2_SimShortestQueue(b *testing.B) { benchPolicy(b, resource.ShortestQueuePolicy{}) }
+
+// T5: expression evaluation.
+
+func BenchmarkT5_ExprComparison(b *testing.B) {
+	p := expr.MustCompile(`amount > 1000 && region == "EU"`)
+	env := expr.MapEnv{"amount": expr.Int(1500), "region": expr.String("EU")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT5_ExprAggregate(b *testing.B) {
+	p := expr.MustCompile(`len(items) + sum(items)`)
+	env := expr.MapEnv{"items": expr.List(expr.Int(1), expr.Int(2), expr.Int(3))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// F3: discovery (mining a 100-trace log per iteration).
+
+func BenchmarkF3_AlphaMiner(b *testing.B) {
+	log := bench.DiscoveryLog(100, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mine.Alpha(log)
+		if res.Net.Transitions() == 0 {
+			b.Fatal("empty net")
+		}
+	}
+}
+
+func BenchmarkF3_TokenReplay(b *testing.B) {
+	log := bench.DiscoveryLog(100, 3)
+	res := mine.Alpha(log)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mine.TokenReplay(res, log)
+		if c.Fitness() <= 0 {
+			b.Fatal("zero fitness")
+		}
+	}
+}
+
+// T6: message correlation with 1000 parked instances.
+
+func BenchmarkT6_Correlate(b *testing.B) {
+	proc := model.New("waiter").
+		Start("s").MessageCatch("w", "evt", model.CorrelationKey("k")).End("e").
+		Seq("s", "w", "e").MustBuild()
+	e := newBenchEngine(b, proc)
+	// Keep a standing pool of 1000 waiting instances.
+	for i := 0; i < 1000; i++ {
+		if _, err := e.StartInstance("waiter", map[string]any{"k": fmt.Sprintf("pool%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench%d", i)
+		if _, err := e.StartInstance("waiter", map[string]any{"k": key}); err != nil {
+			b.Fatal(err)
+		}
+		n, _, err := e.Publish("evt", key, nil)
+		if err != nil || n != 1 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
+
+// F4: timer services.
+
+func benchTimers(b *testing.B, svc timer.Service) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := rand.New(rand.NewSource(1))
+	fired := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Schedule(base.Add(time.Duration(r.Intn(10000))*time.Millisecond), func() { fired++ })
+	}
+	svc.AdvanceTo(base.Add(time.Hour))
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+func BenchmarkF4_TimingWheel(b *testing.B) {
+	benchTimers(b, timer.NewWheelService(time.Millisecond, 512))
+}
+
+func BenchmarkF4_TimerHeap(b *testing.B) {
+	benchTimers(b, timer.NewHeapService())
+}
+
+// T7: decision tables.
+
+func benchRules(b *testing.B, n int) {
+	tbl := rules.Table{Name: "bench", HitPolicy: rules.First, Outputs: []string{"out"}}
+	for i := 0; i < n; i++ {
+		tbl.Rules = append(tbl.Rules, rules.Rule{
+			Conditions: []string{fmt.Sprintf("v == %d", i)},
+			Outputs:    map[string]string{"out": fmt.Sprint(i)},
+		})
+	}
+	c := rules.MustCompile(tbl)
+	env := expr.MapEnv{"v": expr.Int(int64(n - 1))} // worst case: last rule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT7_Rules10(b *testing.B)   { benchRules(b, 10) }
+func BenchmarkT7_Rules100(b *testing.B)  { benchRules(b, 100) }
+func BenchmarkT7_Rules1000(b *testing.B) { benchRules(b, 1000) }
+
+// F5: recovery (rebuild an engine from a 500-instance journal).
+
+func BenchmarkF5_Recovery(b *testing.B) {
+	dir := b.TempDir()
+	j, err := storage.OpenFileJournal(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Journal: j})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) { return nil, nil })
+	if err := e.Deploy(model.Sequence(5)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := e.StartInstance("seq-5", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j2, err := storage.OpenFileJournal(dir, storage.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e2, err := engine.New(engine.Config{Journal: j2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(e2.Instances()) != 500 {
+			b.Fatalf("recovered %d", len(e2.Instances()))
+		}
+		j2.Close()
+	}
+}
+
+// T8: end-to-end simulated loan process (100 cases per iteration).
+
+func BenchmarkT8_LoanSimulation(b *testing.B) {
+	proc := model.New("loan-bench").
+		Start("s").
+		UserTask("register", model.Role("clerk")).
+		XOR("route", model.Default("small")).
+		UserTask("assess", model.Role("assessor")).
+		UserTask("fastTrack", model.Role("clerk")).
+		XOR("m").
+		UserTask("payout", model.Role("clerk")).
+		End("e").
+		Flow("s", "register").
+		Flow("register", "route").
+		FlowIf("route", "assess", "amount > 5000").
+		FlowID("small", "route", "fastTrack", "").
+		Flow("assess", "m").
+		Flow("fastTrack", "m").
+		Flow("m", "payout").
+		Flow("payout", "e").
+		MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Process:        proc,
+			Cases:          100,
+			Interarrival:   sim.Exp(10 * time.Minute),
+			DefaultService: sim.Lognormal{M: 10 * time.Minute, Shape: 0.5},
+			Resources: map[string][]string{
+				"clerk":    {"c1", "c2", "c3"},
+				"assessor": {"a1", "a2"},
+			},
+			Vars: func(n int, r *rand.Rand) map[string]any {
+				return map[string]any{"amount": 1000 + r.Intn(9000)}
+			},
+			Seed: int64(i),
+		})
+		if err != nil || res.Completed != 100 {
+			b.Fatalf("completed=%d err=%v", res.Completed, err)
+		}
+	}
+}

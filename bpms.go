@@ -1,0 +1,228 @@
+// Package bpms is a complete, embeddable Business Process Management
+// System in pure Go (standard library only): a BPMN-subset process
+// modelling language, a formally verifiable workflow engine with
+// human-task management and message correlation, durable event-sourced
+// persistence, a discrete-event simulator, and process mining — the
+// full component stack of the classic BPMS reference architecture.
+//
+// Quick start:
+//
+//	sys, _ := bpms.Open(bpms.Options{})
+//	defer sys.Close()
+//	sys.AddUser("alice", "approver")
+//
+//	proc := bpms.NewProcess("order").
+//		Start("received").
+//		UserTask("approve", bpms.Role("approver")).
+//		End("done").
+//		Seq("received", "approve", "done").
+//		MustBuild()
+//
+//	sys.Engine.Deploy(proc)
+//	inst, _ := sys.Engine.StartInstance("order", map[string]any{"amount": 420})
+//
+// The sub-systems are exposed as fields of BPMS: Engine (enactment),
+// Tasks (worklists), Directory (organisational model), History
+// (audit/XES export), Timers (deadlines). Verification, simulation and
+// mining live in the Verify, Simulate, and mining helpers below.
+package bpms
+
+import (
+	"bpms/internal/core"
+	"bpms/internal/engine"
+	"bpms/internal/expr"
+	"bpms/internal/history"
+	"bpms/internal/mine"
+	"bpms/internal/model"
+	"bpms/internal/resource"
+	"bpms/internal/rules"
+	"bpms/internal/sim"
+	"bpms/internal/task"
+	"bpms/internal/verify"
+)
+
+// System assembly.
+type (
+	// BPMS is the assembled system (engine + worklist + history + timers).
+	BPMS = core.BPMS
+	// Options configures Open.
+	Options = core.Options
+)
+
+// Open assembles (and, with a DataDir, recovers) a BPMS.
+var Open = core.Open
+
+// Process modelling.
+type (
+	// Process is a process definition.
+	Process = model.Process
+	// Element is one flow node.
+	Element = model.Element
+	// Flow is a sequence flow.
+	Flow = model.Flow
+	// Builder builds process definitions fluently.
+	Builder = model.Builder
+)
+
+// NewProcess starts a process definition builder.
+var NewProcess = model.New
+
+// Builder options re-exported for model construction.
+var (
+	Name                = model.Name
+	Role                = model.Role
+	Assignee            = model.Assignee
+	Capability          = model.Capability
+	Priority            = model.Priority
+	DueIn               = model.DueIn
+	Output              = model.Output
+	Message             = model.Message
+	CorrelationKey      = model.CorrelationKey
+	DefaultFlow         = model.Default
+	Retries             = model.Retries
+	MultiParallel       = model.MultiParallel
+	MultiSequential     = model.MultiSequential
+	CompletionCondition = model.CompletionCondition
+)
+
+// Serialisation codecs.
+var (
+	EncodeJSON = model.EncodeJSON
+	DecodeJSON = model.DecodeJSON
+	EncodeXML  = model.EncodeXML
+	DecodeXML  = model.DecodeXML
+)
+
+// Execution.
+type (
+	// Engine is the enactment service.
+	Engine = engine.Engine
+	// InstanceView is a snapshot of a process instance.
+	InstanceView = engine.InstanceView
+	// Handler implements a service task.
+	Handler = engine.Handler
+	// TaskContext is passed to Handlers.
+	TaskContext = engine.TaskContext
+	// BPMNError is a coded handler error caught by error boundaries.
+	BPMNError = engine.BPMNError
+)
+
+// Instance statuses.
+const (
+	StatusActive    = engine.StatusActive
+	StatusCompleted = engine.StatusCompleted
+	StatusCancelled = engine.StatusCancelled
+	StatusFaulted   = engine.StatusFaulted
+)
+
+// Expressions and values.
+type (
+	// Value is a dynamically typed expression value.
+	Value = expr.Value
+	// Env supplies variable bindings to expressions.
+	Env = expr.Env
+)
+
+// Value constructors and evaluation helpers.
+var (
+	Null        = expr.Null
+	BoolValue   = expr.Bool
+	IntValue    = expr.Int
+	FloatValue  = expr.Float
+	StringValue = expr.String
+	ListValue   = expr.List
+	MapValue    = expr.Map
+	EvalExpr    = expr.Eval
+	CompileExpr = expr.Compile
+)
+
+// Human tasks and resources.
+type (
+	// WorkItem is a human task on a worklist.
+	WorkItem = task.Item
+	// User is one organisational resource.
+	User = resource.User
+	// Policy allocates work to resources.
+	Policy = resource.Policy
+)
+
+// Verification.
+type (
+	// VerifyResult reports a soundness check.
+	VerifyResult = verify.Result
+	// VerifyOptions configures verification.
+	VerifyOptions = verify.Options
+)
+
+// Verify checks classical soundness of a definition.
+func Verify(p *Process) (*VerifyResult, error) {
+	return verify.Check(p, verify.DefaultOptions())
+}
+
+// VerifyWith checks soundness with explicit options.
+var VerifyWith = verify.Check
+
+// Simulation.
+type (
+	// SimConfig configures a simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates a run.
+	SimResult = sim.Result
+	// Dist samples durations.
+	Dist = sim.Dist
+)
+
+// Simulate runs a discrete-event simulation of a process.
+var Simulate = sim.Run
+
+// Distributions for simulation workloads.
+type (
+	FixedDist     = sim.Fixed
+	ExpDist       = sim.Exp
+	UniformDist   = sim.Uniform
+	NormalDist    = sim.Normal
+	LognormalDist = sim.Lognormal
+)
+
+// Mining and logs.
+type (
+	// EventLog is the mining log model (one trace per case).
+	EventLog = history.Log
+	// Trace is one case's event sequence.
+	Trace = history.Trace
+	// DFG is a directly-follows graph.
+	DFG = mine.DFG
+)
+
+// Mining entry points.
+var (
+	BuildDFG    = mine.BuildDFG
+	AlphaMiner  = mine.Alpha
+	TokenReplay = mine.TokenReplay
+	Performance = mine.Performance
+	EncodeXES   = history.EncodeXES
+	DecodeXES   = history.DecodeXES
+)
+
+// Business rules.
+type (
+	// DecisionTable is a rules table definition.
+	DecisionTable = rules.Table
+	// DecisionRule is one table row.
+	DecisionRule = rules.Rule
+	// CompiledTable is an evaluable decision table.
+	CompiledTable = rules.Compiled
+)
+
+// Hit policies.
+const (
+	HitUnique    = rules.Unique
+	HitFirst     = rules.First
+	HitAny       = rules.Any
+	HitPriority  = rules.Priority
+	HitCollect   = rules.Collect
+	HitRuleOrder = rules.RuleOrder
+)
+
+// CompileTable validates and compiles a decision table.
+var CompileTable = rules.Compile

@@ -1,0 +1,202 @@
+// Integration tests exercising the public façade end to end: the full
+// BPM lifecycle (model → verify → deploy → execute → audit → mine)
+// through the root package only.
+package bpms_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bpms"
+)
+
+func TestPublicAPILifecycle(t *testing.T) {
+	sys, err := bpms.Open(bpms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.AddUser("ada", "reviewer")
+
+	// Model with the builder, through the façade options.
+	proc := bpms.NewProcess("pub").
+		Start("in").
+		ServiceTask("enrich", "enrich").
+		UserTask("check", bpms.Name("Check"), bpms.Role("reviewer"), bpms.Priority(3)).
+		XOR("gate", bpms.DefaultFlow("no")).
+		ScriptTask("accept", bpms.Output("state", `"accepted"`)).
+		ScriptTask("reject", bpms.Output("state", `"rejected"`)).
+		XOR("merge").
+		End("out").
+		Flow("in", "enrich").
+		Flow("enrich", "check").
+		Flow("check", "gate").
+		FlowIf("gate", "accept", "ok == true").
+		FlowID("no", "gate", "reject", "").
+		Flow("accept", "merge").
+		Flow("reject", "merge").
+		Flow("merge", "out").
+		MustBuild()
+
+	// Verify before deploying.
+	vres, err := bpms.Verify(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vres.Sound {
+		t.Fatalf("not sound: %v", vres.Violations)
+	}
+
+	// Round-trip through both codecs.
+	jdata, err := bpms.EncodeJSON(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bpms.DecodeJSON(jdata); err != nil {
+		t.Fatal(err)
+	}
+	xdata, err := bpms.EncodeXML(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bpms.DecodeXML(xdata); err != nil {
+		t.Fatal(err)
+	}
+
+	// Handler using expression values.
+	sys.Engine.RegisterHandler("enrich", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		amount, _ := tc.Vars["amount"].AsInt()
+		return map[string]bpms.Value{"enriched": bpms.IntValue(amount * 2)}, nil
+	})
+	if err := sys.Engine.Deploy(proc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run several cases: half accepted, half rejected.
+	for i := 0; i < 6; i++ {
+		inst, err := sys.Engine.StartInstance("pub", map[string]any{"amount": 100 + i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Status != bpms.StatusActive {
+			t.Fatalf("case %d: %v", i, inst.Status)
+		}
+		items := sys.Tasks.OfferedItems("ada")
+		if len(items) != 1 {
+			t.Fatalf("case %d: offers = %d", i, len(items))
+		}
+		it := items[0]
+		if _, err := sys.Tasks.Claim(it.ID, "ada"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Tasks.Start(it.ID, "ada"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Tasks.Complete(it.ID, "ada", map[string]any{"ok": i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+		final, err := sys.Engine.Instance(inst.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.Status != bpms.StatusCompleted {
+			t.Fatalf("case %d: %v", i, final.Status)
+		}
+		wantState := "accepted"
+		if i%2 != 0 {
+			wantState = "rejected"
+		}
+		if got, _ := final.Vars["state"].AsString(); got != wantState {
+			t.Errorf("case %d: state = %q, want %q", i, got, wantState)
+		}
+		if got, _ := final.Vars["enriched"].AsInt(); got != int64((100+i)*2) {
+			t.Errorf("case %d: enriched = %v", i, final.Vars["enriched"])
+		}
+	}
+
+	// Mine the audit log through the façade.
+	log := sys.Log()
+	if len(log.Traces) != 6 {
+		t.Fatalf("log traces = %d", len(log.Traces))
+	}
+	mined := bpms.AlphaMiner(log)
+	conf := bpms.TokenReplay(mined, log)
+	if conf.Fitness() < 0.99 {
+		t.Errorf("rediscovery fitness = %g", conf.Fitness())
+	}
+	dfg := bpms.BuildDFG(log)
+	if f := dfg.FitnessDFG(log); f != 1 {
+		t.Errorf("dfg fitness = %g", f)
+	}
+	xes, err := bpms.EncodeXES(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(xes), "Check") {
+		t.Error("XES lacks activity names")
+	}
+	back, err := bpms.DecodeXES(xes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != 6 {
+		t.Errorf("XES round trip traces = %d", len(back.Traces))
+	}
+}
+
+func TestPublicAPISimulationAndRules(t *testing.T) {
+	// A decision table drives a simulated process through the façade.
+	table, err := bpms.CompileTable(bpms.DecisionTable{
+		Name: "priority", HitPolicy: bpms.HitFirst, Outputs: []string{"prio"},
+		Rules: []bpms.DecisionRule{
+			{Conditions: []string{"amount > 500"}, Outputs: map[string]string{"prio": "9"}},
+			{Conditions: nil, Outputs: map[string]string{"prio": "1"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := table.Eval(envLite{"amount": bpms.IntValue(900)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Outputs["prio"].AsInt(); got != 9 {
+		t.Errorf("prio = %v", d.Outputs["prio"])
+	}
+
+	proc := bpms.NewProcess("simproc").
+		Start("s").
+		UserTask("work", bpms.Role("crew")).
+		End("e").
+		Seq("s", "work", "e").
+		MustBuild()
+	res, err := bpms.Simulate(bpms.SimConfig{
+		Process:        proc,
+		Cases:          50,
+		Interarrival:   bpms.ExpDist(time.Minute),
+		DefaultService: bpms.FixedDist(30 * time.Second),
+		Resources:      map[string][]string{"crew": {"x", "y"}},
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 50 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.CycleTime.Percentile(0.5) <= 0 {
+		t.Error("cycle time not measured")
+	}
+	_, cases := bpms.Performance(res.Log)
+	if cases.Cases != 50 {
+		t.Errorf("performance cases = %d", cases.Cases)
+	}
+}
+
+type envLite map[string]bpms.Value
+
+func (m envLite) Lookup(name string) (bpms.Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}

@@ -1,0 +1,321 @@
+// bpms is the offline toolbox: validate, verify, convert, run,
+// simulate, and mine process definitions without a server.
+//
+// Usage:
+//
+//	bpms validate <file>                     structural validation
+//	bpms verify <file>                       soundness check (WF-net)
+//	bpms convert <in.json|in.xml> <out>      convert between JSON and XML
+//	bpms run <file> [k=v ...]                run one case (service tasks noop)
+//	bpms simulate <file> [-cases N] [-seed S] [-workers W]
+//	bpms mine <log.xes>                      discover + conformance + performance
+//	bpms variants <log.xes>                  variant analysis of a log
+//	bpms dot <log.xes>                       DFG in Graphviz dot syntax
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bpms"
+	"bpms/internal/engine"
+	"bpms/internal/history"
+	"bpms/internal/mine"
+	"bpms/internal/model"
+	"bpms/internal/sim"
+	"bpms/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "validate":
+		err = cmdValidate(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "convert":
+		err = cmdConvert(args)
+	case "run":
+		err = cmdRun(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "mine":
+		err = cmdMine(args)
+	case "variants":
+		err = cmdVariants(args)
+	case "dot":
+		err = cmdDot(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpms:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bpms <validate|verify|convert|run|simulate|mine|variants|dot> ...")
+	os.Exit(2)
+}
+
+func loadProcess(path string) (*model.Process, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch filepath.Ext(path) {
+	case ".xml", ".bpmn":
+		return model.DecodeXML(data)
+	default:
+		return model.DecodeJSON(data)
+	}
+}
+
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("validate <file>")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	st := p.Stats()
+	fmt.Printf("%s: valid (%d elements, %d flows, %d tasks, %d gateways)\n",
+		p.ID, st.Elements, st.Flows, st.Tasks, st.Gateways)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("verify <file>")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	res, err := verify.Check(p, verify.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: sound=%v bounded=%v method=%s states=%d net=%dp/%dt reduced=%dp/%dt\n",
+		p.ID, res.Sound, res.Bounded, res.Method, res.StateCount,
+		res.NetPlaces, res.NetTransitions, res.ReducedPlaces, res.ReducedTransitions)
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	for _, w := range res.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	if !res.Sound {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("convert <in> <out>")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	var data []byte
+	switch filepath.Ext(args[1]) {
+	case ".xml", ".bpmn":
+		data, err = model.EncodeXML(p)
+	case ".json":
+		data, err = model.EncodeJSON(p)
+	default:
+		return fmt.Errorf("output must be .json, .xml, or .bpmn")
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(args[1], data, 0o644)
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run <file> [k=v ...]")
+	}
+	p, err := loadProcess(args[0])
+	if err != nil {
+		return err
+	}
+	sys, err := bpms.Open(bpms.Options{})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	// Register a noop for every referenced handler so service tasks
+	// pass through; user-task roles get a synthetic worker each.
+	for _, el := range p.Elements {
+		if el.Handler != "" {
+			sys.Engine.RegisterHandler(el.Handler, func(engine.TaskContext) (map[string]bpms.Value, error) {
+				return nil, nil
+			})
+		}
+		if el.Role != "" {
+			sys.AddUser("auto-"+el.Role, el.Role)
+		}
+	}
+	if err := sys.Engine.Deploy(p); err != nil {
+		return err
+	}
+	vars := map[string]any{}
+	for _, pair := range args[1:] {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		var decoded any
+		if json.Unmarshal([]byte(v), &decoded) == nil {
+			vars[k] = decoded
+		} else {
+			vars[k] = v
+		}
+	}
+	inst, err := sys.Engine.StartInstance(p.ID, vars)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance %s: %s\n", inst.ID, inst.Status)
+	for _, tok := range inst.ActiveTokens {
+		fmt.Printf("  waiting at %s (%s)\n", tok.Element, tok.Wait)
+	}
+	for _, ev := range sys.History.EventsOf(inst.ID) {
+		if ev.Type == history.ElementCompleted {
+			fmt.Printf("  completed %s\n", ev.ElementID)
+		}
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	cases := fs.Int("cases", 200, "cases to simulate")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 3, "workers per role")
+	interarrival := fs.Duration("interarrival", 2*time.Minute, "mean case interarrival")
+	service := fs.Duration("service", 5*time.Minute, "mean task service time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("simulate [flags] <file>")
+	}
+	p, err := loadProcess(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// Staff every role named in the model.
+	resources := map[string][]string{}
+	for _, el := range p.Elements {
+		if el.Role != "" && resources[el.Role] == nil {
+			var pool []string
+			for i := 0; i < *workers; i++ {
+				pool = append(pool, fmt.Sprintf("%s-%d", el.Role, i+1))
+			}
+			resources[el.Role] = pool
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Process:        p,
+		Cases:          *cases,
+		Interarrival:   sim.Exp(*interarrival),
+		DefaultService: sim.Lognormal{M: *service, Shape: 0.5},
+		Resources:      resources,
+		Seed:           *seed,
+		Vars: func(i int, r *rand.Rand) map[string]any {
+			return map[string]any{"rnd": r.Intn(100)}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d cases: %d completed, %d faulted\n", res.Started, res.Completed, res.Faulted)
+	fmt.Printf("cycle time: p50=%.1fm p90=%.1fm p99=%.1fm\n",
+		res.CycleTime.Percentile(0.5)/60, res.CycleTime.Percentile(0.9)/60, res.CycleTime.Percentile(0.99)/60)
+	fmt.Printf("wait time:  p50=%.1fm p90=%.1fm\n",
+		res.WaitTime.Percentile(0.5)/60, res.WaitTime.Percentile(0.9)/60)
+	for role, pool := range resources {
+		var u float64
+		for _, w := range pool {
+			u += res.Utilization(w)
+		}
+		fmt.Printf("utilisation %-12s %.0f%% (x%d)\n", role, 100*u/float64(len(pool)), len(pool))
+	}
+	return nil
+}
+
+func loadLog(path string) (*history.Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return history.DecodeXES(data)
+}
+
+func cmdMine(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("mine <log.xes>")
+	}
+	l, err := loadLog(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("log: %d traces\n", len(l.Traces))
+	res := mine.Alpha(l)
+	conf := mine.TokenReplay(res, l)
+	fmt.Printf("alpha: %d transitions, %d places, fitness %.3f (%d/%d traces fit)\n",
+		res.Net.Transitions(), res.Net.Places(), conf.Fitness(), conf.FitTraces, conf.Traces)
+	g := mine.BuildDFG(l)
+	fmt.Printf("dfg:   %d activities, %d edges, fitness %.3f\n",
+		len(g.Activities), len(g.Counts), g.FitnessDFG(l))
+	acts, cs := mine.Performance(l)
+	fmt.Printf("cases: %d, mean cycle %.1fm, mean events %.1f\n",
+		cs.Cases, cs.CycleTime.Mean()/60, cs.Events.Mean())
+	for _, a := range g.ActivityList() {
+		st := acts[a]
+		fmt.Printf("  %-24s n=%-6d mean sojourn %.1fm\n", a, st.Count, st.Sojourn.Mean()/60)
+	}
+	return nil
+}
+
+func cmdVariants(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("variants <log.xes>")
+	}
+	l, err := loadLog(args[0])
+	if err != nil {
+		return err
+	}
+	for _, v := range l.Variants() {
+		fmt.Printf("%6d× %s\n", v.Count, strings.Join(v.Activities, " → "))
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dot <log.xes>")
+	}
+	l, err := loadLog(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(mine.BuildDFG(l).Dot())
+	return nil
+}

@@ -1,0 +1,50 @@
+// bpmsbench regenerates every table and figure of the evaluation suite
+// (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	bpmsbench            # run everything at full scale
+//	bpmsbench -quick     # smaller workloads (CI-sized)
+//	bpmsbench -run T3    # a single experiment (T1..T8, F1..F5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bpms/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	run := flag.String("run", "", "run a single experiment id (e.g. T1, F3)")
+	flag.Parse()
+
+	scale := bench.Full
+	if *quick {
+		scale = bench.Quick
+	}
+
+	if *run != "" {
+		fn, ok := bench.ByID(*run, scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use T1..T8, F1..F5)\n", *run)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Println(fn().Render())
+		fmt.Printf("(%s in %.1fs)\n", *run, time.Since(start).Seconds())
+		return
+	}
+
+	total := time.Now()
+	for _, fn := range bench.All(scale) {
+		start := time.Now()
+		t := fn()
+		fmt.Println(t.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", t.ID, time.Since(start).Seconds())
+	}
+	fmt.Printf("all experiments in %.1fs\n", time.Since(total).Seconds())
+}

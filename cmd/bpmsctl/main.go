@@ -1,0 +1,216 @@
+// bpmsctl is the command-line client for a running bpmsd.
+//
+// Usage:
+//
+//	bpmsctl [-server http://localhost:8080] <command> [args]
+//
+// Commands:
+//
+//	deploy <file.json|file.xml>          deploy a definition
+//	defs                                 list definitions
+//	verify <processId>                   soundness-check a definition
+//	start <processId> [k=v ...]          start an instance
+//	ps                                   list instances
+//	show <instanceId>                    inspect an instance
+//	cancel <instanceId>                  cancel an instance
+//	history <instanceId>                 audit trail of an instance
+//	tasks <user>                         worklist + offers of a user
+//	claim|begin <itemId> <user>          claim / start a work item
+//	complete <itemId> <user> [k=v ...]   complete with outcome
+//	fail <itemId> <user> <reason>        fail a work item
+//	publish <message> <key> [k=v ...]    publish a correlated message
+//	stats                                engine statistics
+//	xes                                  export history as XES to stdout
+//
+// Values in k=v pairs parse as JSON when possible ("true", "42",
+// '"text"'), falling back to plain strings.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var server string
+
+func main() {
+	flag.StringVar(&server, "server", "http://localhost:8080", "bpmsd base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bpmsctl [-server URL] <command> [args]\nsee 'go doc bpms/cmd/bpmsctl' for commands\n")
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+	if err := run(cmd, rest); err != nil {
+		fmt.Fprintln(os.Stderr, "bpmsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "deploy":
+		if len(args) != 1 {
+			return fmt.Errorf("deploy <file>")
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		ct := "application/json"
+		if ext := filepath.Ext(args[0]); ext == ".xml" || ext == ".bpmn" {
+			ct = "application/xml"
+		}
+		return post("/api/definitions", ct, data)
+	case "defs":
+		return get("/api/definitions")
+	case "verify":
+		if len(args) != 1 {
+			return fmt.Errorf("verify <processId>")
+		}
+		return get("/api/definitions/" + args[0] + "/verify")
+	case "start":
+		if len(args) < 1 {
+			return fmt.Errorf("start <processId> [k=v ...]")
+		}
+		body := map[string]any{"processId": args[0], "vars": parseVars(args[1:])}
+		return postJSON("/api/instances", body)
+	case "ps":
+		return get("/api/instances")
+	case "show":
+		if len(args) != 1 {
+			return fmt.Errorf("show <instanceId>")
+		}
+		return get("/api/instances/" + args[0])
+	case "cancel":
+		if len(args) != 1 {
+			return fmt.Errorf("cancel <instanceId>")
+		}
+		return del("/api/instances/" + args[0])
+	case "history":
+		if len(args) != 1 {
+			return fmt.Errorf("history <instanceId>")
+		}
+		return get("/api/instances/" + args[0] + "/history")
+	case "tasks":
+		if len(args) != 1 {
+			return fmt.Errorf("tasks <user>")
+		}
+		return get("/api/tasks?user=" + args[0])
+	case "claim", "begin":
+		if len(args) != 2 {
+			return fmt.Errorf("%s <itemId> <user>", cmd)
+		}
+		action := map[string]string{"claim": "claim", "begin": "start"}[cmd]
+		return postJSON("/api/tasks/"+args[0]+"/"+action, map[string]any{"user": args[1]})
+	case "complete":
+		if len(args) < 2 {
+			return fmt.Errorf("complete <itemId> <user> [k=v ...]")
+		}
+		return postJSON("/api/tasks/"+args[0]+"/complete",
+			map[string]any{"user": args[1], "outcome": parseVars(args[2:])})
+	case "fail":
+		if len(args) != 3 {
+			return fmt.Errorf("fail <itemId> <user> <reason>")
+		}
+		return postJSON("/api/tasks/"+args[0]+"/fail",
+			map[string]any{"user": args[1], "reason": args[2]})
+	case "publish":
+		if len(args) < 2 {
+			return fmt.Errorf("publish <message> <key> [k=v ...]")
+		}
+		return postJSON("/api/messages",
+			map[string]any{"name": args[0], "key": args[1], "vars": parseVars(args[2:])})
+	case "stats":
+		return get("/api/stats")
+	case "xes":
+		return get("/api/history/xes")
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// parseVars turns k=v pairs into a map, JSON-decoding values when
+// possible.
+func parseVars(pairs []string) map[string]any {
+	out := map[string]any{}
+	for _, p := range pairs {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			continue
+		}
+		var decoded any
+		if err := json.Unmarshal([]byte(v), &decoded); err == nil {
+			out[k] = decoded
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func show(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	// Pretty-print JSON responses; pass anything else through.
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, body, "", "  ") == nil {
+		pretty.WriteByte('\n')
+		_, err = pretty.WriteTo(os.Stdout)
+	} else {
+		_, err = os.Stdout.Write(body)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %s", resp.Status)
+	}
+	return err
+}
+
+func get(path string) error {
+	resp, err := http.Get(server + path)
+	if err != nil {
+		return err
+	}
+	return show(resp)
+}
+
+func del(path string) error {
+	req, err := http.NewRequest(http.MethodDelete, server+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return show(resp)
+}
+
+func post(path, contentType string, body []byte) error {
+	resp, err := http.Post(server+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return show(resp)
+}
+
+func postJSON(path string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return post(path, "application/json", data)
+}

@@ -1,0 +1,66 @@
+// bpmsd is the BPMS server daemon: it assembles a (persistent or
+// in-memory) BPMS and serves the HTTP API.
+//
+// Usage:
+//
+//	bpmsd -addr :8080 -data ./data -user alice=clerk,manager -user bob=clerk
+//
+// Definitions are deployed and instances driven through the REST API
+// (see internal/api); bpmsctl is the companion client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bpms"
+	"bpms/internal/api"
+	"bpms/internal/resource"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "data directory (empty = in-memory)")
+	snapshotEvery := flag.Int("snapshot-every", 1000, "journal appends between snapshots (0 = never)")
+	autoAllocate := flag.Bool("auto-allocate", false, "push tasks to users instead of offering")
+	var users []resource.User
+	flag.Func("user", "user spec id=role1,role2 (repeatable)", func(s string) error {
+		id, roles, ok := strings.Cut(s, "=")
+		if !ok || id == "" {
+			return fmt.Errorf("want id=role1,role2, got %q", s)
+		}
+		u := resource.User{ID: id}
+		if roles != "" {
+			u.Roles = strings.Split(roles, ",")
+		}
+		users = append(users, u)
+		return nil
+	})
+	flag.Parse()
+
+	opts := bpms.Options{
+		DataDir:      *data,
+		AutoAllocate: *autoAllocate,
+		RunTimers:    true,
+		Users:        users,
+	}
+	if *data != "" {
+		opts.SnapshotEvery = *snapshotEvery
+	}
+	sys, err := bpms.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered, %d user(s)\n",
+		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Directory.Count())
+	srv := api.New(sys)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

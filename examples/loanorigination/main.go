@@ -1,0 +1,146 @@
+// Loan origination: the classic BPMS demo process. Combines a decision
+// table (risk scoring), exclusive routing, human tasks with roles and
+// deadline escalation via an interrupting boundary timer, and a
+// terminate end for fraud cases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bpms"
+	"bpms/internal/timer"
+)
+
+func riskTable() *bpms.CompiledTable {
+	t, err := bpms.CompileTable(bpms.DecisionTable{
+		Name:      "loan-risk",
+		HitPolicy: bpms.HitUnique,
+		Outputs:   []string{"risk", "rate"},
+		Rules: []bpms.DecisionRule{
+			{Conditions: []string{"amount < 10000", "score >= 600"},
+				Outputs: map[string]string{"risk": `"low"`, "rate": "0.04"}},
+			{Conditions: []string{"amount < 10000", "score < 600"},
+				Outputs: map[string]string{"risk": `"medium"`, "rate": "0.09"}},
+			{Conditions: []string{"amount >= 10000", "score >= 700"},
+				Outputs: map[string]string{"risk": `"medium"`, "rate": "0.07"}},
+			{Conditions: []string{"amount >= 10000", "score < 700"},
+				Outputs: map[string]string{"risk": `"high"`, "rate": "0.14"}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func main() {
+	// A virtual clock lets the demo fire the 48h escalation instantly.
+	clock := timer.NewVirtualClock(time.Date(2026, 6, 1, 9, 0, 0, 0, time.UTC))
+	sys, err := bpms.Open(bpms.Options{Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	sys.AddUser("uma", "underwriter")
+	sys.AddUser("sam", "senior-underwriter")
+
+	table := riskTable()
+	// The scoring service task evaluates the decision table.
+	sys.Engine.RegisterHandler("loan.score", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		d, err := table.Eval(envOf(tc.Vars))
+		if err != nil {
+			return nil, err
+		}
+		return d.Outputs, nil
+	})
+	sys.Engine.RegisterHandler("loan.fraudCheck", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		amount, _ := tc.Vars["amount"].AsInt()
+		return map[string]bpms.Value{"fraud": bpms.BoolValue(amount == 666)}, nil
+	})
+	sys.Engine.RegisterHandler("loan.payout", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		return map[string]bpms.Value{"paid": bpms.BoolValue(true)}, nil
+	})
+
+	proc := bpms.NewProcess("loan-origination").
+		Name("Loan origination").
+		Start("applied").
+		ServiceTask("fraudCheck", "loan.fraudCheck").
+		XOR("fraudGate", bpms.DefaultFlow("clean")).
+		TerminateEnd("fraudStop").
+		ServiceTask("score", "loan.score").
+		XOR("route", bpms.DefaultFlow("manual")).
+		ScriptTask("autoApprove", bpms.Output("decision", `"auto-approved"`)).
+		UserTask("review", bpms.Name("Underwrite loan"), bpms.Role("underwriter"), bpms.DueIn("48h")).
+		UserTask("seniorReview", bpms.Name("Senior review"), bpms.Role("senior-underwriter")).
+		XOR("merge").
+		End("done").
+		Flow("applied", "fraudCheck").
+		Flow("fraudCheck", "fraudGate").
+		FlowIf("fraudGate", "fraudStop", "fraud == true").
+		FlowID("clean", "fraudGate", "score", "").
+		Flow("score", "route").
+		FlowIf("route", "autoApprove", `risk == "low"`).
+		FlowID("manual", "route", "review", "").
+		Flow("autoApprove", "merge").
+		Flow("review", "merge").
+		Flow("seniorReview", "merge").
+		Flow("merge", "done").
+		BoundaryTimer("overdue", "review", "48h", true).
+		Flow("overdue", "seniorReview").
+		MustBuild()
+
+	if res, err := bpms.Verify(proc); err != nil || !res.Sound {
+		log.Fatalf("verification failed: %v %v", err, res)
+	}
+	if err := sys.Engine.Deploy(proc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Case 1: small, good score — auto approved.
+	c1, _ := sys.Engine.StartInstance("loan-origination",
+		map[string]any{"amount": 5000, "score": 720})
+	fmt.Printf("case 1: %-9s decision=%v risk=%v\n", c1.Status, c1.Vars["decision"], c1.Vars["risk"])
+
+	// Case 2: big loan — manual review, completed in time.
+	c2, _ := sys.Engine.StartInstance("loan-origination",
+		map[string]any{"amount": 50000, "score": 650})
+	it := sys.Tasks.OfferedItems("uma")[0]
+	sys.Tasks.Claim(it.ID, "uma")
+	sys.Tasks.Start(it.ID, "uma")
+	sys.Tasks.Complete(it.ID, "uma", map[string]any{"decision": "manually approved"})
+	c2v, _ := sys.Engine.Instance(c2.ID)
+	fmt.Printf("case 2: %-9s decision=%v risk=%v\n", c2v.Status, c2v.Vars["decision"], c2v.Vars["risk"])
+
+	// Case 3: manual review never happens — the 48h boundary timer
+	// escalates to a senior underwriter.
+	c3, _ := sys.Engine.StartInstance("loan-origination",
+		map[string]any{"amount": 80000, "score": 610})
+	sys.Timers.AdvanceTo(clock.Advance(50 * time.Hour)) // two days pass
+	it3 := sys.Tasks.OfferedItems("sam")[0]
+	fmt.Printf("case 3: escalated to %s (%q)\n", "sam", it3.Name)
+	sys.Tasks.Claim(it3.ID, "sam")
+	sys.Tasks.Start(it3.ID, "sam")
+	sys.Tasks.Complete(it3.ID, "sam", map[string]any{"decision": "approved after escalation"})
+	c3v, _ := sys.Engine.Instance(c3.ID)
+	fmt.Printf("case 3: %-9s decision=%v\n", c3v.Status, c3v.Vars["decision"])
+
+	// Case 4: fraud — terminate end kills the case immediately.
+	c4, _ := sys.Engine.StartInstance("loan-origination",
+		map[string]any{"amount": 666, "score": 800})
+	fmt.Printf("case 4: %-9s (terminated by fraud gate)\n", c4.Status)
+}
+
+// envOf adapts a variable snapshot to an expression environment.
+type envMap map[string]bpms.Value
+
+func (m envMap) Lookup(name string) (bpms.Value, bool) {
+	v, ok := m[name]
+	if !ok {
+		return bpms.Null, true // lenient, like the engine
+	}
+	return v, true
+}
+
+func envOf(vars map[string]bpms.Value) bpms.Env { return envMap(vars) }

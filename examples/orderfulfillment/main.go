@@ -1,0 +1,100 @@
+// Order fulfilment: parallel gateways, multi-instance picking, and
+// message correlation between two deployed processes (the order waits
+// for a payment message thrown by a separate payment process).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpms"
+)
+
+func main() {
+	sys, err := bpms.Open(bpms.Options{AutoAllocate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	sys.AddUser("pat", "picker")
+
+	sys.Engine.RegisterHandler("stock.reserve", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		return map[string]bpms.Value{"reserved": bpms.BoolValue(true)}, nil
+	})
+	sys.Engine.RegisterHandler("ship.dispatch", func(tc bpms.TaskContext) (map[string]bpms.Value, error) {
+		return map[string]bpms.Value{"shipped": bpms.BoolValue(true)}, nil
+	})
+
+	// The order process: after checkout, reserve stock and wait for
+	// payment in parallel; then pick every line item (multi-instance
+	// human tasks) and dispatch.
+	order := bpms.NewProcess("order-fulfilment").
+		Start("checkout").
+		AND("fork").
+		ServiceTask("reserve", "stock.reserve").
+		MessageCatch("awaitPayment", "payment.confirmed", bpms.CorrelationKey("orderId")).
+		AND("join").
+		UserTask("pick", bpms.Name("Pick item"), bpms.Role("picker"),
+			bpms.MultiParallel("items", "item"),
+			bpms.Output("picked", "coalesce(picked, 0) + 1")).
+		ServiceTask("dispatch", "ship.dispatch").
+		End("done").
+		Flow("checkout", "fork").
+		Flow("fork", "reserve").
+		Flow("fork", "awaitPayment").
+		Flow("reserve", "join").
+		Flow("awaitPayment", "join").
+		Flow("join", "pick").
+		Flow("pick", "dispatch").
+		Flow("dispatch", "done").
+		MustBuild()
+
+	// The payment process: a send task throws the confirmation that
+	// the order process is waiting for.
+	payment := bpms.NewProcess("payment").
+		Start("received").
+		ScriptTask("book", bpms.Output("booked", "true")).
+		SendTask("confirm", "payment.confirmed", bpms.CorrelationKey("orderId")).
+		End("done").
+		Seq("received", "book", "confirm", "done").
+		MustBuild()
+
+	for _, p := range []*bpms.Process{order, payment} {
+		if res, err := bpms.Verify(p); err != nil || !res.Sound {
+			log.Fatalf("%s not sound: %v %v", p.ID, err, res)
+		}
+		if err := sys.Engine.Deploy(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Start an order with three line items.
+	inst, err := sys.Engine.StartInstance("order-fulfilment", map[string]any{
+		"orderId": "O-1001",
+		"items":   []any{"keyboard", "mouse", "cable"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("order %s: %s (stock reserved, waiting for payment)\n", inst.ID, inst.Status)
+
+	// A separate payment case pays order O-1001 — its send task
+	// correlates into the waiting order.
+	pay, _ := sys.Engine.StartInstance("payment", map[string]any{"orderId": "O-1001", "amount": 129.90})
+	fmt.Printf("payment %s: %s\n", pay.ID, pay.Status)
+
+	// Payment arrived; the AND join released; three pick tasks exist.
+	wl := sys.Tasks.Worklist("pat")
+	fmt.Printf("pat has %d pick tasks:\n", len(wl))
+	for _, it := range wl {
+		fmt.Printf("  %-18s item=%v\n", it.Name, it.Data["item"])
+	}
+	for _, it := range wl {
+		sys.Tasks.Start(it.ID, "pat")
+		sys.Tasks.Complete(it.ID, "pat", nil)
+	}
+
+	final, _ := sys.Engine.Instance(inst.ID)
+	fmt.Printf("order %s: %s picked=%v shipped=%v\n",
+		final.ID, final.Status, final.Vars["picked"], final.Vars["shipped"])
+}

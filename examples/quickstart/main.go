@@ -1,0 +1,82 @@
+// Quickstart: define a small approval process, verify it, run a case
+// through the worklist, and print the audit trail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bpms"
+)
+
+func main() {
+	// 1. Assemble an in-memory BPMS and register a user.
+	sys, err := bpms.Open(bpms.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	sys.AddUser("alice", "approver")
+
+	// 2. Model the process: received -> approve (human) -> route on
+	// the decision -> done/rejected.
+	proc := bpms.NewProcess("order-approval").
+		Start("received").
+		UserTask("approve", bpms.Name("Approve order"), bpms.Role("approver")).
+		XOR("decision", bpms.DefaultFlow("no")).
+		ScriptTask("archive", bpms.Output("result", `"accepted: " + str(amount)`)).
+		ScriptTask("notify", bpms.Output("result", `"rejected"`)).
+		XOR("merge").
+		End("done").
+		Flow("received", "approve").
+		Flow("approve", "decision").
+		FlowIf("decision", "archive", "approved == true").
+		FlowID("no", "decision", "notify", "").
+		Flow("archive", "merge").
+		Flow("notify", "merge").
+		Flow("merge", "done").
+		MustBuild()
+
+	// 3. Verify soundness before deploying.
+	res, err := bpms.Verify(proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification: sound=%v (method %s, %d states)\n", res.Sound, res.Method, res.StateCount)
+
+	if err := sys.Engine.Deploy(proc); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Start a case.
+	inst, err := sys.Engine.StartInstance("order-approval", map[string]any{"amount": 420})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s is %s\n", inst.ID, inst.Status)
+
+	// 5. Work the task from alice's worklist.
+	offered := sys.Tasks.OfferedItems("alice")
+	fmt.Printf("alice sees %d offered task(s): %s\n", len(offered), offered[0].Name)
+	item := offered[0]
+	if _, err := sys.Tasks.Claim(item.ID, "alice"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Tasks.Start(item.ID, "alice"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Tasks.Complete(item.ID, "alice", map[string]any{"approved": true}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. The case completed; inspect the outcome and audit trail.
+	final, err := sys.Engine.Instance(inst.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s is %s, result=%s\n", final.ID, final.Status, final.Vars["result"])
+	fmt.Println("audit trail:")
+	for _, ev := range sys.History.EventsOf(inst.ID) {
+		fmt.Printf("  %-20s %s\n", ev.Type, ev.ElementID)
+	}
+}

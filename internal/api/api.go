@@ -1,0 +1,359 @@
+// Package api exposes the BPMS over HTTP (stdlib net/http), the
+// analogue of the WfMC client/admin interfaces: deploy and inspect
+// definitions, start and manage instances, drive worklists, publish
+// messages, and export history as XES.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bpms/internal/core"
+	"bpms/internal/engine"
+	"bpms/internal/history"
+	"bpms/internal/model"
+	"bpms/internal/task"
+	"bpms/internal/verify"
+)
+
+// Server wraps a BPMS with HTTP handlers.
+type Server struct {
+	bpms *core.BPMS
+	mux  *http.ServeMux
+}
+
+// New builds the HTTP server for a BPMS.
+func New(b *core.BPMS) *Server {
+	s := &Server{bpms: b, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/definitions", s.listDefinitions)
+	s.mux.HandleFunc("POST /api/definitions", s.deploy)
+	s.mux.HandleFunc("GET /api/definitions/{id}", s.getDefinition)
+	s.mux.HandleFunc("GET /api/definitions/{id}/verify", s.verifyDefinition)
+
+	s.mux.HandleFunc("GET /api/instances", s.listInstances)
+	s.mux.HandleFunc("POST /api/instances", s.startInstance)
+	s.mux.HandleFunc("GET /api/instances/{id}", s.getInstance)
+	s.mux.HandleFunc("DELETE /api/instances/{id}", s.cancelInstance)
+	s.mux.HandleFunc("PUT /api/instances/{id}/variables/{name}", s.setVariable)
+	s.mux.HandleFunc("GET /api/instances/{id}/history", s.instanceHistory)
+
+	s.mux.HandleFunc("POST /api/messages", s.publishMessage)
+
+	s.mux.HandleFunc("GET /api/tasks", s.listTasks)
+	s.mux.HandleFunc("POST /api/tasks/{id}/claim", s.taskAction(actClaim))
+	s.mux.HandleFunc("POST /api/tasks/{id}/start", s.taskAction(actStart))
+	s.mux.HandleFunc("POST /api/tasks/{id}/complete", s.taskAction(actComplete))
+	s.mux.HandleFunc("POST /api/tasks/{id}/fail", s.taskAction(actFail))
+	s.mux.HandleFunc("POST /api/tasks/{id}/delegate", s.taskAction(actDelegate))
+	s.mux.HandleFunc("POST /api/tasks/{id}/release", s.taskAction(actRelease))
+
+	s.mux.HandleFunc("GET /api/history/xes", s.exportXES)
+	s.mux.HandleFunc("GET /api/stats", s.stats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrUnknownProcess),
+		errors.Is(err, engine.ErrUnknownInstance),
+		errors.Is(err, task.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, task.ErrBadTransition), errors.Is(err, engine.ErrNotActive):
+		status = http.StatusConflict
+	case errors.Is(err, task.ErrNotAuthorized):
+		status = http.StatusForbidden
+	default:
+		var ve *model.ValidationError
+		if errors.As(err, &ve) {
+			status = http.StatusBadRequest
+		}
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) listDefinitions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.bpms.Engine.Definitions())
+}
+
+func (s *Server) deploy(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var p *model.Process
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.Contains(ct, "xml"):
+		p, err = model.DecodeXML(data)
+	default:
+		p, err = model.DecodeJSON(data)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := s.bpms.Engine.Deploy(p); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": p.ID, "version": p.Version})
+}
+
+func (s *Server) getDefinition(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.bpms.Engine.Definition(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown definition"})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) verifyDefinition(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.bpms.Engine.Definition(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown definition"})
+		return
+	}
+	res, err := verify.Check(p, verify.DefaultOptions())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sound":        res.Sound,
+		"bounded":      res.Bounded,
+		"method":       res.Method,
+		"stateCount":   res.StateCount,
+		"violations":   res.Violations,
+		"deadElements": res.DeadElements,
+		"warnings":     res.Warnings,
+	})
+}
+
+type startRequest struct {
+	ProcessID string         `json:"processId"`
+	Vars      map[string]any `json:"vars,omitempty"`
+}
+
+type instanceResponse struct {
+	ID        string         `json:"id"`
+	ProcessID string         `json:"processId"`
+	Status    string         `json:"status"`
+	Vars      map[string]any `json:"vars,omitempty"`
+	Tokens    []tokenJSON    `json:"tokens,omitempty"`
+}
+
+type tokenJSON struct {
+	Element    string `json:"element"`
+	Wait       string `json:"wait,omitempty"`
+	WorkItemID string `json:"workItemId,omitempty"`
+}
+
+func toInstanceResponse(v *engine.InstanceView) instanceResponse {
+	out := instanceResponse{
+		ID:        v.ID,
+		ProcessID: v.ProcessID,
+		Status:    v.Status.String(),
+		Vars:      map[string]any{},
+	}
+	for k, val := range v.Vars {
+		out.Vars[k] = val.ToGo()
+	}
+	for _, t := range v.ActiveTokens {
+		out.Tokens = append(out.Tokens, tokenJSON{
+			Element: t.Element, Wait: t.Wait.String(), WorkItemID: t.WorkItemID,
+		})
+	}
+	return out
+}
+
+func (s *Server) startInstance(w http.ResponseWriter, r *http.Request) {
+	var req startRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	v, err := s.bpms.Engine.StartInstance(req.ProcessID, req.Vars)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toInstanceResponse(v))
+}
+
+func (s *Server) listInstances(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.bpms.Engine.Instances())
+}
+
+func (s *Server) getInstance(w http.ResponseWriter, r *http.Request) {
+	v, err := s.bpms.Engine.Instance(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toInstanceResponse(v))
+}
+
+func (s *Server) cancelInstance(w http.ResponseWriter, r *http.Request) {
+	if err := s.bpms.Engine.CancelInstance(r.PathValue("id"), "cancelled via API"); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) setVariable(w http.ResponseWriter, r *http.Request) {
+	var value any
+	if err := json.NewDecoder(r.Body).Decode(&value); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := s.bpms.Engine.SetVariable(r.PathValue("id"), r.PathValue("name"), value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) instanceHistory(w http.ResponseWriter, r *http.Request) {
+	evs := s.bpms.History.EventsOf(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, evs)
+}
+
+type messageRequest struct {
+	Name string         `json:"name"`
+	Key  string         `json:"key,omitempty"`
+	Vars map[string]any `json:"vars,omitempty"`
+}
+
+func (s *Server) publishMessage(w http.ResponseWriter, r *http.Request) {
+	var req messageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	delivered, buffered, err := s.bpms.Engine.Publish(req.Name, req.Key, req.Vars)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"delivered": delivered, "buffered": buffered})
+}
+
+func (s *Server) listTasks(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing user parameter"})
+		return
+	}
+	out := map[string][]*task.Item{
+		"worklist": s.bpms.Tasks.Worklist(user),
+		"offered":  s.bpms.Tasks.OfferedItems(user),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type taskRequest struct {
+	User    string         `json:"user"`
+	To      string         `json:"to,omitempty"`     // delegate target
+	Reason  string         `json:"reason,omitempty"` // fail reason
+	Outcome map[string]any `json:"outcome,omitempty"`
+}
+
+type taskAct int
+
+const (
+	actClaim taskAct = iota
+	actStart
+	actComplete
+	actFail
+	actDelegate
+	actRelease
+)
+
+func (s *Server) taskAction(act taskAct) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req taskRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		id := r.PathValue("id")
+		var it *task.Item
+		var err error
+		switch act {
+		case actClaim:
+			it, err = s.bpms.Tasks.Claim(id, req.User)
+		case actStart:
+			it, err = s.bpms.Tasks.Start(id, req.User)
+		case actComplete:
+			it, err = s.bpms.Tasks.Complete(id, req.User, req.Outcome)
+		case actFail:
+			it, err = s.bpms.Tasks.Fail(id, req.User, req.Reason)
+		case actDelegate:
+			it, err = s.bpms.Tasks.Delegate(id, req.User, req.To)
+		case actRelease:
+			it, err = s.bpms.Tasks.Release(id, req.User)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, it)
+	}
+}
+
+func (s *Server) exportXES(w http.ResponseWriter, _ *http.Request) {
+	data, err := history.EncodeXES(s.bpms.Log())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	counts := map[string]int{}
+	for _, id := range s.bpms.Engine.Instances() {
+		v, err := s.bpms.Engine.Instance(id)
+		if err != nil {
+			continue
+		}
+		counts[v.Status.String()]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"definitions": len(s.bpms.Engine.Definitions()),
+		"instances":   counts,
+		"events":      s.bpms.History.Count(),
+	})
+}
+
+// ListenAndServe runs the server on addr (convenience for cmd/bpmsd).
+func (s *Server) ListenAndServe(addr string) error {
+	fmt.Printf("bpmsd listening on %s\n", addr)
+	return http.ListenAndServe(addr, s.mux)
+}

@@ -1,0 +1,137 @@
+// Package bench implements the experiment harness of the repository:
+// one function per table/figure of the evaluation suite described in
+// DESIGN.md (T1–T8, F1–F5). Each experiment builds its own workload,
+// runs the system under test, and returns a printable table; the
+// cmd/bpmsbench binary renders them and EXPERIMENTS.md records the
+// measurements. The root-level bench_test.go exposes the same
+// operations as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render draws the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Scale controls experiment sizes: Quick for CI, Full for the numbers
+// recorded in EXPERIMENTS.md.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func (s Scale) pick(quick, full int) int {
+	if s == Quick {
+		return quick
+	}
+	return full
+}
+
+// All returns every experiment keyed by ID, in report order.
+func All(scale Scale) []func() *Table {
+	return []func() *Table{
+		func() *Table { return T1Throughput(scale) },
+		func() *Table { return T2TaskLatency(scale) },
+		func() *Table { return F1Scaling(scale) },
+		func() *Table { return T3Verification(scale) },
+		func() *Table { return T4Storage(scale) },
+		func() *Table { return F2Policies(scale) },
+		func() *Table { return T5Expressions(scale) },
+		func() *Table { return F3Discovery(scale) },
+		func() *Table { return T6Correlation(scale) },
+		func() *Table { return F4Timers(scale) },
+		func() *Table { return T7Rules(scale) },
+		func() *Table { return F5Recovery(scale) },
+		func() *Table { return T8EndToEnd(scale) },
+	}
+}
+
+// ByID returns the experiment function for an ID like "T1" or "F3".
+func ByID(id string, scale Scale) (func() *Table, bool) {
+	m := map[string]func() *Table{
+		"T1": func() *Table { return T1Throughput(scale) },
+		"T2": func() *Table { return T2TaskLatency(scale) },
+		"F1": func() *Table { return F1Scaling(scale) },
+		"T3": func() *Table { return T3Verification(scale) },
+		"T4": func() *Table { return T4Storage(scale) },
+		"F2": func() *Table { return F2Policies(scale) },
+		"T5": func() *Table { return T5Expressions(scale) },
+		"F3": func() *Table { return F3Discovery(scale) },
+		"T6": func() *Table { return T6Correlation(scale) },
+		"F4": func() *Table { return F4Timers(scale) },
+		"T7": func() *Table { return T7Rules(scale) },
+		"F5": func() *Table { return F5Recovery(scale) },
+		"T8": func() *Table { return T8EndToEnd(scale) },
+	}
+	f, ok := m[strings.ToUpper(id)]
+	return f, ok
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+func rate(n int, d time.Duration) string {
+	if d <= 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.0f/s", float64(n)/d.Seconds())
+}
+
+func micros(d time.Duration, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fµs", float64(d.Microseconds())/float64(n))
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bpms/internal/model"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "TX",
+		Title:  "demo",
+		Header: []string{"col-a", "b"},
+		Rows:   [][]string{{"1", "two"}, {"wide-value", "3"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "TX — demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "wide-value") || !strings.Contains(out, "note: a note") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	// Columns align: header and rows share the separator width.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"T1", "t3", "F2", "f5", "T8"} {
+		if _, ok := ByID(id, Quick); !ok {
+			t.Errorf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("T99", Quick); ok {
+		t.Error("ByID(T99) should not resolve")
+	}
+	if got := len(All(Quick)); got != 13 {
+		t.Errorf("All() = %d experiments, want 13", got)
+	}
+}
+
+func TestRunCases(t *testing.T) {
+	d, err := RunCases(model.Sequence(3), nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > time.Minute {
+		t.Errorf("duration = %v", d)
+	}
+	// A faulting workload reports the error.
+	p := model.New("bad").
+		Start("s").ServiceTask("x", "missing-handler").End("e").
+		Seq("s", "x", "e").MustBuild()
+	if _, err := RunCases(p, nil, 1); err == nil {
+		t.Error("faulted cases should error")
+	}
+}
+
+// Smoke-run the cheap experiments at Quick scale so the harness logic
+// itself stays covered (the expensive ones run via cmd/bpmsbench).
+func TestQuickExperimentsProduceRows(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		fn   func() *Table
+		rows int
+	}{
+		{"T2", func() *Table { return T2TaskLatency(Quick) }, 4},
+		{"T5", func() *Table { return T5Expressions(Quick) }, 6},
+		{"F4", func() *Table { return F4Timers(Quick) }, 6},
+		{"T6", func() *Table { return T6Correlation(Quick) }, 3},
+	} {
+		tbl := tc.fn()
+		if tbl.ID != tc.id {
+			t.Errorf("%s: ID = %q", tc.id, tbl.ID)
+		}
+		if len(tbl.Rows) != tc.rows {
+			t.Errorf("%s: rows = %d, want %d\n%s", tc.id, len(tbl.Rows), tc.rows, tbl.Render())
+		}
+		if len(tbl.Notes) != 0 {
+			t.Errorf("%s: unexpected notes %v", tc.id, tbl.Notes)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: ragged row %v", tc.id, row)
+			}
+		}
+	}
+}
+
+func TestDiscoveryLogShape(t *testing.T) {
+	log := DiscoveryLog(20, 1)
+	if len(log.Traces) != 20 {
+		t.Fatalf("traces = %d", len(log.Traces))
+	}
+	// Ground truth has 6 activities; every trace covers A..F minus the
+	// untaken XOR branch.
+	for _, tr := range log.Traces {
+		if len(tr.Entries) != 5 {
+			t.Errorf("trace %s has %d events, want 5", tr.CaseID, len(tr.Entries))
+		}
+		if tr.Entries[0].Activity != "A" || tr.Entries[len(tr.Entries)-1].Activity != "F" {
+			t.Errorf("trace %s order: %v", tr.CaseID, tr.Entries)
+		}
+	}
+}

@@ -1,0 +1,686 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"bpms/internal/engine"
+	"bpms/internal/expr"
+	"bpms/internal/history"
+	"bpms/internal/mine"
+	"bpms/internal/model"
+	"bpms/internal/resource"
+	"bpms/internal/rules"
+	"bpms/internal/sim"
+	"bpms/internal/storage"
+	"bpms/internal/task"
+	"bpms/internal/timer"
+	"bpms/internal/verify"
+)
+
+// newEngine builds a minimal in-memory engine for micro-benchmarks.
+func newEngine() *engine.Engine {
+	e, err := engine.New(engine.Config{})
+	if err != nil {
+		panic(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	return e
+}
+
+// Topologies used by the throughput experiments.
+func topologies() []struct {
+	Name string
+	Proc *model.Process
+	Vars map[string]any
+} {
+	return []struct {
+		Name string
+		Proc *model.Process
+		Vars map[string]any
+	}{
+		{"sequence-10", model.Sequence(10), nil},
+		{"parallel-5", model.Parallel(5), nil},
+		{"xor-8", model.Choice(8), map[string]any{"branch": 3}},
+		{"loop-5", model.Loop(), map[string]any{"limit": 5, "count": 0}},
+		{"mixed", model.Mixed(), map[string]any{"amount": 80}},
+	}
+}
+
+// RunCases drives n synchronous cases of proc through a fresh engine
+// and returns the wall time (shared by T1 and the testing.B benches).
+func RunCases(proc *model.Process, vars map[string]any, n int) (time.Duration, error) {
+	e := newEngine()
+	if err := e.Deploy(proc); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		v, err := e.StartInstance(proc.ID, vars)
+		if err != nil {
+			return 0, err
+		}
+		if v.Status != engine.StatusCompleted {
+			return 0, fmt.Errorf("instance %s ended %s", v.ID, v.Status)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// T1Throughput measures synchronous case throughput per topology.
+func T1Throughput(scale Scale) *Table {
+	n := scale.pick(500, 10000)
+	t := &Table{
+		ID:     "T1",
+		Title:  "engine throughput by control-flow topology (in-memory journal)",
+		Header: []string{"topology", "cases", "elements", "wall", "cases/s"},
+	}
+	for _, tp := range topologies() {
+		d, err := RunCases(tp.Proc, tp.Vars, n)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", tp.Name, err))
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			tp.Name, fmt.Sprint(n), fmt.Sprint(tp.Proc.Stats().Elements), secs(d), rate(n, d),
+		})
+	}
+	return t
+}
+
+// T2TaskLatency measures the work-item lifecycle operations.
+func T2TaskLatency(scale Scale) *Table {
+	n := scale.pick(2000, 20000)
+	dir := resource.NewDirectory()
+	dir.AddUser(&resource.User{ID: "u1", Roles: []string{"r"}})
+	svc := task.NewService(task.Config{Directory: dir})
+	t := &Table{
+		ID:     "T2",
+		Title:  "work-item lifecycle operation latency",
+		Header: []string{"operation", "ops", "total", "per-op"},
+	}
+	items := make([]*task.Item, n)
+	measure := func(name string, fn func(i int)) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(n), secs(d), micros(d, n)})
+	}
+	measure("create+offer", func(i int) {
+		it, err := svc.Create(task.Spec{InstanceID: "i", ElementID: "e", Role: "r"})
+		if err != nil {
+			panic(err)
+		}
+		items[i] = it
+	})
+	measure("claim", func(i int) { svc.Claim(items[i].ID, "u1") })
+	measure("start", func(i int) { svc.Start(items[i].ID, "u1") })
+	measure("complete", func(i int) { svc.Complete(items[i].ID, "u1", nil) })
+	return t
+}
+
+// F1Scaling measures throughput with concurrent client goroutines.
+func F1Scaling(scale Scale) *Table {
+	perWorker := scale.pick(200, 2000)
+	t := &Table{
+		ID:     "F1",
+		Title:  "throughput scaling vs concurrent clients (mixed topology)",
+		Header: []string{"clients", "cases", "wall", "cases/s"},
+	}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		e := newEngine()
+		if err := e.Deploy(model.Mixed()); err != nil {
+			panic(err)
+		}
+		total := workers * perWorker
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					_, _ = e.StartInstance("mixed", map[string]any{"amount": 80})
+				}
+			}(w)
+		}
+		wg.Wait()
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(workers), fmt.Sprint(total), secs(d), rate(total, d)})
+	}
+	return t
+}
+
+// T3Verification measures soundness checking cost with and without the
+// reduction fast path, on sound and unsound nets. The direct (no
+// reduction) state space explodes combinatorially on models with many
+// parallel blocks, so it runs under a budget; "budget" rows are where
+// the reduction pre-pass is the difference between decidable-in-
+// milliseconds and not-decidable-at-all.
+func T3Verification(scale Scale) *Table {
+	sizes := []int{10, 25, 50, 100}
+	if scale == Full {
+		sizes = append(sizes, 250)
+	}
+	directBudget := scale.pick(100000, 500000)
+	t := &Table{
+		ID:     "T3",
+		Title:  "soundness verification cost (reduction ablation)",
+		Header: []string{"model", "tasks", "verdict", "direct", "states", "reduced", "states'"},
+	}
+	row := func(name string, p *model.Process) {
+		start := time.Now()
+		direct, err := verify.Check(p, verify.Options{UseReduction: false, MaxStates: directBudget})
+		dDirect := time.Since(start)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", name, err))
+			return
+		}
+		start = time.Now()
+		fast, err := verify.Check(p, verify.Options{UseReduction: true, MaxStates: 2000000})
+		dFast := time.Since(start)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", name, err))
+			return
+		}
+		verdict := "sound"
+		if !fast.Sound {
+			verdict = "UNSOUND"
+		}
+		directCol := secs(dDirect)
+		statesCol := fmt.Sprint(direct.StateCount)
+		if direct.Incomplete {
+			directCol = "budget"
+			statesCol = fmt.Sprintf(">%d", directBudget)
+		} else if direct.Sound != fast.Sound {
+			verdict += " (DISAGREE!)"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(p.Stats().Tasks), verdict,
+			directCol, statesCol,
+			secs(dFast), fmt.Sprint(fast.StateCount),
+		})
+	}
+	for _, n := range sizes {
+		row(fmt.Sprintf("structured-%d", n), model.RandomStructured(int64(n), n))
+	}
+	row("parallel-10", model.Parallel(10))
+	row("deadlock-6", model.WithDeadlock(6))
+	row("lacksync-6", model.WithLackOfSync(6))
+	return t
+}
+
+// T4Storage measures journal append throughput per sync policy and
+// replay (recovery) cost by log size.
+func T4Storage(scale Scale) *Table {
+	n := scale.pick(20000, 200000)
+	t := &Table{
+		ID:     "T4",
+		Title:  "log store: append throughput and replay cost",
+		Header: []string{"workload", "records", "wall", "rate"},
+	}
+	payload := make([]byte, 256)
+	for _, pol := range []struct {
+		name string
+		opts storage.Options
+		n    int
+	}{
+		{"append sync=never", storage.Options{Policy: storage.SyncNever}, n},
+		{"append sync=every256", storage.Options{Policy: storage.SyncEvery, SyncInterval: 256}, n},
+		{"append sync=always", storage.Options{Policy: storage.SyncAlways}, scale.pick(500, 2000)},
+	} {
+		dir, err := os.MkdirTemp("", "bench-wal")
+		if err != nil {
+			panic(err)
+		}
+		j, err := storage.OpenFileJournal(dir, pol.opts)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < pol.n; i++ {
+			if _, err := j.Append(payload); err != nil {
+				panic(err)
+			}
+		}
+		j.Sync()
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{pol.name, fmt.Sprint(pol.n), secs(d), rate(pol.n, d)})
+		j.Close()
+		os.RemoveAll(dir)
+	}
+	for _, records := range []int{n / 10, n / 2, n} {
+		dir, err := os.MkdirTemp("", "bench-replay")
+		if err != nil {
+			panic(err)
+		}
+		j, _ := storage.OpenFileJournal(dir, storage.Options{})
+		for i := 0; i < records; i++ {
+			j.Append(payload)
+		}
+		j.Close()
+		start := time.Now()
+		j2, err := storage.OpenFileJournal(dir, storage.Options{})
+		if err != nil {
+			panic(err)
+		}
+		count := 0
+		j2.Replay(1, func(uint64, []byte) error { count++; return nil })
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{"reopen+replay", fmt.Sprint(count), secs(d), rate(count, d)})
+		j2.Close()
+		os.RemoveAll(dir)
+	}
+	return t
+}
+
+// F2Policies compares allocation policies under rising utilisation.
+func F2Policies(scale Scale) *Table {
+	cases := scale.pick(300, 2000)
+	t := &Table{
+		ID:     "F2",
+		Title:  "allocation policy comparison (M/M/4 user-task process)",
+		Header: []string{"utilisation", "policy", "p50 wait", "p90 wait", "p95 cycle"},
+	}
+	proc := model.New("mmc").
+		Start("s").UserTask("serve", model.Role("agent")).End("e").
+		Seq("s", "serve", "e").MustBuild()
+	service := 80 * time.Second
+	servers := 4
+	for _, rho := range []float64{0.5, 0.8, 0.95} {
+		interarrival := time.Duration(float64(service) / (rho * float64(servers)))
+		for _, pol := range []resource.Policy{
+			resource.NewRandomPolicy(17),
+			resource.NewRoundRobinPolicy(),
+			resource.ShortestQueuePolicy{},
+		} {
+			res, err := sim.Run(sim.Config{
+				Process:        proc,
+				Cases:          cases,
+				Interarrival:   sim.Exp(interarrival),
+				DefaultService: sim.Exp(service),
+				Resources:      map[string][]string{"agent": {"w1", "w2", "w3", "w4"}},
+				Policy:         pol,
+				Seed:           23,
+			})
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("ρ=%.2f", rho), pol.Name(),
+				fmt.Sprintf("%.1fs", res.WaitTime.Percentile(0.5)),
+				fmt.Sprintf("%.1fs", res.WaitTime.Percentile(0.9)),
+				fmt.Sprintf("%.1fs", res.CycleTime.Percentile(0.95)),
+			})
+		}
+	}
+	return t
+}
+
+// T5Expressions measures expression evaluation throughput.
+func T5Expressions(scale Scale) *Table {
+	n := scale.pick(200000, 2000000)
+	env := expr.MapEnv{
+		"amount": expr.Int(1500),
+		"region": expr.String("EU"),
+		"items":  expr.List(expr.Int(1), expr.Int(2), expr.Int(3)),
+		"limit":  expr.Float(99.5),
+	}
+	t := &Table{
+		ID:     "T5",
+		Title:  "expression evaluation throughput (compiled programs)",
+		Header: []string{"expression", "evals", "wall", "per-eval"},
+	}
+	for _, src := range []string{
+		"amount",
+		"amount + 100 * 2",
+		"amount > 1000 && region == \"EU\"",
+		`region in ["EU", "US"] ? amount * 0.2 : amount * 0.1`,
+		"len(items) + sum(items)",
+		`upper(region) + "-" + str(amount)`,
+	} {
+		p := expr.MustCompile(src)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := p.Eval(env); err != nil {
+				panic(err)
+			}
+		}
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{src, fmt.Sprint(n), secs(d), fmt.Sprintf("%dns", d.Nanoseconds()/int64(n))})
+	}
+	return t
+}
+
+// discoveryGroundTruth is the process rediscovered in F3.
+func discoveryGroundTruth() *model.Process {
+	return model.New("f3truth").
+		Start("s").
+		UserTask("A", model.Name("A"), model.Role("w")).
+		XOR("x", model.Default("db")).
+		UserTask("B", model.Name("B"), model.Role("w")).
+		UserTask("C", model.Name("C"), model.Role("w")).
+		XOR("m").
+		AND("f").
+		UserTask("D", model.Name("D"), model.Role("w")).
+		UserTask("E", model.Name("E"), model.Role("w")).
+		AND("j").
+		UserTask("F", model.Name("F"), model.Role("w")).
+		End("e").
+		Flow("s", "A").
+		Flow("A", "x").
+		FlowIf("x", "B", "pick == 1").
+		FlowID("db", "x", "C", "").
+		Flow("B", "m").Flow("C", "m").
+		Flow("m", "f").
+		Flow("f", "D").Flow("f", "E").
+		Flow("D", "j").Flow("E", "j").
+		Flow("j", "F").
+		Flow("F", "e").
+		MustBuild()
+}
+
+// DiscoveryLog simulates the ground truth into a log of n traces.
+func DiscoveryLog(n int, seed int64) *history.Log {
+	res, err := sim.Run(sim.Config{
+		Process:        discoveryGroundTruth(),
+		Cases:          n,
+		Interarrival:   sim.Exp(time.Minute),
+		DefaultService: sim.Exp(2 * time.Minute),
+		Resources:      map[string][]string{"w": {"w1", "w2", "w3", "w4"}},
+		Vars: func(i int, r *rand.Rand) map[string]any {
+			return map[string]any{"pick": r.Intn(2)}
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Log
+}
+
+// F3Discovery measures discovery quality vs log size: models mined
+// from k traces are scored on a large evaluation log.
+func F3Discovery(scale Scale) *Table {
+	evalSize := scale.pick(300, 1000)
+	evalLog := DiscoveryLog(evalSize, 1)
+	t := &Table{
+		ID:     "F3",
+		Title:  "discovery quality vs log size (alpha vs DFG miner)",
+		Header: []string{"train traces", "alpha fitness", "alpha fit-traces", "dfg fitness", "mine time"},
+	}
+	for _, k := range []int{5, 10, 25, 50, 100, 250} {
+		train := DiscoveryLog(k, int64(100+k))
+		start := time.Now()
+		alpha := mine.Alpha(train)
+		mineTime := time.Since(start)
+		conf := mine.TokenReplay(alpha, evalLog)
+		dfg := mine.BuildDFG(train)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprintf("%.3f", conf.Fitness()),
+			fmt.Sprintf("%d/%d", conf.FitTraces, conf.Traces),
+			fmt.Sprintf("%.3f", dfg.FitnessDFG(evalLog)),
+			secs(mineTime),
+		})
+	}
+	return t
+}
+
+// T6Correlation measures message delivery with many parked instances.
+func T6Correlation(scale Scale) *Table {
+	t := &Table{
+		ID:     "T6",
+		Title:  "message correlation throughput vs waiting instances",
+		Header: []string{"waiting", "publishes", "wall", "deliveries/s"},
+	}
+	proc := model.New("waiter").
+		Start("s").
+		MessageCatch("w", "evt", model.CorrelationKey("k")).
+		End("e").
+		Seq("s", "w", "e").
+		MustBuild()
+	for _, waiting := range []int{100, 1000, scale.pick(2000, 10000)} {
+		e := newEngine()
+		if err := e.Deploy(proc); err != nil {
+			panic(err)
+		}
+		for i := 0; i < waiting; i++ {
+			if _, err := e.StartInstance("waiter", map[string]any{"k": fmt.Sprintf("k%d", i)}); err != nil {
+				panic(err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < waiting; i++ {
+			n, _, err := e.Publish("evt", fmt.Sprintf("k%d", i), nil)
+			if err != nil || n != 1 {
+				panic(fmt.Sprintf("publish %d: n=%d err=%v", i, n, err))
+			}
+		}
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(waiting), fmt.Sprint(waiting), secs(d), rate(waiting, d)})
+	}
+	return t
+}
+
+// F4Timers compares the timing wheel against the heap baseline.
+func F4Timers(scale Scale) *Table {
+	t := &Table{
+		ID:     "F4",
+		Title:  "timer service: wheel vs heap (schedule + fire all)",
+		Header: []string{"service", "timers", "schedule", "fire", "fires/s"},
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sizes := []int{1000, 10000, scale.pick(50000, 200000)}
+	for _, mk := range []struct {
+		name string
+		make func() timer.Service
+	}{
+		{"wheel", func() timer.Service { return timer.NewWheelService(time.Millisecond, 512) }},
+		{"heap", func() timer.Service { return timer.NewHeapService() }},
+	} {
+		for _, n := range sizes {
+			svc := mk.make()
+			fired := 0
+			r := rand.New(rand.NewSource(5))
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				svc.Schedule(base.Add(time.Duration(r.Intn(60000))*time.Millisecond), func() { fired++ })
+			}
+			schedD := time.Since(start)
+			start = time.Now()
+			// Fire in 1s sweeps, as a runner would.
+			for tick := 0; tick <= 60; tick++ {
+				svc.AdvanceTo(base.Add(time.Duration(tick) * time.Second))
+			}
+			fireD := time.Since(start)
+			if fired != n {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s/%d: fired %d", mk.name, n, fired))
+			}
+			t.Rows = append(t.Rows, []string{
+				mk.name, fmt.Sprint(n), secs(schedD), secs(fireD), rate(fired, fireD),
+			})
+		}
+	}
+	return t
+}
+
+// T7Rules measures decision-table evaluation by size and hit policy.
+func T7Rules(scale Scale) *Table {
+	n := scale.pick(20000, 200000)
+	t := &Table{
+		ID:     "T7",
+		Title:  "decision table evaluation (match in final rule)",
+		Header: []string{"hit policy", "rules", "evals", "wall", "per-eval"},
+	}
+	build := func(rulesN int, hp rules.HitPolicy) *rules.Compiled {
+		tbl := rules.Table{Name: "bench", HitPolicy: hp, Outputs: []string{"out"}}
+		for i := 0; i < rulesN; i++ {
+			cond := fmt.Sprintf("v == %d", i)
+			if hp == rules.Collect {
+				cond = fmt.Sprintf("v >= %d", i)
+			}
+			tbl.Rules = append(tbl.Rules, rules.Rule{
+				Conditions: []string{cond},
+				Outputs:    map[string]string{"out": fmt.Sprint(i)},
+				Priority:   i,
+			})
+		}
+		return rules.MustCompile(tbl)
+	}
+	for _, hp := range []rules.HitPolicy{rules.First, rules.Unique, rules.Collect} {
+		for _, rulesN := range []int{10, 100, 1000} {
+			c := build(rulesN, hp)
+			env := expr.MapEnv{"v": expr.Int(int64(rulesN - 1))}
+			evals := n / rulesN * 10
+			if evals < 100 {
+				evals = 100
+			}
+			start := time.Now()
+			for i := 0; i < evals; i++ {
+				if _, err := c.Eval(env); err != nil {
+					panic(err)
+				}
+			}
+			d := time.Since(start)
+			t.Rows = append(t.Rows, []string{
+				string(hp), fmt.Sprint(rulesN), fmt.Sprint(evals), secs(d), micros(d, evals),
+			})
+		}
+	}
+	return t
+}
+
+// F5Recovery measures recovery time vs snapshot interval.
+func F5Recovery(scale Scale) *Table {
+	instances := scale.pick(500, 5000)
+	t := &Table{
+		ID:     "F5",
+		Title:  "recovery: journal replay vs snapshots",
+		Header: []string{"snapshot every", "journal records", "recovery", "records/s"},
+	}
+	for _, every := range []int{0, 1000, 100} {
+		dir, err := os.MkdirTemp("", "bench-recovery")
+		if err != nil {
+			panic(err)
+		}
+		snapDir, _ := os.MkdirTemp("", "bench-snap")
+		// Small segments so DropBefore can actually discard the
+		// journal prefix covered by snapshots.
+		journal, err := storage.OpenFileJournal(dir, storage.Options{SegmentSize: 32 << 10})
+		if err != nil {
+			panic(err)
+		}
+		var snaps *storage.SnapshotStore
+		if every > 0 {
+			snaps, _ = storage.OpenSnapshotStore(snapDir, 2)
+		}
+		e, err := engine.New(engine.Config{Journal: journal, Snapshots: snaps, SnapshotEvery: every})
+		if err != nil {
+			panic(err)
+		}
+		e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) { return nil, nil })
+		if err := e.Deploy(model.Sequence(5)); err != nil {
+			panic(err)
+		}
+		for i := 0; i < instances; i++ {
+			if _, err := e.StartInstance("seq-5", nil); err != nil {
+				panic(err)
+			}
+		}
+		if every > 0 {
+			// Let any in-flight async snapshot settle, then force one
+			// more so the journal prefix is compacted.
+			time.Sleep(50 * time.Millisecond)
+			_ = e.Snapshot()
+		}
+		records := journal.LastIndex() - journal.FirstIndex() + 1
+		journal.Close()
+
+		start := time.Now()
+		journal2, err := storage.OpenFileJournal(dir, storage.Options{SegmentSize: 32 << 10})
+		if err != nil {
+			panic(err)
+		}
+		e2, err := engine.New(engine.Config{Journal: journal2, Snapshots: snaps})
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		if got := len(e2.Instances()); got != instances {
+			t.Notes = append(t.Notes, fmt.Sprintf("every=%d: recovered %d of %d", every, got, instances))
+		}
+		label := "never"
+		if every > 0 {
+			label = fmt.Sprint(every)
+		}
+		t.Rows = append(t.Rows, []string{label, fmt.Sprint(records), secs(d), rate(int(records), d)})
+		journal2.Close()
+		os.RemoveAll(dir)
+		os.RemoveAll(snapDir)
+	}
+	return t
+}
+
+// T8EndToEnd sweeps arrival rates through the loan process and reports
+// cycle-time percentiles (the capacity-planning view).
+func T8EndToEnd(scale Scale) *Table {
+	cases := scale.pick(300, 2000)
+	t := &Table{
+		ID:     "T8",
+		Title:  "end-to-end case latency under load (loan process, 3 clerks + 2 assessors)",
+		Header: []string{"interarrival", "completed", "p50 cycle", "p95 cycle", "p99 cycle", "p90 wait"},
+	}
+	proc := model.New("loan-sim").
+		Start("s").
+		UserTask("register", model.Role("clerk")).
+		XOR("route", model.Default("small")).
+		UserTask("assess", model.Role("assessor")).
+		UserTask("fastTrack", model.Role("clerk")).
+		XOR("m").
+		UserTask("payout", model.Role("clerk")).
+		End("e").
+		Flow("s", "register").
+		Flow("register", "route").
+		FlowIf("route", "assess", "amount > 5000").
+		FlowID("small", "route", "fastTrack", "").
+		Flow("assess", "m").
+		Flow("fastTrack", "m").
+		Flow("m", "payout").
+		Flow("payout", "e").
+		MustBuild()
+	for _, ia := range []time.Duration{15 * time.Minute, 8 * time.Minute, 5 * time.Minute} {
+		res, err := sim.Run(sim.Config{
+			Process:        proc,
+			Cases:          cases,
+			Interarrival:   sim.Exp(ia),
+			DefaultService: sim.Lognormal{M: 10 * time.Minute, Shape: 0.5},
+			Resources: map[string][]string{
+				"clerk":    {"c1", "c2", "c3"},
+				"assessor": {"a1", "a2"},
+			},
+			Vars: func(i int, r *rand.Rand) map[string]any {
+				return map[string]any{"amount": 1000 + r.Intn(9000)}
+			},
+			Seed: 31,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			ia.String(), fmt.Sprint(res.Completed),
+			fmt.Sprintf("%.1fm", res.CycleTime.Percentile(0.5)/60),
+			fmt.Sprintf("%.1fm", res.CycleTime.Percentile(0.95)/60),
+			fmt.Sprintf("%.1fm", res.CycleTime.Percentile(0.99)/60),
+			fmt.Sprintf("%.1fm", res.WaitTime.Percentile(0.9)/60),
+		})
+	}
+	return t
+}

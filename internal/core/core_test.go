@@ -1,0 +1,162 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bpms/internal/engine"
+	"bpms/internal/expr"
+	"bpms/internal/model"
+	"bpms/internal/resource"
+	"bpms/internal/timer"
+)
+
+func TestOpenInMemory(t *testing.T) {
+	b, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.AddUser("alice", "clerk")
+	b.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	if err := b.Engine.Deploy(model.Sequence(3)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Engine.StartInstance("seq-3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != engine.StatusCompleted {
+		t.Fatalf("status = %s", v.Status)
+	}
+	if b.History.Count() == 0 {
+		t.Error("no audit events")
+	}
+	if l := b.Log(); len(l.Traces) != 1 {
+		t.Errorf("log traces = %d", len(l.Traces))
+	}
+}
+
+func TestOpenPersistentAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	clock := timer.NewVirtualClock(time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC))
+	b, err := Open(Options{DataDir: dir, Clock: clock, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddUser("alice", "clerk")
+	p := model.New("held").
+		Start("s").UserTask("work", model.Role("clerk")).End("e").
+		Seq("s", "work", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Engine.StartInstance("held", map[string]any{"k": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := Open(Options{DataDir: dir, Clock: clock,
+		Users: []resource.User{{ID: "alice", Roles: []string{"clerk"}}}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer b2.Close()
+	got, err := b2.Engine.Instance(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != engine.StatusActive {
+		t.Fatalf("recovered status = %s", got.Status)
+	}
+	// History survived too.
+	if b2.History.Count() == 0 {
+		t.Error("history lost on reopen")
+	}
+	// Work item was re-issued; completing it finishes the instance.
+	items := b2.Tasks.OfferedItems("alice")
+	if len(items) != 1 {
+		t.Fatalf("offered after recovery = %d", len(items))
+	}
+	b2.Tasks.Claim(items[0].ID, "alice")
+	b2.Tasks.Start(items[0].ID, "alice")
+	b2.Tasks.Complete(items[0].ID, "alice", nil)
+	got, _ = b2.Engine.Instance(v.ID)
+	if got.Status != engine.StatusCompleted {
+		t.Fatalf("status after resume = %s", got.Status)
+	}
+}
+
+func TestDeployFile(t *testing.T) {
+	b, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	dir := t.TempDir()
+
+	p := model.Sequence(2)
+	jsonData, _ := model.EncodeJSON(p)
+	jsonPath := filepath.Join(dir, "proc.json")
+	os.WriteFile(jsonPath, jsonData, 0o644)
+	if _, err := b.DeployFile(jsonPath); err != nil {
+		t.Fatalf("deploy json: %v", err)
+	}
+
+	xmlData, _ := model.EncodeXML(model.Mixed())
+	xmlPath := filepath.Join(dir, "proc.xml")
+	os.WriteFile(xmlPath, xmlData, 0o644)
+	if _, err := b.DeployFile(xmlPath); err != nil {
+		t.Fatalf("deploy xml: %v", err)
+	}
+
+	if got := len(b.Engine.Definitions()); got != 2 {
+		t.Errorf("definitions = %d", got)
+	}
+
+	if _, err := b.DeployFile(filepath.Join(dir, "nope.yaml")); err == nil {
+		t.Error("unknown extension should fail")
+	}
+	if _, err := b.DeployFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"id":""}`), 0o644)
+	if _, err := b.DeployFile(bad); err == nil {
+		t.Error("invalid definition should fail")
+	}
+}
+
+func TestTimerRunnerIntegration(t *testing.T) {
+	b, err := Open(Options{RunTimers: true, TimerTick: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	p := model.New("quickTimer").
+		Start("s").TimerCatch("wait", "20ms").End("e").
+		Seq("s", "wait", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Engine.StartInstance("quickTimer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		got, _ := b.Engine.Instance(v.ID)
+		if got.Status == engine.StatusCompleted {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timer never fired under the background runner")
+}

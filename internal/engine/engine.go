@@ -1,0 +1,383 @@
+// Package engine implements the enactment service of the BPMS — the
+// workflow engine. It executes process definitions from internal/model
+// with token semantics: instances hold tokens that advance through the
+// graph synchronously until they park at a wait state (user task,
+// message, timer, event gateway, or an unsatisfied join) and are
+// resumed by task completions, correlated messages, or fired timers.
+//
+// Supported semantics: all task types; exclusive, parallel, inclusive
+// (with full non-local OR-join semantics) and event-based gateways;
+// embedded sub-processes and call activities; interrupting and
+// non-interrupting boundary events (timer, error, message); terminate
+// end events; sequential and parallel multi-instance activities with
+// completion conditions; per-instance data with expression-guarded
+// flows; incidents; and message correlation with buffering.
+//
+// Persistence is write-behind state journaling: after every quiescent
+// step the affected instance's state is appended to the journal, and
+// recovery (NewEngine on an existing journal) restores the latest
+// state of every instance, re-arms timers, and re-registers message
+// subscriptions. Snapshots bound replay cost (experiments T4/F5).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpms/internal/expr"
+	"bpms/internal/history"
+	"bpms/internal/model"
+	"bpms/internal/storage"
+	"bpms/internal/task"
+	"bpms/internal/timer"
+)
+
+// Errors returned by the engine API.
+var (
+	ErrUnknownProcess  = errors.New("engine: unknown process definition")
+	ErrUnknownInstance = errors.New("engine: unknown instance")
+	ErrUnknownHandler  = errors.New("engine: unknown service-task handler")
+	ErrNotActive       = errors.New("engine: instance is not active")
+)
+
+// Handler executes a service task. It receives a read-only snapshot of
+// the case data and returns variable updates (or an error, which
+// triggers retries, error boundary events, or an incident).
+type Handler func(tc TaskContext) (map[string]expr.Value, error)
+
+// TaskContext carries the information a Handler may use.
+type TaskContext struct {
+	InstanceID string
+	ProcessID  string
+	ElementID  string
+	// Vars is a snapshot of case data; mutations are ignored (return
+	// updates instead).
+	Vars map[string]expr.Value
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Journal persists instance state (default: in-memory).
+	Journal storage.Journal
+	// Snapshots, when set, enables snapshot-based recovery compaction.
+	Snapshots *storage.SnapshotStore
+	// SnapshotEvery writes a snapshot after this many journal appends
+	// (0 = never).
+	SnapshotEvery int
+	// Tasks is the worklist service for user/manual tasks (default: a
+	// fresh service with an empty directory).
+	Tasks *task.Service
+	// Timers schedules deadlines (default: a timing wheel; tests pass
+	// a wheel driven by a virtual clock).
+	Timers timer.Service
+	// Clock supplies time (default RealClock).
+	Clock timer.Clock
+	// History, when set, receives audit events.
+	History *history.Store
+	// Recover replays the journal to restore engine state (default
+	// true when the journal is non-empty).
+	Recover bool
+}
+
+// Engine is the enactment service. All exported methods are safe for
+// concurrent use.
+type Engine struct {
+	mu          sync.RWMutex
+	definitions map[string]*model.Process
+	instances   map[string]*Instance
+	handlers    map[string]Handler
+
+	journal       storage.Journal
+	snapshots     *storage.SnapshotStore
+	snapshotEvery int
+	appendsSince  int
+
+	tasks  *task.Service
+	timers timer.Service
+	clock  timer.Clock
+	hist   *history.Store
+
+	subs          *subscriptions
+	upstreamCache sync.Map // upstreamKey -> map[string]bool
+
+	idSeq        atomic.Uint64
+	tokSeq       atomic.Uint64
+	closing      atomic.Bool
+	snapshotting atomic.Bool
+}
+
+// New creates an engine, recovering state from the journal when it is
+// non-empty.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Journal == nil {
+		cfg.Journal = storage.NewMemJournal()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = timer.RealClock{}
+	}
+	if cfg.Timers == nil {
+		cfg.Timers = timer.NewWheelService(10*time.Millisecond, 512)
+	}
+	if cfg.Tasks == nil {
+		cfg.Tasks = task.NewService(task.Config{})
+	}
+	e := &Engine{
+		definitions:   map[string]*model.Process{},
+		instances:     map[string]*Instance{},
+		handlers:      map[string]Handler{},
+		journal:       cfg.Journal,
+		snapshots:     cfg.Snapshots,
+		snapshotEvery: cfg.SnapshotEvery,
+		tasks:         cfg.Tasks,
+		timers:        cfg.Timers,
+		clock:         cfg.Clock,
+		hist:          cfg.History,
+		subs:          newSubscriptions(),
+	}
+	e.tasks.Subscribe(e.onTaskTransition)
+	if cfg.Journal.LastIndex() > 0 || cfg.Snapshots != nil {
+		if err := e.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// RegisterHandler binds a service-task handler name to its function.
+// Handlers must be registered before instances using them execute;
+// they are not persisted.
+func (e *Engine) RegisterHandler(name string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[name] = h
+}
+
+func (e *Engine) handler(name string) (Handler, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.handlers[name]
+	return h, ok
+}
+
+// Deploy validates and registers a process definition (and persists
+// the deployment).
+func (e *Engine) Deploy(p *model.Process) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cp := p.Clone()
+	cp.Index()
+	e.mu.Lock()
+	e.definitions[cp.ID] = cp
+	e.mu.Unlock()
+	e.audit(&history.Event{Type: history.ProcessDeployed, Time: e.clock.Now(), ProcessID: cp.ID})
+	return e.persistDeploy(cp)
+}
+
+// Definition returns a deployed definition (shared; do not mutate).
+func (e *Engine) Definition(id string) (*model.Process, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.definitions[id]
+	return p, ok
+}
+
+// Definitions returns the IDs of all deployed definitions, sorted.
+func (e *Engine) Definitions() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.definitions))
+	for id := range e.definitions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tasks exposes the worklist service.
+func (e *Engine) Tasks() *task.Service { return e.tasks }
+
+// Now returns the engine clock's current time.
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// StartInstance creates and advances a new instance of a deployed
+// process with the given initial variables (Go values are converted to
+// expression values).
+func (e *Engine) StartInstance(processID string, vars map[string]any) (*InstanceView, error) {
+	e.mu.RLock()
+	def, ok := e.definitions[processID]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProcess, processID)
+	}
+	converted := make(map[string]expr.Value, len(vars))
+	for k, v := range vars {
+		ev, err := expr.FromGo(v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: variable %q: %w", k, err)
+		}
+		converted[k] = ev
+	}
+	id := fmt.Sprintf("%s-%d", processID, e.idSeq.Add(1))
+	inst := newInstance(id, def, converted)
+	e.mu.Lock()
+	e.instances[id] = inst
+	e.mu.Unlock()
+
+	e.audit(&history.Event{Type: history.InstanceStarted, Time: e.clock.Now(),
+		ProcessID: processID, InstanceID: id})
+
+	inst.mu.Lock()
+	starts := def.StartEvents()
+	toks := make([]*Token, 0, len(starts))
+	for _, s := range starts {
+		toks = append(toks, inst.newToken(e, s.ID))
+	}
+	for _, tok := range toks {
+		if _, live := inst.Tokens[tok.ID]; !live {
+			continue
+		}
+		e.advance(inst, tok)
+	}
+	e.finishChecks(inst)
+	v := e.viewSnapshot(inst)
+	e.releaseStep(inst)
+	return v, nil
+}
+
+// Instance returns a point-in-time view of an instance.
+func (e *Engine) Instance(id string) (*InstanceView, error) {
+	e.mu.RLock()
+	inst, ok := e.instances[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return e.viewSnapshot(inst), nil
+}
+
+// Instances returns the IDs of all instances, sorted.
+func (e *Engine) Instances() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CancelInstance cancels an active instance: all tokens are dropped,
+// open work items cancelled, timers disarmed, and subscriptions
+// removed.
+func (e *Engine) CancelInstance(id, reason string) error {
+	e.mu.RLock()
+	inst, ok := e.instances[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.mu.Lock()
+	if inst.Status != StatusActive {
+		inst.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotActive, id, inst.Status)
+	}
+	e.cancelAllTokens(inst, reason)
+	inst.Status = StatusCancelled
+	e.audit(&history.Event{Type: history.InstanceCancelled, Time: e.clock.Now(),
+		ProcessID: inst.ProcessID, InstanceID: inst.ID, Data: map[string]any{"reason": reason}})
+	e.finishStep(inst)
+	return nil
+}
+
+// Variables returns a copy of the instance's case data.
+func (e *Engine) Variables(id string) (map[string]expr.Value, error) {
+	e.mu.RLock()
+	inst, ok := e.instances[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	out := make(map[string]expr.Value, len(inst.Vars))
+	for k, v := range inst.Vars {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// SetVariable updates one case variable on an active instance.
+func (e *Engine) SetVariable(id, name string, value any) error {
+	ev, err := expr.FromGo(value)
+	if err != nil {
+		return err
+	}
+	e.mu.RLock()
+	inst, ok := e.instances[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.mu.Lock()
+	inst.Vars[name] = ev
+	e.audit(&history.Event{Type: history.VariableSet, Time: e.clock.Now(),
+		ProcessID: inst.ProcessID, InstanceID: inst.ID, Data: map[string]any{"name": name}})
+	e.finishStep(inst)
+	return nil
+}
+
+// audit forwards an event to the history store when configured.
+func (e *Engine) audit(ev *history.Event) {
+	if e.hist != nil {
+		// Audit failures must not break execution; the history journal
+		// may be best-effort (e.g. full disk) while the state journal
+		// is authoritative.
+		_ = e.hist.Append(ev)
+	}
+}
+
+// onTaskTransition is the worklist listener resuming instances when
+// their work items close.
+func (e *Engine) onTaskTransition(it *task.Item, from, to task.State) {
+	if e.closing.Load() {
+		return
+	}
+	var evType history.EventType
+	switch to {
+	case task.Created:
+		evType = history.TaskCreated
+	case task.Offered:
+		evType = history.TaskOffered
+	case task.Allocated:
+		evType = history.TaskAllocated
+	case task.Started:
+		evType = history.TaskStarted
+	case task.Completed:
+		evType = history.TaskCompleted
+	case task.Failed:
+		evType = history.TaskFailed
+	case task.Skipped:
+		evType = history.TaskSkipped
+	case task.Cancelled:
+		evType = ""
+	}
+	if evType != "" && !(from == task.Created && to == task.Created && evType != history.TaskCreated) {
+		e.audit(&history.Event{Type: evType, Time: e.clock.Now(),
+			ProcessID: it.ProcessID, InstanceID: it.InstanceID,
+			ElementID: it.ElementID, TaskID: it.ID, Actor: it.Assignee})
+	}
+	switch to {
+	case task.Completed:
+		e.resumeWorkItem(it, true)
+	case task.Failed, task.Skipped:
+		e.resumeWorkItem(it, to == task.Skipped)
+	}
+}

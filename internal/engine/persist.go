@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bpms/internal/expr"
+	"bpms/internal/model"
+	"bpms/internal/task"
+)
+
+// Persistence model: each journal record carries either a deployment
+// or the complete serialized state of one instance (last write wins on
+// replay). A snapshot stores the whole engine image so recovery can
+// skip the journal prefix (compaction via Journal.DropBefore).
+
+type record struct {
+	Kind    string          `json:"kind"` // "deploy" | "instance"
+	Process *model.Process  `json:"process,omitempty"`
+	State   json.RawMessage `json:"state,omitempty"`
+}
+
+// instState is the serialized form of an Instance.
+type instState struct {
+	ID        string                         `json:"id"`
+	ProcessID string                         `json:"processId"`
+	Status    Status                         `json:"status"`
+	Vars      map[string]expr.Value          `json:"vars"`
+	Tokens    []*Token                       `json:"tokens,omitempty"`
+	Joins     map[string]map[string][]uint64 `json:"joins,omitempty"`
+	StartedAt time.Time                      `json:"startedAt"`
+	EndedAt   time.Time                      `json:"endedAt,omitempty"`
+}
+
+type snapshotImage struct {
+	Definitions []*model.Process  `json:"definitions"`
+	Instances   []json.RawMessage `json:"instances"`
+}
+
+func (e *Engine) encodeInstance(inst *Instance) ([]byte, error) {
+	st := instState{
+		ID:        inst.ID,
+		ProcessID: inst.ProcessID,
+		Status:    inst.Status,
+		Vars:      inst.Vars,
+		Joins:     inst.Joins,
+		StartedAt: inst.StartedAt,
+		EndedAt:   inst.EndedAt,
+	}
+	ids := make([]uint64, 0, len(inst.Tokens))
+	for id := range inst.Tokens {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		st.Tokens = append(st.Tokens, inst.Tokens[id])
+	}
+	return json.Marshal(st)
+}
+
+// persistInstance appends the instance's current state to the journal.
+// Called under the instance lock.
+func (e *Engine) persistInstance(inst *Instance) {
+	data, err := e.encodeInstance(inst)
+	if err != nil {
+		return // serialization failure must not kill execution
+	}
+	rec, err := json.Marshal(record{Kind: "instance", State: data})
+	if err != nil {
+		return
+	}
+	if _, err := e.journal.Append(rec); err != nil {
+		return
+	}
+	e.maybeSnapshot()
+}
+
+func (e *Engine) persistDeploy(p *model.Process) error {
+	rec, err := json.Marshal(record{Kind: "deploy", Process: p})
+	if err != nil {
+		return err
+	}
+	if _, err := e.journal.Append(rec); err != nil {
+		return err
+	}
+	e.maybeSnapshot()
+	return nil
+}
+
+// maybeSnapshot triggers a snapshot after every SnapshotEvery appends.
+// The snapshot itself runs asynchronously: persistInstance calls this
+// while holding an instance lock, and Snapshot must be free to lock
+// every instance.
+func (e *Engine) maybeSnapshot() {
+	if e.snapshots == nil || e.snapshotEvery <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.appendsSince++
+	due := e.appendsSince >= e.snapshotEvery
+	if due {
+		e.appendsSince = 0
+	}
+	e.mu.Unlock()
+	if due && e.snapshotting.CompareAndSwap(false, true) {
+		go func() {
+			defer e.snapshotting.Store(false)
+			_ = e.Snapshot()
+		}()
+	}
+}
+
+// Snapshot writes a full engine image covering the journal's current
+// last index, then drops the covered journal prefix. Instances being
+// mutated concurrently are skipped (they persist themselves anyway).
+func (e *Engine) Snapshot() error {
+	if e.snapshots == nil {
+		return fmt.Errorf("engine: no snapshot store configured")
+	}
+	img := snapshotImage{}
+	e.mu.RLock()
+	defIDs := make([]string, 0, len(e.definitions))
+	for id := range e.definitions {
+		defIDs = append(defIDs, id)
+	}
+	sort.Strings(defIDs)
+	for _, id := range defIDs {
+		img.Definitions = append(img.Definitions, e.definitions[id])
+	}
+	instIDs := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		instIDs = append(instIDs, id)
+	}
+	sort.Strings(instIDs)
+	insts := make([]*Instance, 0, len(instIDs))
+	for _, id := range instIDs {
+		insts = append(insts, e.instances[id])
+	}
+	e.mu.RUnlock()
+
+	index := e.journal.LastIndex()
+	for _, inst := range insts {
+		inst.mu.Lock()
+		data, err := e.encodeInstance(inst)
+		inst.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		img.Instances = append(img.Instances, data)
+	}
+	data, err := json.Marshal(img)
+	if err != nil {
+		return err
+	}
+	if err := e.snapshots.Write(index, data); err != nil {
+		return err
+	}
+	return e.journal.DropBefore(index + 1)
+}
+
+// recover rebuilds engine state from the latest snapshot (when
+// present) plus the journal suffix, then re-arms all volatile wait
+// machinery.
+func (e *Engine) recover() error {
+	states := map[string]*instState{}
+	var fromIndex uint64 = 1
+
+	if e.snapshots != nil {
+		idx, data, ok, err := e.snapshots.Latest()
+		if err != nil {
+			return fmt.Errorf("engine: read snapshot: %w", err)
+		}
+		if ok {
+			var img snapshotImage
+			if err := json.Unmarshal(data, &img); err != nil {
+				return fmt.Errorf("engine: decode snapshot: %w", err)
+			}
+			for _, def := range img.Definitions {
+				def.Index()
+				e.definitions[def.ID] = def
+			}
+			for _, raw := range img.Instances {
+				var st instState
+				if err := json.Unmarshal(raw, &st); err != nil {
+					return fmt.Errorf("engine: decode snapshot instance: %w", err)
+				}
+				states[st.ID] = &st
+			}
+			fromIndex = idx + 1
+		}
+	}
+
+	err := e.journal.Replay(fromIndex, func(_ uint64, payload []byte) error {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("engine: decode journal record: %w", err)
+		}
+		switch rec.Kind {
+		case "deploy":
+			rec.Process.Index()
+			e.definitions[rec.Process.ID] = rec.Process
+		case "instance":
+			var st instState
+			if err := json.Unmarshal(rec.State, &st); err != nil {
+				return fmt.Errorf("engine: decode instance state: %w", err)
+			}
+			states[st.ID] = &st
+		default:
+			return fmt.Errorf("engine: unknown journal record kind %q", rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var maxInst, maxTok uint64
+	ids := make([]string, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := states[id]
+		def := e.definitions[st.ProcessID]
+		if def == nil {
+			return fmt.Errorf("engine: instance %s references unknown process %q", id, st.ProcessID)
+		}
+		inst := newInstance(st.ID, def, st.Vars)
+		inst.Status = st.Status
+		inst.StartedAt = st.StartedAt
+		inst.EndedAt = st.EndedAt
+		if st.Joins != nil {
+			inst.Joins = st.Joins
+		}
+		for _, tok := range st.Tokens {
+			inst.Tokens[tok.ID] = tok
+			if tok.ID > maxTok {
+				maxTok = tok.ID
+			}
+		}
+		e.instances[st.ID] = inst
+		if i := strings.LastIndex(id, "-"); i >= 0 {
+			if n, err := strconv.ParseUint(id[i+1:], 10, 64); err == nil && n > maxInst {
+				maxInst = n
+			}
+		}
+	}
+	e.idSeq.Store(maxInst)
+	e.tokSeq.Store(maxTok)
+
+	// Re-arm volatile machinery for active instances.
+	for _, id := range ids {
+		inst := e.instances[id]
+		if inst.Status != StatusActive {
+			continue
+		}
+		inst.mu.Lock()
+		e.rearmInstance(inst)
+		inst.mu.Unlock()
+	}
+	return nil
+}
+
+// rearmInstance restores timers, message subscriptions, and work items
+// for every parked token of a recovered instance.
+func (e *Engine) rearmInstance(inst *Instance) {
+	tokIDs := make([]uint64, 0, len(inst.Tokens))
+	for id := range inst.Tokens {
+		tokIDs = append(tokIDs, id)
+	}
+	sort.Slice(tokIDs, func(a, b int) bool { return tokIDs[a] < tokIDs[b] })
+	for _, id := range tokIDs {
+		tok := inst.Tokens[id]
+		switch tok.Wait {
+		case WaitTimer:
+			instID, tokID := inst.ID, tok.ID
+			tok.timerID = e.timers.Schedule(tok.TimerAt, func() {
+				e.fireTokenTimer(instID, tokID)
+			})
+		case WaitMessage:
+			e.subs.add(subscription{
+				Name: tok.Message, Key: tok.CorrKey, InstanceID: inst.ID,
+				TokenID: tok.ID, Elem: tok.Elem, Kind: subMessage,
+			})
+		case WaitEventGate:
+			for i := range tok.Race {
+				arm := &tok.Race[i]
+				if arm.Message != "" {
+					e.subs.add(subscription{
+						Name: arm.Message, Key: arm.CorrKey, InstanceID: inst.ID,
+						TokenID: tok.ID, Elem: arm.Elem, Kind: subRace,
+					})
+				} else {
+					instID, tokID, armElem := inst.ID, tok.ID, arm.Elem
+					arm.timerID = e.timers.Schedule(arm.TimerAt, func() {
+						e.fireRace(instID, tokID, armElem, nil)
+					})
+				}
+			}
+		case WaitUserTask:
+			// The worklist is in-memory: re-issue the work item.
+			e.reissueWorkItem(inst, tok, -1)
+		case WaitMulti:
+			open := append([]string(nil), tok.MI.OpenItems...)
+			tok.MI.OpenItems = nil
+			oldIdx := tok.MI.ItemIdx
+			tok.MI.ItemIdx = map[string]int{}
+			for _, old := range open {
+				e.reissueWorkItem(inst, tok, oldIdx[old])
+			}
+		}
+		// Boundary arms (independent of the main wait kind).
+		for i := range tok.Boundaries {
+			arm := &tok.Boundaries[i]
+			if arm.Fired {
+				continue
+			}
+			switch {
+			case arm.Message != "":
+				e.subs.add(subscription{
+					Name: arm.Message, Key: arm.CorrKey, InstanceID: inst.ID,
+					TokenID: tok.ID, Elem: arm.Elem, Kind: subBoundary,
+				})
+			case !arm.TimerAt.IsZero():
+				instID, tokID, armElem := inst.ID, tok.ID, arm.Elem
+				arm.timerID = e.timers.Schedule(arm.TimerAt, func() {
+					e.fireBoundary(instID, tokID, armElem, nil)
+				})
+			}
+		}
+	}
+}
+
+// reissueWorkItem recreates the work item behind a recovered user-task
+// token. idx >= 0 recreates a multi-instance item for that collection
+// index.
+func (e *Engine) reissueWorkItem(inst *Instance, tok *Token, idx int) {
+	proc, el, err := e.resolve(inst, tok.Elem)
+	if err != nil {
+		return
+	}
+	_ = proc
+	data := map[string]any{}
+	for k, v := range inst.Vars {
+		data[k] = v.ToGo()
+	}
+	name := el.Name
+	if name == "" {
+		name = el.ID
+	}
+	if idx >= 0 && tok.MI != nil {
+		data[tok.MI.ElemVar] = tok.MI.Items[idx].ToGo()
+		data["loopCounter"] = int64(idx)
+		name = fmt.Sprintf("%s [%d/%d]", name, idx+1, tok.MI.Total)
+	}
+	var due time.Duration
+	if el.DueIn != "" {
+		due, _ = time.ParseDuration(el.DueIn)
+	}
+	it, err := e.tasks.Create(task.Spec{
+		ProcessID:  inst.ProcessID,
+		InstanceID: inst.ID,
+		ElementID:  tok.Elem,
+		Name:       name,
+		Role:       el.Role,
+		Assignee:   el.Assignee,
+		Capability: el.Capability,
+		Priority:   el.Priority,
+		Due:        due,
+		Data:       data,
+	})
+	if err != nil {
+		return
+	}
+	if idx >= 0 && tok.MI != nil {
+		tok.MI.OpenItems = append(tok.MI.OpenItems, it.ID)
+		tok.MI.ItemIdx[it.ID] = idx
+	} else {
+		tok.WorkItemID = it.ID
+	}
+}

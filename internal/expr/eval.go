@@ -1,0 +1,463 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Env supplies variable bindings during evaluation.
+type Env interface {
+	// Lookup returns the value bound to name; ok is false when the
+	// variable is unbound (evaluation then yields an EvalError).
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is an Env backed by a Go map.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// EmptyEnv is an Env with no bindings.
+var EmptyEnv Env = MapEnv(nil)
+
+// EvalError describes a runtime evaluation failure (unbound variable,
+// type mismatch, division by zero, ...).
+type EvalError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: eval error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func evalErrf(pos int, format string, args ...any) error {
+	return &EvalError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Program is a compiled, reusable expression. A Program is immutable
+// and safe for concurrent evaluation.
+type Program struct {
+	src   string
+	root  Node
+	funcs *FuncSet
+}
+
+// Compile parses src into a Program bound to the default function set.
+func Compile(src string) (*Program, error) {
+	return CompileWith(src, DefaultFuncs)
+}
+
+// CompileWith parses src into a Program bound to the given function set.
+func CompileWith(src string, funcs *FuncSet) (*Program, error) {
+	root, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{src: src, root: root, funcs: funcs}, nil
+}
+
+// MustCompile is Compile that panics on error, for static expressions.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source returns the original expression text.
+func (p *Program) Source() string { return p.src }
+
+// Vars returns the sorted set of free variable names referenced by the
+// program (function names excluded).
+func (p *Program) Vars() []string {
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *identNode:
+			seen[t.name] = true
+		case *unaryNode:
+			walk(t.x)
+		case *binaryNode:
+			walk(t.x)
+			walk(t.y)
+		case *condNode:
+			walk(t.cond)
+			walk(t.then)
+			walk(t.else_)
+		case *callNode:
+			for _, a := range t.args {
+				walk(a)
+			}
+		case *indexNode:
+			walk(t.x)
+			walk(t.i)
+		case *memberNode:
+			walk(t.x)
+		case *listNode:
+			for _, e := range t.elems {
+				walk(e)
+			}
+		case *mapNode:
+			for _, v := range t.vals {
+				walk(v)
+			}
+		}
+	}
+	walk(p.root)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Eval evaluates the program against env.
+func (p *Program) Eval(env Env) (Value, error) {
+	return p.eval(p.root, env)
+}
+
+// EvalBool evaluates the program and coerces the result via Truthy.
+// It is the entry point used for sequence-flow conditions.
+func (p *Program) EvalBool(env Env) (bool, error) {
+	v, err := p.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// Eval is a convenience that compiles and evaluates src in one call.
+func Eval(src string, env Env) (Value, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return Null, err
+	}
+	return p.Eval(env)
+}
+
+func (p *Program) eval(n Node, env Env) (Value, error) {
+	switch t := n.(type) {
+	case *litNode:
+		return t.v, nil
+	case *identNode:
+		v, ok := env.Lookup(t.name)
+		if !ok {
+			return Null, evalErrf(t.pos, "unbound variable %q", t.name)
+		}
+		return v, nil
+	case *unaryNode:
+		return p.evalUnary(t, env)
+	case *binaryNode:
+		return p.evalBinary(t, env)
+	case *condNode:
+		c, err := p.eval(t.cond, env)
+		if err != nil {
+			return Null, err
+		}
+		if c.Truthy() {
+			return p.eval(t.then, env)
+		}
+		return p.eval(t.else_, env)
+	case *callNode:
+		return p.evalCall(t, env)
+	case *indexNode:
+		return p.evalIndex(t, env)
+	case *memberNode:
+		x, err := p.eval(t.x, env)
+		if err != nil {
+			return Null, err
+		}
+		m, ok := x.AsMap()
+		if !ok {
+			return Null, evalErrf(t.pos, "cannot access member %q of %s", t.name, x.Kind())
+		}
+		v, ok := m[t.name]
+		if !ok {
+			return Null, nil // absent member is null, like most BPM expression languages
+		}
+		return v, nil
+	case *listNode:
+		elems := make([]Value, len(t.elems))
+		for i, e := range t.elems {
+			v, err := p.eval(e, env)
+			if err != nil {
+				return Null, err
+			}
+			elems[i] = v
+		}
+		return List(elems...), nil
+	case *mapNode:
+		m := make(map[string]Value, len(t.keys))
+		for i, k := range t.keys {
+			v, err := p.eval(t.vals[i], env)
+			if err != nil {
+				return Null, err
+			}
+			m[k] = v
+		}
+		return Map(m), nil
+	}
+	return Null, evalErrf(n.Pos(), "internal: unknown node %T", n)
+}
+
+func (p *Program) evalUnary(n *unaryNode, env Env) (Value, error) {
+	x, err := p.eval(n.x, env)
+	if err != nil {
+		return Null, err
+	}
+	switch n.op {
+	case tokMinus:
+		switch x.Kind() {
+		case KindInt:
+			i, _ := x.AsInt()
+			return Int(-i), nil
+		case KindFloat:
+			f, _ := x.AsFloat()
+			return Float(-f), nil
+		}
+		return Null, evalErrf(n.pos, "cannot negate %s", x.Kind())
+	case tokNot:
+		return Bool(!x.Truthy()), nil
+	}
+	return Null, evalErrf(n.pos, "internal: unknown unary op")
+}
+
+func (p *Program) evalBinary(n *binaryNode, env Env) (Value, error) {
+	// Short-circuit logical operators evaluate the left side first and
+	// may skip the right side entirely.
+	if n.op == tokAnd || n.op == tokOr {
+		x, err := p.eval(n.x, env)
+		if err != nil {
+			return Null, err
+		}
+		if n.op == tokAnd && !x.Truthy() {
+			return False, nil
+		}
+		if n.op == tokOr && x.Truthy() {
+			return True, nil
+		}
+		y, err := p.eval(n.y, env)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(y.Truthy()), nil
+	}
+	x, err := p.eval(n.x, env)
+	if err != nil {
+		return Null, err
+	}
+	y, err := p.eval(n.y, env)
+	if err != nil {
+		return Null, err
+	}
+	switch n.op {
+	case tokEq:
+		return Bool(x.Equal(y)), nil
+	case tokNeq:
+		return Bool(!x.Equal(y)), nil
+	case tokLt, tokLte, tokGt, tokGte:
+		c, err := x.Compare(y)
+		if err != nil {
+			return Null, evalErrf(n.pos, "%v", err)
+		}
+		switch n.op {
+		case tokLt:
+			return Bool(c < 0), nil
+		case tokLte:
+			return Bool(c <= 0), nil
+		case tokGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case tokIn:
+		return evalIn(n.pos, x, y)
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent:
+		return evalArith(n.pos, n.op, x, y)
+	}
+	return Null, evalErrf(n.pos, "internal: unknown binary op %s", n.op)
+}
+
+func evalIn(pos int, x, y Value) (Value, error) {
+	switch y.Kind() {
+	case KindList:
+		l, _ := y.AsList()
+		for _, e := range l {
+			if x.Equal(e) {
+				return True, nil
+			}
+		}
+		return False, nil
+	case KindMap:
+		m, _ := y.AsMap()
+		s, ok := x.AsString()
+		if !ok {
+			return Null, evalErrf(pos, "map membership requires a string key, got %s", x.Kind())
+		}
+		_, hit := m[s]
+		return Bool(hit), nil
+	case KindString:
+		hay, _ := y.AsString()
+		needle, ok := x.AsString()
+		if !ok {
+			return Null, evalErrf(pos, "string membership requires a string, got %s", x.Kind())
+		}
+		return Bool(strings.Contains(hay, needle)), nil
+	}
+	return Null, evalErrf(pos, "'in' requires a list, map, or string on the right, got %s", y.Kind())
+}
+
+func evalArith(pos int, op tokenKind, x, y Value) (Value, error) {
+	// String concatenation with +.
+	if op == tokPlus && x.Kind() == KindString && y.Kind() == KindString {
+		xs, _ := x.AsString()
+		ys, _ := y.AsString()
+		return String(xs + ys), nil
+	}
+	// List concatenation with +.
+	if op == tokPlus && x.Kind() == KindList && y.Kind() == KindList {
+		xl, _ := x.AsList()
+		yl, _ := y.AsList()
+		out := make([]Value, 0, len(xl)+len(yl))
+		out = append(out, xl...)
+		out = append(out, yl...)
+		return List(out...), nil
+	}
+	// Integer arithmetic stays integral.
+	if x.Kind() == KindInt && y.Kind() == KindInt {
+		xi, _ := x.AsInt()
+		yi, _ := y.AsInt()
+		switch op {
+		case tokPlus:
+			return Int(xi + yi), nil
+		case tokMinus:
+			return Int(xi - yi), nil
+		case tokStar:
+			return Int(xi * yi), nil
+		case tokSlash:
+			if yi == 0 {
+				return Null, evalErrf(pos, "division by zero")
+			}
+			return Int(xi / yi), nil
+		case tokPercent:
+			if yi == 0 {
+				return Null, evalErrf(pos, "modulo by zero")
+			}
+			return Int(xi % yi), nil
+		}
+	}
+	xf, xok := x.AsFloat()
+	yf, yok := y.AsFloat()
+	if !xok || !yok {
+		return Null, evalErrf(pos, "arithmetic requires numbers, got %s and %s", x.Kind(), y.Kind())
+	}
+	switch op {
+	case tokPlus:
+		return Float(xf + yf), nil
+	case tokMinus:
+		return Float(xf - yf), nil
+	case tokStar:
+		return Float(xf * yf), nil
+	case tokSlash:
+		if yf == 0 {
+			return Null, evalErrf(pos, "division by zero")
+		}
+		return Float(xf / yf), nil
+	case tokPercent:
+		if yf == 0 {
+			return Null, evalErrf(pos, "modulo by zero")
+		}
+		return Float(math.Mod(xf, yf)), nil
+	}
+	return Null, evalErrf(pos, "internal: unknown arithmetic op")
+}
+
+func (p *Program) evalCall(n *callNode, env Env) (Value, error) {
+	fn, ok := p.funcs.lookup(n.name)
+	if !ok {
+		return Null, evalErrf(n.pos, "unknown function %q", n.name)
+	}
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := p.eval(a, env)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	v, err := fn(args)
+	if err != nil {
+		return Null, evalErrf(n.pos, "%s: %v", n.name, err)
+	}
+	return v, nil
+}
+
+func (p *Program) evalIndex(n *indexNode, env Env) (Value, error) {
+	x, err := p.eval(n.x, env)
+	if err != nil {
+		return Null, err
+	}
+	i, err := p.eval(n.i, env)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Kind() {
+	case KindList:
+		l, _ := x.AsList()
+		idx, ok := i.AsInt()
+		if !ok {
+			return Null, evalErrf(n.pos, "list index must be an int, got %s", i.Kind())
+		}
+		if idx < 0 {
+			idx += int64(len(l))
+		}
+		if idx < 0 || idx >= int64(len(l)) {
+			return Null, evalErrf(n.pos, "list index %d out of range [0,%d)", idx, len(l))
+		}
+		return l[idx], nil
+	case KindMap:
+		m, _ := x.AsMap()
+		k, ok := i.AsString()
+		if !ok {
+			return Null, evalErrf(n.pos, "map key must be a string, got %s", i.Kind())
+		}
+		v, ok := m[k]
+		if !ok {
+			return Null, nil
+		}
+		return v, nil
+	case KindString:
+		s, _ := x.AsString()
+		idx, ok := i.AsInt()
+		if !ok {
+			return Null, evalErrf(n.pos, "string index must be an int, got %s", i.Kind())
+		}
+		r := []rune(s)
+		if idx < 0 {
+			idx += int64(len(r))
+		}
+		if idx < 0 || idx >= int64(len(r)) {
+			return Null, evalErrf(n.pos, "string index %d out of range [0,%d)", idx, len(r))
+		}
+		return String(string(r[idx])), nil
+	}
+	return Null, evalErrf(n.pos, "cannot index %s", x.Kind())
+}

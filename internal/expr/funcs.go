@@ -1,0 +1,437 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Func is a built-in function callable from expressions. Functions must
+// be pure: same arguments, same result, no side effects.
+type Func func(args []Value) (Value, error)
+
+// FuncSet is a named collection of functions. A FuncSet is immutable
+// after construction and safe for concurrent use by Programs.
+type FuncSet struct {
+	fns map[string]Func
+}
+
+// NewFuncSet builds a FuncSet from a name→Func map (copied).
+func NewFuncSet(fns map[string]Func) *FuncSet {
+	cp := make(map[string]Func, len(fns))
+	for k, v := range fns {
+		cp[k] = v
+	}
+	return &FuncSet{fns: cp}
+}
+
+// Extend returns a new FuncSet with the extra functions added
+// (overriding same-named entries).
+func (s *FuncSet) Extend(extra map[string]Func) *FuncSet {
+	cp := make(map[string]Func, len(s.fns)+len(extra))
+	for k, v := range s.fns {
+		cp[k] = v
+	}
+	for k, v := range extra {
+		cp[k] = v
+	}
+	return &FuncSet{fns: cp}
+}
+
+// Names returns the sorted function names in the set.
+func (s *FuncSet) Names() []string {
+	out := make([]string, 0, len(s.fns))
+	for k := range s.fns {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func (s *FuncSet) lookup(name string) (Func, bool) {
+	if s == nil {
+		return nil, false
+	}
+	f, ok := s.fns[name]
+	return f, ok
+}
+
+func arity(args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d argument(s), got %d", n, len(args))
+	}
+	return nil
+}
+
+func atLeast(args []Value, n int) error {
+	if len(args) < n {
+		return fmt.Errorf("want at least %d argument(s), got %d", n, len(args))
+	}
+	return nil
+}
+
+func wantString(v Value) (string, error) {
+	s, ok := v.AsString()
+	if !ok {
+		return "", fmt.Errorf("want string, got %s", v.Kind())
+	}
+	return s, nil
+}
+
+func wantNumber(v Value) (float64, error) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, fmt.Errorf("want number, got %s", v.Kind())
+	}
+	return f, nil
+}
+
+// DefaultFuncs is the standard library available to all BPMS
+// expressions: size/emptiness, string manipulation, numeric helpers,
+// aggregation over lists, and type conversion.
+var DefaultFuncs = NewFuncSet(map[string]Func{
+	"len": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		switch args[0].Kind() {
+		case KindString:
+			s, _ := args[0].AsString()
+			return Int(int64(len([]rune(s)))), nil
+		case KindList:
+			l, _ := args[0].AsList()
+			return Int(int64(len(l))), nil
+		case KindMap:
+			m, _ := args[0].AsMap()
+			return Int(int64(len(m))), nil
+		}
+		return Null, fmt.Errorf("len of %s", args[0].Kind())
+	},
+	"empty": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		return Bool(!args[0].Truthy()), nil
+	},
+	"defined": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		return Bool(!args[0].IsNull()), nil
+	},
+	"contains": func(args []Value) (Value, error) {
+		if err := arity(args, 2); err != nil {
+			return Null, err
+		}
+		return evalIn(0, args[1], args[0])
+	},
+	"startsWith": func(args []Value) (Value, error) {
+		if err := arity(args, 2); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		p, err := wantString(args[1])
+		if err != nil {
+			return Null, err
+		}
+		return Bool(strings.HasPrefix(s, p)), nil
+	},
+	"endsWith": func(args []Value) (Value, error) {
+		if err := arity(args, 2); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		p, err := wantString(args[1])
+		if err != nil {
+			return Null, err
+		}
+		return Bool(strings.HasSuffix(s, p)), nil
+	},
+	"upper": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return String(strings.ToUpper(s)), nil
+	},
+	"lower": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return String(strings.ToLower(s)), nil
+	},
+	"trim": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return String(strings.TrimSpace(s)), nil
+	},
+	"split": func(args []Value) (Value, error) {
+		if err := arity(args, 2); err != nil {
+			return Null, err
+		}
+		s, err := wantString(args[0])
+		if err != nil {
+			return Null, err
+		}
+		sep, err := wantString(args[1])
+		if err != nil {
+			return Null, err
+		}
+		parts := strings.Split(s, sep)
+		out := make([]Value, len(parts))
+		for i, p := range parts {
+			out[i] = String(p)
+		}
+		return List(out...), nil
+	},
+	"join": func(args []Value) (Value, error) {
+		if err := arity(args, 2); err != nil {
+			return Null, err
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return Null, fmt.Errorf("want list, got %s", args[0].Kind())
+		}
+		sep, err := wantString(args[1])
+		if err != nil {
+			return Null, err
+		}
+		parts := make([]string, len(l))
+		for i, e := range l {
+			s, ok := e.AsString()
+			if !ok {
+				s = e.String()
+			}
+			parts[i] = s
+		}
+		return String(strings.Join(parts, sep)), nil
+	},
+	"abs": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		if i, ok := args[0].AsInt(); ok {
+			if i < 0 {
+				return Int(-i), nil
+			}
+			return Int(i), nil
+		}
+		f, err := wantNumber(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return Float(math.Abs(f)), nil
+	},
+	"min": func(args []Value) (Value, error) {
+		return fold(args, func(a, b Value) (Value, error) {
+			c, err := a.Compare(b)
+			if err != nil {
+				return Null, err
+			}
+			if c <= 0 {
+				return a, nil
+			}
+			return b, nil
+		})
+	},
+	"max": func(args []Value) (Value, error) {
+		return fold(args, func(a, b Value) (Value, error) {
+			c, err := a.Compare(b)
+			if err != nil {
+				return Null, err
+			}
+			if c >= 0 {
+				return a, nil
+			}
+			return b, nil
+		})
+	},
+	"sum": func(args []Value) (Value, error) {
+		vals, err := spreadNumbers(args)
+		if err != nil {
+			return Null, err
+		}
+		allInt := true
+		var fi float64
+		var ii int64
+		for _, v := range vals {
+			if i, ok := v.AsInt(); ok {
+				ii += i
+			} else {
+				allInt = false
+			}
+			f, _ := v.AsFloat()
+			fi += f
+		}
+		if allInt {
+			return Int(ii), nil
+		}
+		return Float(fi), nil
+	},
+	"avg": func(args []Value) (Value, error) {
+		vals, err := spreadNumbers(args)
+		if err != nil {
+			return Null, err
+		}
+		if len(vals) == 0 {
+			return Null, errors.New("avg of empty input")
+		}
+		var total float64
+		for _, v := range vals {
+			f, _ := v.AsFloat()
+			total += f
+		}
+		return Float(total / float64(len(vals))), nil
+	},
+	"floor": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		f, err := wantNumber(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return Int(int64(math.Floor(f))), nil
+	},
+	"ceil": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		f, err := wantNumber(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return Int(int64(math.Ceil(f))), nil
+	},
+	"round": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		f, err := wantNumber(args[0])
+		if err != nil {
+			return Null, err
+		}
+		return Int(int64(math.Round(f))), nil
+	},
+	"int": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		switch args[0].Kind() {
+		case KindInt:
+			return args[0], nil
+		case KindFloat:
+			f, _ := args[0].AsFloat()
+			return Int(int64(f)), nil
+		case KindBool:
+			b, _ := args[0].AsBool()
+			if b {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		case KindString:
+			s, _ := args[0].AsString()
+			i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot parse %q as int", s)
+			}
+			return Int(i), nil
+		}
+		return Null, fmt.Errorf("cannot convert %s to int", args[0].Kind())
+	},
+	"float": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		if f, ok := args[0].AsFloat(); ok {
+			return Float(f), nil
+		}
+		if s, ok := args[0].AsString(); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return Null, fmt.Errorf("cannot parse %q as float", s)
+			}
+			return Float(f), nil
+		}
+		return Null, fmt.Errorf("cannot convert %s to float", args[0].Kind())
+	},
+	"str": func(args []Value) (Value, error) {
+		if err := arity(args, 1); err != nil {
+			return Null, err
+		}
+		if s, ok := args[0].AsString(); ok {
+			return String(s), nil
+		}
+		return String(args[0].String()), nil
+	},
+	"coalesce": func(args []Value) (Value, error) {
+		if err := atLeast(args, 1); err != nil {
+			return Null, err
+		}
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	},
+})
+
+// fold reduces the (possibly list-spread) arguments pairwise.
+func fold(args []Value, f func(a, b Value) (Value, error)) (Value, error) {
+	vals := args
+	if len(args) == 1 {
+		if l, ok := args[0].AsList(); ok {
+			vals = l
+		}
+	}
+	if len(vals) == 0 {
+		return Null, errors.New("empty input")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		next, err := f(acc, v)
+		if err != nil {
+			return Null, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// spreadNumbers accepts either numeric varargs or a single list of
+// numbers and returns the flattened numeric values.
+func spreadNumbers(args []Value) ([]Value, error) {
+	vals := args
+	if len(args) == 1 {
+		if l, ok := args[0].AsList(); ok {
+			vals = l
+		}
+	}
+	for _, v := range vals {
+		if _, ok := v.AsFloat(); !ok {
+			return nil, fmt.Errorf("want numbers, got %s", v.Kind())
+		}
+	}
+	return vals, nil
+}

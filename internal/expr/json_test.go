@@ -1,0 +1,118 @@
+package expr
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaggedJSONRoundTrip(t *testing.T) {
+	values := []Value{
+		Null,
+		True,
+		False,
+		Int(0),
+		Int(-42),
+		Int(1<<62 + 7), // beyond float64 precision: must survive
+		Float(2.5),
+		Float(-0.125),
+		String(""),
+		String("hello \"world\"\nwith escapes"),
+		List(),
+		List(Int(1), String("two"), List(Float(3))),
+		Map(map[string]Value{"a": Int(1), "nested": Map(map[string]Value{"b": Null})}),
+	}
+	for _, v := range values {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+		// Kinds must be preserved exactly (Int stays Int).
+		if back.Kind() != v.Kind() {
+			t.Errorf("kind changed: %v -> %v", v.Kind(), back.Kind())
+		}
+	}
+}
+
+func TestTaggedJSONIntPrecision(t *testing.T) {
+	// Plain JSON would collapse this to a float64 and lose precision.
+	big := Int(9007199254740993) // 2^53 + 1
+	data, _ := json.Marshal(big)
+	var back Value
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	i, ok := back.AsInt()
+	if !ok || i != 9007199254740993 {
+		t.Errorf("big int lost: %v", back)
+	}
+}
+
+func TestTaggedJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"t":"zzz"}`,
+		`{"t":"i","v":"not-a-number"}`,
+		`{"t":"b","v":"yes"}`,
+		`[1,2]`,
+	}
+	for _, src := range bad {
+		var v Value
+		if err := json.Unmarshal([]byte(src), &v); err == nil {
+			t.Errorf("Unmarshal(%s) should fail", src)
+		}
+	}
+}
+
+func TestTaggedJSONInStructs(t *testing.T) {
+	type box struct {
+		Vars map[string]Value `json:"vars"`
+	}
+	in := box{Vars: map[string]Value{"n": Int(5), "s": String("x")}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out box
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Vars["n"].Equal(Int(5)) || !out.Vars["s"].Equal(String("x")) {
+		t.Errorf("struct round trip: %v", out.Vars)
+	}
+}
+
+// Property: arbitrary scalar values round-trip through the tagged
+// codec with kind and content preserved.
+func TestQuickTaggedJSONRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		for _, v := range []Value{Int(i), Float(fl), String(s), Bool(b),
+			List(Int(i), String(s)), Map(map[string]Value{"k": Float(fl)})} {
+			data, err := json.Marshal(v)
+			if err != nil {
+				return false
+			}
+			var back Value
+			if err := json.Unmarshal(data, &back); err != nil {
+				return false
+			}
+			if back.Kind() != v.Kind() {
+				return false
+			}
+			// NaN never equals itself; compare via representation.
+			if !back.Equal(v) && v.String() != back.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

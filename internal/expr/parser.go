@@ -1,0 +1,366 @@
+package expr
+
+import "fmt"
+
+// Node is an AST node. Nodes are immutable after parsing; a compiled
+// Program may be evaluated concurrently from multiple goroutines.
+type Node interface {
+	// Pos returns the byte offset of the node in the source.
+	Pos() int
+	// repr renders the node back to parseable source (used by String).
+	repr() string
+}
+
+type litNode struct {
+	pos int
+	v   Value
+}
+
+type identNode struct {
+	pos  int
+	name string
+}
+
+type unaryNode struct {
+	pos int
+	op  tokenKind // tokMinus or tokNot
+	x   Node
+}
+
+type binaryNode struct {
+	pos  int
+	op   tokenKind
+	x, y Node
+}
+
+type condNode struct {
+	pos               int
+	cond, then, else_ Node
+}
+
+type callNode struct {
+	pos  int
+	name string
+	args []Node
+}
+
+type indexNode struct {
+	pos  int
+	x, i Node
+}
+
+type memberNode struct {
+	pos  int
+	x    Node
+	name string
+}
+
+type listNode struct {
+	pos   int
+	elems []Node
+}
+
+type mapNode struct {
+	pos  int
+	keys []string
+	vals []Node
+}
+
+func (n *litNode) Pos() int    { return n.pos }
+func (n *identNode) Pos() int  { return n.pos }
+func (n *unaryNode) Pos() int  { return n.pos }
+func (n *binaryNode) Pos() int { return n.pos }
+func (n *condNode) Pos() int   { return n.pos }
+func (n *callNode) Pos() int   { return n.pos }
+func (n *indexNode) Pos() int  { return n.pos }
+func (n *memberNode) Pos() int { return n.pos }
+func (n *listNode) Pos() int   { return n.pos }
+func (n *mapNode) Pos() int    { return n.pos }
+
+// Binding powers for the Pratt parser, low to high.
+const (
+	precLowest = iota
+	precCond   // ?:
+	precOr     // ||
+	precAnd    // &&
+	precEq     // == !=
+	precCmp    // < <= > >= in
+	precAdd    // + -
+	precMul    // * / %
+	precUnary  // ! - (prefix)
+	precCall   // () [] .
+)
+
+func infixPrec(k tokenKind) int {
+	switch k {
+	case tokQuestion:
+		return precCond
+	case tokOr:
+		return precOr
+	case tokAnd:
+		return precAnd
+	case tokEq, tokNeq:
+		return precEq
+	case tokLt, tokLte, tokGt, tokGte, tokIn:
+		return precCmp
+	case tokPlus, tokMinus:
+		return precAdd
+	case tokStar, tokSlash, tokPercent:
+		return precMul
+	case tokLParen, tokLBracket, tokDot:
+		return precCall
+	}
+	return precLowest
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Source: p.src, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errf(t.pos, "expected %s, found %s", k, t.kind)
+	}
+	p.advance()
+	return t, nil
+}
+
+// parse parses a complete expression and requires EOF afterwards.
+func parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	n, err := p.parseExpr(precLowest)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, p.errf(t.pos, "unexpected %s after expression", t.kind)
+	}
+	return n, nil
+}
+
+func (p *parser) parseExpr(minPrec int) (Node, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec := infixPrec(t.kind)
+		if prec <= minPrec {
+			return left, nil
+		}
+		left, err = p.parseInfix(left, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parsePrefix() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return &litNode{pos: t.pos, v: Int(t.i)}, nil
+	case tokFloat:
+		p.advance()
+		return &litNode{pos: t.pos, v: Float(t.f)}, nil
+	case tokString:
+		p.advance()
+		return &litNode{pos: t.pos, v: String(t.text)}, nil
+	case tokTrue:
+		p.advance()
+		return &litNode{pos: t.pos, v: True}, nil
+	case tokFalse:
+		p.advance()
+		return &litNode{pos: t.pos, v: False}, nil
+	case tokNull:
+		p.advance()
+		return &litNode{pos: t.pos, v: Null}, nil
+	case tokIdent:
+		p.advance()
+		return &identNode{pos: t.pos, name: t.text}, nil
+	case tokMinus:
+		p.advance()
+		x, err := p.parseExpr(precUnary)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{pos: t.pos, op: tokMinus, x: x}, nil
+	case tokNot:
+		p.advance()
+		x, err := p.parseExpr(precUnary)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{pos: t.pos, op: tokNot, x: x}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokLBracket:
+		return p.parseList()
+	case tokLBrace:
+		return p.parseMap()
+	}
+	return nil, p.errf(t.pos, "unexpected %s", t.kind)
+}
+
+func (p *parser) parseList() (Node, error) {
+	open, err := p.expect(tokLBracket)
+	if err != nil {
+		return nil, err
+	}
+	n := &listNode{pos: open.pos}
+	if p.cur().kind == tokRBracket {
+		p.advance()
+		return n, nil
+	}
+	for {
+		e, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		n.elems = append(n.elems, e)
+		switch p.cur().kind {
+		case tokComma:
+			p.advance()
+		case tokRBracket:
+			p.advance()
+			return n, nil
+		default:
+			return nil, p.errf(p.cur().pos, "expected ',' or ']' in list, found %s", p.cur().kind)
+		}
+	}
+}
+
+func (p *parser) parseMap() (Node, error) {
+	open, err := p.expect(tokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	n := &mapNode{pos: open.pos}
+	if p.cur().kind == tokRBrace {
+		p.advance()
+		return n, nil
+	}
+	for {
+		kt := p.cur()
+		var key string
+		switch kt.kind {
+		case tokString, tokIdent:
+			key = kt.text
+			p.advance()
+		default:
+			return nil, p.errf(kt.pos, "expected map key, found %s", kt.kind)
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.vals = append(n.vals, v)
+		switch p.cur().kind {
+		case tokComma:
+			p.advance()
+		case tokRBrace:
+			p.advance()
+			return n, nil
+		default:
+			return nil, p.errf(p.cur().pos, "expected ',' or '}' in map, found %s", p.cur().kind)
+		}
+	}
+}
+
+func (p *parser) parseInfix(left Node, t token) (Node, error) {
+	switch t.kind {
+	case tokQuestion:
+		p.advance()
+		then, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		// Right-associative: a ? b : c ? d : e groups as a ? b : (c ? d : e).
+		els, err := p.parseExpr(precCond - 1)
+		if err != nil {
+			return nil, err
+		}
+		return &condNode{pos: t.pos, cond: left, then: then, else_: els}, nil
+	case tokLParen:
+		ident, ok := left.(*identNode)
+		if !ok {
+			return nil, p.errf(t.pos, "only named functions can be called")
+		}
+		p.advance()
+		call := &callNode{pos: t.pos, name: ident.name}
+		if p.cur().kind == tokRParen {
+			p.advance()
+			return call, nil
+		}
+		for {
+			a, err := p.parseExpr(precLowest)
+			if err != nil {
+				return nil, err
+			}
+			call.args = append(call.args, a)
+			switch p.cur().kind {
+			case tokComma:
+				p.advance()
+			case tokRParen:
+				p.advance()
+				return call, nil
+			default:
+				return nil, p.errf(p.cur().pos, "expected ',' or ')' in call, found %s", p.cur().kind)
+			}
+		}
+	case tokLBracket:
+		p.advance()
+		idx, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return &indexNode{pos: t.pos, x: left, i: idx}, nil
+	case tokDot:
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &memberNode{pos: t.pos, x: left, name: name.text}, nil
+	}
+	// Ordinary left-associative binary operator.
+	p.advance()
+	right, err := p.parseExpr(infixPrec(t.kind))
+	if err != nil {
+		return nil, err
+	}
+	return &binaryNode{pos: t.pos, op: t.kind, x: left, y: right}, nil
+}

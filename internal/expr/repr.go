@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the parsed program back to normalized, parseable
+// source text (fully parenthesized for operators).
+func (p *Program) String() string { return p.root.repr() }
+
+var opText = map[tokenKind]string{
+	tokPlus: "+", tokMinus: "-", tokStar: "*", tokSlash: "/",
+	tokPercent: "%", tokEq: "==", tokNeq: "!=", tokLt: "<", tokLte: "<=",
+	tokGt: ">", tokGte: ">=", tokAnd: "&&", tokOr: "||", tokIn: "in",
+}
+
+func (n *litNode) repr() string   { return n.v.String() }
+func (n *identNode) repr() string { return n.name }
+
+func (n *unaryNode) repr() string {
+	if n.op == tokNot {
+		return "!(" + n.x.repr() + ")"
+	}
+	return "-(" + n.x.repr() + ")"
+}
+
+func (n *binaryNode) repr() string {
+	return "(" + n.x.repr() + " " + opText[n.op] + " " + n.y.repr() + ")"
+}
+
+func (n *condNode) repr() string {
+	return "(" + n.cond.repr() + " ? " + n.then.repr() + " : " + n.else_.repr() + ")"
+}
+
+func (n *callNode) repr() string {
+	args := make([]string, len(n.args))
+	for i, a := range n.args {
+		args[i] = a.repr()
+	}
+	return n.name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (n *indexNode) repr() string {
+	return n.x.repr() + "[" + n.i.repr() + "]"
+}
+
+func (n *memberNode) repr() string {
+	return n.x.repr() + "." + n.name
+}
+
+func (n *listNode) repr() string {
+	elems := make([]string, len(n.elems))
+	for i, e := range n.elems {
+		elems[i] = e.repr()
+	}
+	return "[" + strings.Join(elems, ", ") + "]"
+}
+
+func (n *mapNode) repr() string {
+	parts := make([]string, len(n.keys))
+	for i, k := range n.keys {
+		parts[i] = strconv.Quote(k) + ": " + n.vals[i].repr()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,367 @@
+// Package expr implements the expression language used throughout the
+// BPMS for sequence-flow conditions, decision-table rules, and data
+// mappings. It provides a lexer, a Pratt parser producing an AST, and a
+// typed tree-walking evaluator over dynamically typed values.
+//
+// The language is a small, side-effect-free subset familiar from BPMN
+// condition expressions and DMN FEEL:
+//
+//	amount > 1000 && (region == "EU" || priority >= 3)
+//	status in ["approved", "escalated"]
+//	len(items) * unitPrice + shipping
+//	risk == "high" ? amount * 0.2 : amount * 0.05
+//
+// Values are null, bool, int, float, string, list, or map. Arithmetic
+// between int and float promotes to float. Comparisons are defined for
+// numbers, strings, and bools (equality only for bools, lists, maps).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types of the expression language.
+type Kind int
+
+// Value kinds, in coercion order.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindList
+	KindMap
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	case KindMap:
+		return "map"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed value in the expression language. The
+// zero Value is null. Values are immutable by convention: evaluation
+// never mutates a Value in place.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	l    []Value
+	m    map[string]Value
+}
+
+// Null is the null value.
+var Null = Value{kind: KindNull}
+
+// True and False are the boolean constants.
+var (
+	True  = Value{kind: KindBool, b: true}
+	False = Value{kind: KindBool, b: false}
+)
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// List returns a list value wrapping vs. The slice is not copied.
+func List(vs ...Value) Value { return Value{kind: KindList, l: vs} }
+
+// Map returns a map value wrapping m. The map is not copied.
+func Map(m map[string]Value) Value { return Value{kind: KindMap, m: m} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean content of v; ok is false if v is not a bool.
+func (v Value) AsBool() (b, ok bool) { return v.b, v.kind == KindBool }
+
+// AsInt returns the integer content of v; ok is false if v is not an int.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the numeric content of v as a float64, accepting both
+// int and float kinds.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// AsString returns the string content of v; ok is false if v is not a string.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsList returns the list content of v; ok is false if v is not a list.
+func (v Value) AsList() ([]Value, bool) { return v.l, v.kind == KindList }
+
+// AsMap returns the map content of v; ok is false if v is not a map.
+func (v Value) AsMap() (map[string]Value, bool) { return v.m, v.kind == KindMap }
+
+// Truthy reports whether v counts as true in a boolean context: true,
+// non-zero numbers, non-empty strings/lists/maps. Null is false.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindList:
+		return len(v.l) > 0
+	case KindMap:
+		return len(v.m) > 0
+	}
+	return false
+}
+
+// Equal reports deep equality between v and w. Int and float compare
+// numerically (Int(1) equals Float(1.0)).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		// Numeric cross-kind equality.
+		vf, vok := v.AsFloat()
+		wf, wok := w.AsFloat()
+		return vok && wok && vf == wf
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == w.b
+	case KindInt:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f
+	case KindString:
+		return v.s == w.s
+	case KindList:
+		if len(v.l) != len(w.l) {
+			return false
+		}
+		for i := range v.l {
+			if !v.l[i].Equal(w.l[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.m) != len(w.m) {
+			return false
+		}
+		for k, vv := range v.m {
+			wv, ok := w.m[k]
+			if !ok || !vv.Equal(wv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders v against w, returning -1, 0, or +1. It returns an
+// error when the kinds are not mutually ordered (only numbers with
+// numbers and strings with strings are ordered).
+func (v Value) Compare(w Value) (int, error) {
+	if vf, ok := v.AsFloat(); ok {
+		if wf, ok := w.AsFloat(); ok {
+			switch {
+			case vf < wf:
+				return -1, nil
+			case vf > wf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if vs, ok := v.AsString(); ok {
+		if ws, ok := w.AsString(); ok {
+			return strings.Compare(vs, ws), nil
+		}
+	}
+	return 0, fmt.Errorf("expr: cannot order %s against %s", v.kind, w.kind)
+}
+
+// String renders v in expression-language literal syntax, so that for
+// scalar values Parse(v.String()) evaluates back to v.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if math.IsInf(v.f, 1) {
+			return "1e999"
+		}
+		if math.IsInf(v.f, -1) {
+			return "-1e999"
+		}
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Ensure the literal re-parses as a float, not an int.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = strconv.Quote(k) + ": " + v.m[k].String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "?"
+}
+
+// FromGo converts a native Go value into a Value. Supported inputs:
+// nil, bool, all integer and float types, string, []any,
+// map[string]any, and Value itself. Unsupported types yield an error.
+func FromGo(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return t, nil
+	case bool:
+		return Bool(t), nil
+	case int:
+		return Int(int64(t)), nil
+	case int8:
+		return Int(int64(t)), nil
+	case int16:
+		return Int(int64(t)), nil
+	case int32:
+		return Int(int64(t)), nil
+	case int64:
+		return Int(t), nil
+	case uint:
+		return Int(int64(t)), nil
+	case uint8:
+		return Int(int64(t)), nil
+	case uint16:
+		return Int(int64(t)), nil
+	case uint32:
+		return Int(int64(t)), nil
+	case uint64:
+		return Int(int64(t)), nil
+	case float32:
+		return Float(float64(t)), nil
+	case float64:
+		return Float(t), nil
+	case string:
+		return String(t), nil
+	case []any:
+		l := make([]Value, len(t))
+		for i, e := range t {
+			v, err := FromGo(e)
+			if err != nil {
+				return Null, err
+			}
+			l[i] = v
+		}
+		return List(l...), nil
+	case map[string]any:
+		m := make(map[string]Value, len(t))
+		for k, e := range t {
+			v, err := FromGo(e)
+			if err != nil {
+				return Null, err
+			}
+			m[k] = v
+		}
+		return Map(m), nil
+	}
+	return Null, fmt.Errorf("expr: unsupported Go type %T", x)
+}
+
+// ToGo converts a Value back into a native Go value: nil, bool, int64,
+// float64, string, []any, or map[string]any.
+func (v Value) ToGo() any {
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindList:
+		l := make([]any, len(v.l))
+		for i, e := range v.l {
+			l[i] = e.ToGo()
+		}
+		return l
+	case KindMap:
+		m := make(map[string]any, len(v.m))
+		for k, e := range v.m {
+			m[k] = e.ToGo()
+		}
+		return m
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package history
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Entry is one event of a trace in the mining-facing log model: an
+// activity execution with its completion timestamp and resource.
+type Entry struct {
+	Activity  string
+	Resource  string
+	Time      time.Time
+	Lifecycle string // XES lifecycle:transition; defaults to "complete"
+}
+
+// Trace is the ordered event sequence of one case.
+type Trace struct {
+	CaseID  string
+	Entries []Entry
+}
+
+// Log is a named collection of traces — the unit of exchange with
+// process-mining tools (internal/mine consumes this model directly).
+type Log struct {
+	Name   string
+	Traces []Trace
+}
+
+// Variants groups traces by their activity sequence, returning each
+// distinct variant with its frequency, most frequent first.
+func (l *Log) Variants() []LogVariant {
+	byKey := map[string]*LogVariant{}
+	for _, t := range l.Traces {
+		var key bytes.Buffer
+		acts := make([]string, len(t.Entries))
+		for i, e := range t.Entries {
+			key.WriteString(e.Activity)
+			key.WriteByte(0)
+			acts[i] = e.Activity
+		}
+		k := key.String()
+		if v, ok := byKey[k]; ok {
+			v.Count++
+		} else {
+			byKey[k] = &LogVariant{Activities: acts, Count: 1}
+		}
+	}
+	out := make([]LogVariant, 0, len(byKey))
+	for _, v := range byKey {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return fmt.Sprint(out[a].Activities) < fmt.Sprint(out[b].Activities)
+	})
+	return out
+}
+
+// LogVariant is one distinct activity sequence and its frequency.
+type LogVariant struct {
+	Activities []string
+	Count      int
+}
+
+// FromEvents builds a mining log from a history store: one trace per
+// instance, one entry per completed element, ordered by event index.
+// Pure routing nodes (gateways) are included only when includeAll is
+// set; by default only task/event completions carrying a display name
+// or element ID appear.
+func FromEvents(s *Store, includeAll bool) *Log {
+	log := &Log{Name: "bpms-history"}
+	for _, id := range s.InstanceIDs() {
+		trace := Trace{CaseID: id}
+		for _, e := range s.EventsOf(id) {
+			if e.Type != ElementCompleted {
+				continue
+			}
+			if !includeAll && e.Data != nil && e.Data["routing"] == true {
+				continue
+			}
+			name := e.Element
+			if name == "" {
+				name = e.ElementID
+			}
+			trace.Entries = append(trace.Entries, Entry{
+				Activity:  name,
+				Resource:  e.Actor,
+				Time:      e.Time,
+				Lifecycle: "complete",
+			})
+		}
+		if len(trace.Entries) > 0 {
+			log.Traces = append(log.Traces, trace)
+		}
+	}
+	return log
+}
+
+// XES serialisation. The schema follows the IEEE XES layout with the
+// standard concept, time, org, and lifecycle extensions.
+
+type xesAttr struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xesEvent struct {
+	Strings []xesAttr `xml:"string"`
+	Dates   []xesAttr `xml:"date"`
+}
+
+type xesTrace struct {
+	Strings []xesAttr  `xml:"string"`
+	Events  []xesEvent `xml:"event"`
+}
+
+type xesLog struct {
+	XMLName xml.Name   `xml:"log"`
+	Version string     `xml:"xes.version,attr"`
+	Strings []xesAttr  `xml:"string"`
+	Traces  []xesTrace `xml:"trace"`
+}
+
+func attr(attrs []xesAttr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// EncodeXES serialises the log as XES XML.
+func EncodeXES(l *Log) ([]byte, error) {
+	x := xesLog{Version: "1.0"}
+	if l.Name != "" {
+		x.Strings = append(x.Strings, xesAttr{Key: "concept:name", Value: l.Name})
+	}
+	for _, t := range l.Traces {
+		xt := xesTrace{Strings: []xesAttr{{Key: "concept:name", Value: t.CaseID}}}
+		for _, e := range t.Entries {
+			xe := xesEvent{
+				Strings: []xesAttr{{Key: "concept:name", Value: e.Activity}},
+			}
+			lc := e.Lifecycle
+			if lc == "" {
+				lc = "complete"
+			}
+			xe.Strings = append(xe.Strings, xesAttr{Key: "lifecycle:transition", Value: lc})
+			if e.Resource != "" {
+				xe.Strings = append(xe.Strings, xesAttr{Key: "org:resource", Value: e.Resource})
+			}
+			if !e.Time.IsZero() {
+				xe.Dates = append(xe.Dates, xesAttr{Key: "time:timestamp", Value: e.Time.Format(time.RFC3339Nano)})
+			}
+			xt.Events = append(xt.Events, xe)
+		}
+		x.Traces = append(x.Traces, xt)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return nil, fmt.Errorf("history: encode xes: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// DecodeXES parses an XES XML document into the log model.
+func DecodeXES(data []byte) (*Log, error) {
+	var x xesLog
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("history: decode xes: %w", err)
+	}
+	l := &Log{Name: attr(x.Strings, "concept:name")}
+	for ti, xt := range x.Traces {
+		t := Trace{CaseID: attr(xt.Strings, "concept:name")}
+		if t.CaseID == "" {
+			t.CaseID = fmt.Sprintf("case-%d", ti+1)
+		}
+		for _, xe := range xt.Events {
+			e := Entry{
+				Activity:  attr(xe.Strings, "concept:name"),
+				Resource:  attr(xe.Strings, "org:resource"),
+				Lifecycle: attr(xe.Strings, "lifecycle:transition"),
+			}
+			if ts := attr(xe.Dates, "time:timestamp"); ts != "" {
+				parsed, err := time.Parse(time.RFC3339Nano, ts)
+				if err != nil {
+					return nil, fmt.Errorf("history: bad timestamp %q: %w", ts, err)
+				}
+				e.Time = parsed
+			}
+			t.Entries = append(t.Entries, e)
+		}
+		l.Traces = append(l.Traces, t)
+	}
+	return l, nil
+}

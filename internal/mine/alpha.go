@@ -1,0 +1,213 @@
+package mine
+
+import (
+	"sort"
+	"strings"
+
+	"bpms/internal/history"
+	"bpms/internal/petri"
+)
+
+// The alpha algorithm (van der Aalst et al.) discovers a workflow net
+// from an event log. It derives the footprint relations from direct
+// succession — causality (a→b), parallelism (a∥b), and choice (a#b) —
+// then builds a place for every maximal pair of causally linked,
+// internally choice-free activity sets.
+
+// relations is the alpha footprint.
+type relations struct {
+	acts     []string
+	succ     map[Pair]bool // a > b
+	causal   map[Pair]bool // a -> b
+	parallel map[Pair]bool // a || b
+}
+
+func buildRelations(g *DFG) *relations {
+	r := &relations{
+		acts:     g.ActivityList(),
+		succ:     map[Pair]bool{},
+		causal:   map[Pair]bool{},
+		parallel: map[Pair]bool{},
+	}
+	for p := range g.Counts {
+		r.succ[p] = true
+	}
+	for _, a := range r.acts {
+		for _, b := range r.acts {
+			ab := r.succ[Pair{a, b}]
+			ba := r.succ[Pair{b, a}]
+			switch {
+			case ab && !ba:
+				r.causal[Pair{a, b}] = true
+			case ab && ba:
+				r.parallel[Pair{a, b}] = true
+			}
+		}
+	}
+	return r
+}
+
+// choiceFree reports whether no two members of set are in succession
+// (the alpha "#" requirement inside candidate sets).
+func (r *relations) choiceFree(set []string) bool {
+	for _, a := range set {
+		for _, b := range set {
+			if r.succ[Pair{a, b}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// causalAll reports a->b for every a in A, b in B.
+func (r *relations) causalAll(A, B []string) bool {
+	for _, a := range A {
+		for _, b := range B {
+			if !r.causal[Pair{a, b}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AlphaResult is the discovered workflow net with its initial and
+// final markings, ready for token replay.
+type AlphaResult struct {
+	Net   *petri.Net
+	M0    petri.Marking // one token in the source place
+	Final petri.Marking // one token in the sink place
+	// TransitionOf maps activity names to net transitions.
+	TransitionOf map[string]petri.TransitionID
+}
+
+// Alpha runs the alpha algorithm over a log.
+func Alpha(log *history.Log) *AlphaResult {
+	g := BuildDFG(log)
+	r := buildRelations(g)
+
+	// Candidate (A, B) pairs: start from singleton causal pairs and
+	// grow maximal sets. Activity universes in logs are small, so the
+	// subset search enumerates greedily.
+	type pairSet struct{ A, B []string }
+	var candidates []pairSet
+	for _, a := range r.acts {
+		for _, b := range r.acts {
+			if r.causal[Pair{a, b}] {
+				candidates = append(candidates, pairSet{[]string{a}, []string{b}})
+			}
+		}
+	}
+	// Grow each candidate by adding activities preserving the alpha
+	// conditions, to a fixpoint.
+	grown := map[string]pairSet{}
+	key := func(ps pairSet) string {
+		return strings.Join(ps.A, ",") + "|" + strings.Join(ps.B, ",")
+	}
+	for _, c := range candidates {
+		A := append([]string(nil), c.A...)
+		B := append([]string(nil), c.B...)
+		for changed := true; changed; {
+			changed = false
+			for _, x := range r.acts {
+				if !contains(A, x) && r.choiceFree(append(append([]string{}, A...), x)) &&
+					r.causalAll(append(append([]string{}, A...), x), B) {
+					A = append(A, x)
+					sort.Strings(A)
+					changed = true
+				}
+				if !contains(B, x) && r.choiceFree(append(append([]string{}, B...), x)) &&
+					r.causalAll(A, append(append([]string{}, B...), x)) {
+					B = append(B, x)
+					sort.Strings(B)
+					changed = true
+				}
+			}
+		}
+		ps := pairSet{A, B}
+		grown[key(ps)] = ps
+	}
+	// Keep only maximal pairs.
+	sets := make([]pairSet, 0, len(grown))
+	for _, ps := range grown {
+		sets = append(sets, ps)
+	}
+	var maximal []pairSet
+	for i, ps := range sets {
+		dominated := false
+		for j, qs := range sets {
+			if i == j {
+				continue
+			}
+			if subset(ps.A, qs.A) && subset(ps.B, qs.B) &&
+				(len(ps.A) < len(qs.A) || len(ps.B) < len(qs.B)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, ps)
+		}
+	}
+	sort.Slice(maximal, func(a, b int) bool { return key(maximal[a]) < key(maximal[b]) })
+
+	// Assemble the net.
+	b := petri.NewBuilder()
+	src := b.AddPlace("i")
+	sink := b.AddPlace("o")
+	transOf := map[string]petri.TransitionID{}
+	for _, a := range r.acts {
+		transOf[a] = b.AddTransition(a)
+	}
+	for _, ps := range maximal {
+		place := b.AddPlace("p(" + key(ps) + ")")
+		for _, a := range ps.A {
+			b.ArcTP(transOf[a], place)
+		}
+		for _, bb := range ps.B {
+			b.ArcPT(place, transOf[bb])
+		}
+	}
+	// Source feeds start activities; end activities feed the sink.
+	startActs := make([]string, 0, len(g.Starts))
+	for a := range g.Starts {
+		startActs = append(startActs, a)
+	}
+	sort.Strings(startActs)
+	for _, a := range startActs {
+		b.ArcPT(src, transOf[a])
+	}
+	endActs := make([]string, 0, len(g.Ends))
+	for a := range g.Ends {
+		endActs = append(endActs, a)
+	}
+	sort.Strings(endActs)
+	for _, a := range endActs {
+		b.ArcTP(transOf[a], sink)
+	}
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[src] = 1
+	final := net.NewMarking()
+	final[sink] = 1
+	return &AlphaResult{Net: net, M0: m0, Final: final, TransitionOf: transOf}
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(a, b []string) bool {
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
+}

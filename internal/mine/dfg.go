@@ -1,0 +1,167 @@
+// Package mine implements the process-mining subsystem of the BPMS:
+// directly-follows graphs, the alpha algorithm for process discovery,
+// a frequency-filtered DFG miner, token-replay conformance checking,
+// and performance mining over event logs (the history.Log model).
+// Together with the simulator it closes the classic BPM lifecycle:
+// design → enact → monitor → (re)discover.
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bpms/internal/history"
+)
+
+// Pair is an ordered activity pair (a directly-follows edge).
+type Pair struct {
+	From, To string
+}
+
+// DFG is a directly-follows graph with frequencies.
+type DFG struct {
+	// Counts holds directly-follows frequencies.
+	Counts map[Pair]int
+	// Starts and Ends count trace-initial and trace-final activities.
+	Starts, Ends map[string]int
+	// Activities counts activity occurrences.
+	Activities map[string]int
+	// TotalTraces is the number of traces observed.
+	TotalTraces int
+}
+
+// BuildDFG scans a log into a directly-follows graph.
+func BuildDFG(log *history.Log) *DFG {
+	g := &DFG{
+		Counts:     map[Pair]int{},
+		Starts:     map[string]int{},
+		Ends:       map[string]int{},
+		Activities: map[string]int{},
+	}
+	for _, tr := range log.Traces {
+		if len(tr.Entries) == 0 {
+			continue
+		}
+		g.TotalTraces++
+		g.Starts[tr.Entries[0].Activity]++
+		g.Ends[tr.Entries[len(tr.Entries)-1].Activity]++
+		for i, e := range tr.Entries {
+			g.Activities[e.Activity]++
+			if i > 0 {
+				g.Counts[Pair{tr.Entries[i-1].Activity, e.Activity}]++
+			}
+		}
+	}
+	return g
+}
+
+// ActivityList returns the activities sorted by name.
+func (g *DFG) ActivityList() []string {
+	out := make([]string, 0, len(g.Activities))
+	for a := range g.Activities {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns a copy keeping only edges with frequency >= minCount.
+// Start/end counts and activities are preserved.
+func (g *DFG) Filter(minCount int) *DFG {
+	out := &DFG{
+		Counts:      map[Pair]int{},
+		Starts:      g.Starts,
+		Ends:        g.Ends,
+		Activities:  g.Activities,
+		TotalTraces: g.TotalTraces,
+	}
+	for p, c := range g.Counts {
+		if c >= minCount {
+			out.Counts[p] = c
+		}
+	}
+	return out
+}
+
+// Dependency returns the heuristics-miner dependency measure between a
+// and b: (|a>b| - |b>a|) / (|a>b| + |b>a| + 1), in (-1, 1).
+func (g *DFG) Dependency(a, b string) float64 {
+	ab := g.Counts[Pair{a, b}]
+	ba := g.Counts[Pair{b, a}]
+	return float64(ab-ba) / float64(ab+ba+1)
+}
+
+// FilterByDependency keeps edges whose dependency measure is at least
+// threshold — the heuristics-miner view of the DFG that drops noise
+// edges a plain frequency filter keeps.
+func (g *DFG) FilterByDependency(threshold float64) *DFG {
+	out := &DFG{
+		Counts:      map[Pair]int{},
+		Starts:      g.Starts,
+		Ends:        g.Ends,
+		Activities:  g.Activities,
+		TotalTraces: g.TotalTraces,
+	}
+	for p, c := range g.Counts {
+		if g.Dependency(p.From, p.To) >= threshold {
+			out.Counts[p] = c
+		}
+	}
+	return out
+}
+
+// FitnessDFG computes edge-based replay fitness of a log against this
+// DFG: the fraction of observed steps (including the virtual
+// start/end steps) that traverse known edges. It is the conformance
+// measure for DFG-style models (experiment F3's baseline miner).
+func (g *DFG) FitnessDFG(log *history.Log) float64 {
+	total, ok := 0, 0
+	for _, tr := range log.Traces {
+		if len(tr.Entries) == 0 {
+			continue
+		}
+		total++
+		if g.Starts[tr.Entries[0].Activity] > 0 {
+			ok++
+		}
+		total++
+		if g.Ends[tr.Entries[len(tr.Entries)-1].Activity] > 0 {
+			ok++
+		}
+		for i := 1; i < len(tr.Entries); i++ {
+			total++
+			if g.Counts[Pair{tr.Entries[i-1].Activity, tr.Entries[i].Activity}] > 0 {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// Dot renders the DFG in Graphviz dot syntax (frequencies on edges).
+func (g *DFG) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph dfg {\n  rankdir=LR;\n")
+	for _, a := range g.ActivityList() {
+		fmt.Fprintf(&sb, "  %q [shape=box label=\"%s (%d)\"];\n", a, a, g.Activities[a])
+	}
+	pairs := make([]Pair, 0, len(g.Counts))
+	for p := range g.Counts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].From != pairs[b].From {
+			return pairs[a].From < pairs[b].From
+		}
+		return pairs[a].To < pairs[b].To
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(&sb, "  %q -> %q [label=%d];\n", p.From, p.To, g.Counts[p])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,309 @@
+package model
+
+import "fmt"
+
+// Builder constructs Process definitions with a fluent API. All add
+// methods return the builder for chaining; structural errors are
+// accumulated and reported by Build, which also runs Validate.
+//
+//	p, err := model.New("order").
+//		Start("start").
+//		UserTask("approve", model.Name("Approve order"), model.Role("manager")).
+//		End("done").
+//		Seq("start", "approve", "done").
+//		Build()
+type Builder struct {
+	p      *Process
+	errs   []string
+	nextID int
+}
+
+// New starts a builder for a process with the given definition ID.
+func New(id string) *Builder {
+	return &Builder{p: &Process{ID: id, Version: 1}}
+}
+
+// Name sets the human-readable process name.
+func (b *Builder) Name(name string) *Builder {
+	b.p.Name = name
+	return b
+}
+
+// Version sets the definition version (defaults to 1).
+func (b *Builder) Version(v int) *Builder {
+	b.p.Version = v
+	return b
+}
+
+// Documentation attaches free-text documentation.
+func (b *Builder) Documentation(doc string) *Builder {
+	b.p.Documentation = doc
+	return b
+}
+
+// Opt configures an element added through the builder.
+type Opt func(*Element)
+
+// Name sets the element display name.
+func Name(name string) Opt { return func(e *Element) { e.Name = name } }
+
+// Role offers a user task to members of a role.
+func Role(role string) Opt { return func(e *Element) { e.Role = role } }
+
+// Assignee directly allocates a user task to a user.
+func Assignee(user string) Opt { return func(e *Element) { e.Assignee = user } }
+
+// Capability requires a resource capability for allocation.
+func Capability(c string) Opt { return func(e *Element) { e.Capability = c } }
+
+// Priority sets the worklist priority of a user task.
+func Priority(p int) Opt { return func(e *Element) { e.Priority = p } }
+
+// DueIn sets a completion deadline duration for a task (e.g. "4h").
+func DueIn(d string) Opt { return func(e *Element) { e.DueIn = d } }
+
+// Handler binds a service task to a registered handler name.
+func Handler(h string) Opt { return func(e *Element) { e.Handler = h } }
+
+// Output adds a data mapping evaluated on completion: variable = expr.
+func Output(variable, exprSrc string) Opt {
+	return func(e *Element) {
+		if e.Outputs == nil {
+			e.Outputs = map[string]string{}
+		}
+		e.Outputs[variable] = exprSrc
+	}
+}
+
+// Message names the message of a message event / send / receive task.
+func Message(name string) Opt { return func(e *Element) { e.Message = name } }
+
+// CorrelationKey sets the expression computing the correlation key.
+func CorrelationKey(exprSrc string) Opt {
+	return func(e *Element) { e.CorrelationKey = exprSrc }
+}
+
+// Default marks the default outgoing flow of an XOR/OR gateway.
+func Default(flowID string) Opt { return func(e *Element) { e.DefaultFlow = flowID } }
+
+// ErrorCode sets the error code of an error boundary event.
+func ErrorCode(code string) Opt { return func(e *Element) { e.ErrorCode = code } }
+
+// Retries sets the retry limit of a service task.
+func Retries(n int) Opt { return func(e *Element) { e.Retries = n } }
+
+// MultiParallel marks an activity as parallel multi-instance over the
+// given collection expression, binding each element to elementVar.
+func MultiParallel(collection, elementVar string) Opt {
+	return func(e *Element) {
+		e.Multi = &MultiInstance{Collection: collection, ElementVar: elementVar, Parallel: true}
+	}
+}
+
+// MultiSequential marks an activity as sequential multi-instance.
+func MultiSequential(collection, elementVar string) Opt {
+	return func(e *Element) {
+		e.Multi = &MultiInstance{Collection: collection, ElementVar: elementVar}
+	}
+}
+
+// CompletionCondition adds an early-exit condition to a multi-instance
+// activity (applies to the most recently set Multi marker).
+func CompletionCondition(exprSrc string) Opt {
+	return func(e *Element) {
+		if e.Multi != nil {
+			e.Multi.CompletionCondition = exprSrc
+		}
+	}
+}
+
+func (b *Builder) add(id string, kind ElementKind, opts ...Opt) *Builder {
+	if id == "" {
+		b.errs = append(b.errs, fmt.Sprintf("empty id for %s", kind))
+		return b
+	}
+	e := &Element{ID: id, Kind: kind}
+	for _, o := range opts {
+		o(e)
+	}
+	b.p.Elements = append(b.p.Elements, e)
+	return b
+}
+
+// Start adds a none start event.
+func (b *Builder) Start(id string, opts ...Opt) *Builder { return b.add(id, KindStartEvent, opts...) }
+
+// End adds a none end event.
+func (b *Builder) End(id string, opts ...Opt) *Builder { return b.add(id, KindEndEvent, opts...) }
+
+// TerminateEnd adds a terminate end event that cancels the instance.
+func (b *Builder) TerminateEnd(id string, opts ...Opt) *Builder {
+	return b.add(id, KindTerminateEnd, opts...)
+}
+
+// UserTask adds a human task routed through the worklist.
+func (b *Builder) UserTask(id string, opts ...Opt) *Builder { return b.add(id, KindUserTask, opts...) }
+
+// ManualTask adds a manual task (tracked but outside system control).
+func (b *Builder) ManualTask(id string, opts ...Opt) *Builder {
+	return b.add(id, KindManualTask, opts...)
+}
+
+// ServiceTask adds an automated task bound to a handler.
+func (b *Builder) ServiceTask(id, handler string, opts ...Opt) *Builder {
+	return b.add(id, KindServiceTask, append([]Opt{Handler(handler)}, opts...)...)
+}
+
+// ScriptTask adds a task evaluating output mappings over case data.
+func (b *Builder) ScriptTask(id string, opts ...Opt) *Builder {
+	return b.add(id, KindScriptTask, opts...)
+}
+
+// ReceiveTask adds a task that waits for a named message.
+func (b *Builder) ReceiveTask(id, message string, opts ...Opt) *Builder {
+	return b.add(id, KindReceiveTask, append([]Opt{Message(message)}, opts...)...)
+}
+
+// SendTask adds a task that emits a named message.
+func (b *Builder) SendTask(id, message string, opts ...Opt) *Builder {
+	return b.add(id, KindSendTask, append([]Opt{Message(message)}, opts...)...)
+}
+
+// XOR adds an exclusive gateway.
+func (b *Builder) XOR(id string, opts ...Opt) *Builder {
+	return b.add(id, KindExclusiveGateway, opts...)
+}
+
+// AND adds a parallel gateway.
+func (b *Builder) AND(id string, opts ...Opt) *Builder {
+	return b.add(id, KindParallelGateway, opts...)
+}
+
+// OR adds an inclusive gateway.
+func (b *Builder) OR(id string, opts ...Opt) *Builder {
+	return b.add(id, KindInclusiveGateway, opts...)
+}
+
+// EventGateway adds an event-based gateway (race between catch events).
+func (b *Builder) EventGateway(id string, opts ...Opt) *Builder {
+	return b.add(id, KindEventGateway, opts...)
+}
+
+// TimerCatch adds an intermediate timer catch event with a duration
+// such as "30m" or "2h45m".
+func (b *Builder) TimerCatch(id, duration string, opts ...Opt) *Builder {
+	return b.add(id, KindTimerCatchEvent, append([]Opt{func(e *Element) { e.Timer = duration }}, opts...)...)
+}
+
+// MessageCatch adds an intermediate message catch event.
+func (b *Builder) MessageCatch(id, message string, opts ...Opt) *Builder {
+	return b.add(id, KindMessageCatchEvent, append([]Opt{Message(message)}, opts...)...)
+}
+
+// MessageThrow adds an intermediate message throw event.
+func (b *Builder) MessageThrow(id, message string, opts ...Opt) *Builder {
+	return b.add(id, KindMessageThrowEvent, append([]Opt{Message(message)}, opts...)...)
+}
+
+// BoundaryTimer attaches an interrupting (interrupt=true) or
+// non-interrupting timer boundary event to an activity.
+func (b *Builder) BoundaryTimer(id, attachedTo, duration string, interrupt bool, opts ...Opt) *Builder {
+	return b.add(id, KindBoundaryEvent, append([]Opt{func(e *Element) {
+		e.AttachedTo = attachedTo
+		e.Boundary = BoundaryTimer
+		e.Timer = duration
+		e.CancelActivity = interrupt
+	}}, opts...)...)
+}
+
+// BoundaryError attaches an error boundary event to an activity. Error
+// boundary events always interrupt. An empty code catches any error.
+func (b *Builder) BoundaryError(id, attachedTo, code string, opts ...Opt) *Builder {
+	return b.add(id, KindBoundaryEvent, append([]Opt{func(e *Element) {
+		e.AttachedTo = attachedTo
+		e.Boundary = BoundaryError
+		e.ErrorCode = code
+		e.CancelActivity = true
+	}}, opts...)...)
+}
+
+// BoundaryMessage attaches a message boundary event to an activity.
+func (b *Builder) BoundaryMessage(id, attachedTo, message string, interrupt bool, opts ...Opt) *Builder {
+	return b.add(id, KindBoundaryEvent, append([]Opt{func(e *Element) {
+		e.AttachedTo = attachedTo
+		e.Boundary = BoundaryMessage
+		e.Message = message
+		e.CancelActivity = interrupt
+	}}, opts...)...)
+}
+
+// SubProcess embeds a sub-process built from its own definition.
+func (b *Builder) SubProcess(id string, body *Process, opts ...Opt) *Builder {
+	return b.add(id, KindSubProcess, append([]Opt{func(e *Element) { e.SubProcess = body }}, opts...)...)
+}
+
+// Call adds a call activity invoking another deployed definition.
+func (b *Builder) Call(id, processID string, opts ...Opt) *Builder {
+	return b.add(id, KindCallActivity, append([]Opt{func(e *Element) { e.CalledProcess = processID }}, opts...)...)
+}
+
+// Flow adds an unconditional sequence flow with a generated ID.
+func (b *Builder) Flow(from, to string) *Builder { return b.FlowID("", from, to, "") }
+
+// FlowIf adds a guarded sequence flow with a generated ID.
+func (b *Builder) FlowIf(from, to, condition string) *Builder {
+	return b.FlowID("", from, to, condition)
+}
+
+// FlowID adds a sequence flow with an explicit ID (empty = generated
+// as "f<n>") and optional guard condition.
+func (b *Builder) FlowID(id, from, to, condition string) *Builder {
+	if id == "" {
+		b.nextID++
+		id = fmt.Sprintf("f%d", b.nextID)
+		for b.flowIDTaken(id) {
+			b.nextID++
+			id = fmt.Sprintf("f%d", b.nextID)
+		}
+	}
+	b.p.Flows = append(b.p.Flows, &Flow{ID: id, From: from, To: to, Condition: condition})
+	return b
+}
+
+func (b *Builder) flowIDTaken(id string) bool {
+	for _, f := range b.p.Flows {
+		if f.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Seq chains the given element IDs with unconditional flows.
+func (b *Builder) Seq(ids ...string) *Builder {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Flow(ids[i], ids[i+1])
+	}
+	return b
+}
+
+// Build indexes and validates the process, returning it or an error.
+func (b *Builder) Build() (*Process, error) {
+	if len(b.errs) > 0 {
+		return nil, &ValidationError{ProcessID: b.p.ID, Problems: b.errs}
+	}
+	b.p.Index()
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known models.
+func (b *Builder) MustBuild() *Process {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,72 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the kind as its BPMN-style name.
+func (k ElementKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a BPMN-style kind name.
+func (k *ElementKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	kind, ok := KindFromName(s)
+	if !ok {
+		return fmt.Errorf("model: unknown element kind %q", s)
+	}
+	*k = kind
+	return nil
+}
+
+// MarshalJSON encodes the boundary trigger as its name.
+func (b BoundaryKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.String())
+}
+
+// UnmarshalJSON decodes a boundary trigger name.
+func (b *BoundaryKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "none", "":
+		*b = BoundaryNone
+	case "timer":
+		*b = BoundaryTimer
+	case "error":
+		*b = BoundaryError
+	case "message":
+		*b = BoundaryMessage
+	default:
+		return fmt.Errorf("model: unknown boundary kind %q", s)
+	}
+	return nil
+}
+
+// EncodeJSON serialises the process definition as indented JSON.
+func EncodeJSON(p *Process) ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeJSON parses a process definition from JSON and validates it.
+func DecodeJSON(data []byte) (*Process, error) {
+	var p Process
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("model: decode json: %w", err)
+	}
+	if p.Version == 0 {
+		p.Version = 1
+	}
+	p.Index()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

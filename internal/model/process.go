@@ -1,0 +1,509 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bpms/internal/expr"
+)
+
+// Process is a complete process definition: a named, versioned graph of
+// elements and sequence flows. Once deployed to an engine a Process is
+// treated as immutable.
+type Process struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Version int    `json:"version,omitempty"`
+
+	Elements []*Element `json:"elements"`
+	Flows    []*Flow    `json:"flows"`
+
+	// Documentation is free-text, carried through serialisation.
+	Documentation string `json:"documentation,omitempty"`
+
+	// index caches, built lazily by Index().
+	byID      map[string]*Element
+	out       map[string][]*Flow
+	in        map[string][]*Flow
+	boundary  map[string][]*Element
+	flowIndex map[string]*Flow
+}
+
+// Index (re)builds the lookup caches. It is called automatically by the
+// accessors and must be called again after structural mutation.
+func (p *Process) Index() {
+	p.byID = make(map[string]*Element, len(p.Elements))
+	p.boundary = make(map[string][]*Element)
+	for _, e := range p.Elements {
+		p.byID[e.ID] = e
+		if e.Kind == KindBoundaryEvent && e.AttachedTo != "" {
+			p.boundary[e.AttachedTo] = append(p.boundary[e.AttachedTo], e)
+		}
+	}
+	p.out = make(map[string][]*Flow, len(p.Elements))
+	p.in = make(map[string][]*Flow, len(p.Elements))
+	p.flowIndex = make(map[string]*Flow, len(p.Flows))
+	for _, f := range p.Flows {
+		p.out[f.From] = append(p.out[f.From], f)
+		p.in[f.To] = append(p.in[f.To], f)
+		p.flowIndex[f.ID] = f
+	}
+}
+
+func (p *Process) ensureIndex() {
+	if p.byID == nil {
+		p.Index()
+	}
+}
+
+// ElementByID returns the element with the given ID, or nil.
+func (p *Process) ElementByID(id string) *Element {
+	p.ensureIndex()
+	return p.byID[id]
+}
+
+// FlowByID returns the flow with the given ID, or nil.
+func (p *Process) FlowByID(id string) *Flow {
+	p.ensureIndex()
+	return p.flowIndex[id]
+}
+
+// Outgoing returns the sequence flows leaving element id.
+func (p *Process) Outgoing(id string) []*Flow {
+	p.ensureIndex()
+	return p.out[id]
+}
+
+// Incoming returns the sequence flows entering element id.
+func (p *Process) Incoming(id string) []*Flow {
+	p.ensureIndex()
+	return p.in[id]
+}
+
+// BoundaryEvents returns the boundary events attached to activity id.
+func (p *Process) BoundaryEvents(id string) []*Element {
+	p.ensureIndex()
+	return p.boundary[id]
+}
+
+// StartEvents returns all start events of the process.
+func (p *Process) StartEvents() []*Element {
+	var out []*Element
+	for _, e := range p.Elements {
+		if e.Kind == KindStartEvent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EndEvents returns all end events (including terminate ends).
+func (p *Process) EndEvents() []*Element {
+	var out []*Element
+	for _, e := range p.Elements {
+		if e.Kind == KindEndEvent || e.Kind == KindTerminateEnd {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ValidationError aggregates the structural problems found in a
+// process definition. It implements error.
+type ValidationError struct {
+	ProcessID string
+	Problems  []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("model: process %q invalid: %s", e.ProcessID, strings.Join(e.Problems, "; "))
+}
+
+// Validate performs structural validation of the definition: ID
+// uniqueness, referential integrity of flows and boundary attachments,
+// gateway/default-flow consistency, expression compilability, timer
+// parseability, reachability of every node from a start event, and
+// reachability of an end event from every node. Sub-processes are
+// validated recursively. It returns nil or a *ValidationError.
+func (p *Process) Validate() error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if p.ID == "" {
+		addf("process has no id")
+	}
+	seen := map[string]bool{}
+	for _, e := range p.Elements {
+		if e.ID == "" {
+			addf("element with empty id (name %q)", e.Name)
+			continue
+		}
+		if seen[e.ID] {
+			addf("duplicate element id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	p.Index()
+
+	starts, ends := 0, 0
+	for _, e := range p.Elements {
+		switch e.Kind {
+		case KindStartEvent:
+			starts++
+		case KindEndEvent, KindTerminateEnd:
+			ends++
+		}
+	}
+	if starts == 0 {
+		addf("no start event")
+	}
+	if ends == 0 {
+		addf("no end event")
+	}
+
+	flowIDs := map[string]bool{}
+	for _, f := range p.Flows {
+		if f.ID == "" {
+			addf("flow with empty id (%s->%s)", f.From, f.To)
+		} else if flowIDs[f.ID] {
+			addf("duplicate flow id %q", f.ID)
+		}
+		flowIDs[f.ID] = true
+		if p.byID[f.From] == nil {
+			addf("flow %q references unknown source %q", f.ID, f.From)
+		}
+		if p.byID[f.To] == nil {
+			addf("flow %q references unknown target %q", f.ID, f.To)
+		}
+		if f.Condition != "" {
+			if _, err := expr.Compile(f.Condition); err != nil {
+				addf("flow %q condition does not compile: %v", f.ID, err)
+			}
+		}
+	}
+
+	for _, e := range p.Elements {
+		problems = append(problems, p.validateElement(e)...)
+	}
+
+	// Reachability: every non-boundary node reachable from some start,
+	// and some end reachable from every node.
+	if starts > 0 && len(problems) == 0 {
+		problems = append(problems, p.validateReachability()...)
+	}
+
+	if len(problems) > 0 {
+		return &ValidationError{ProcessID: p.ID, Problems: problems}
+	}
+	return nil
+}
+
+func (p *Process) validateElement(e *Element) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	nOut := len(p.out[e.ID])
+	nIn := len(p.in[e.ID])
+
+	switch e.Kind {
+	case KindStartEvent:
+		if nIn > 0 {
+			addf("start event %q has incoming flows", e.ID)
+		}
+		if nOut != 1 {
+			addf("start event %q must have exactly 1 outgoing flow, has %d", e.ID, nOut)
+		}
+	case KindEndEvent, KindTerminateEnd:
+		if nOut > 0 {
+			addf("end event %q has outgoing flows", e.ID)
+		}
+		if nIn == 0 {
+			addf("end event %q has no incoming flow", e.ID)
+		}
+	case KindBoundaryEvent:
+		if nIn > 0 {
+			addf("boundary event %q has incoming flows", e.ID)
+		}
+		if nOut != 1 {
+			addf("boundary event %q must have exactly 1 outgoing flow, has %d", e.ID, nOut)
+		}
+		host := p.byID[e.AttachedTo]
+		if host == nil {
+			addf("boundary event %q attached to unknown activity %q", e.ID, e.AttachedTo)
+		} else if !host.Kind.IsActivity() {
+			addf("boundary event %q attached to non-activity %q (%s)", e.ID, e.AttachedTo, host.Kind)
+		}
+		switch e.Boundary {
+		case BoundaryTimer:
+			if _, err := time.ParseDuration(e.Timer); err != nil {
+				addf("boundary event %q has bad timer %q", e.ID, e.Timer)
+			}
+		case BoundaryMessage:
+			if e.Message == "" {
+				addf("message boundary event %q has no message name", e.ID)
+			}
+		case BoundaryError:
+			// Empty error code matches any error.
+		default:
+			addf("boundary event %q has no trigger kind", e.ID)
+		}
+	case KindTimerCatchEvent:
+		if _, err := time.ParseDuration(e.Timer); err != nil {
+			addf("timer event %q has bad duration %q", e.ID, e.Timer)
+		}
+		if nOut != 1 {
+			addf("timer event %q must have exactly 1 outgoing flow, has %d", e.ID, nOut)
+		}
+	case KindMessageCatchEvent, KindReceiveTask:
+		if e.Message == "" {
+			addf("message element %q has no message name", e.ID)
+		}
+	case KindMessageThrowEvent, KindSendTask:
+		if e.Message == "" {
+			addf("message element %q has no message name", e.ID)
+		}
+	case KindServiceTask:
+		if e.Handler == "" {
+			addf("service task %q has no handler", e.ID)
+		}
+	case KindScriptTask:
+		if len(e.Outputs) == 0 {
+			addf("script task %q has no output mappings", e.ID)
+		}
+	case KindExclusiveGateway, KindInclusiveGateway:
+		if e.DefaultFlow != "" {
+			found := false
+			for _, f := range p.out[e.ID] {
+				if f.ID == e.DefaultFlow {
+					found = true
+				}
+			}
+			if !found {
+				addf("gateway %q default flow %q is not one of its outgoing flows", e.ID, e.DefaultFlow)
+			}
+		}
+		if nOut > 1 {
+			// A diverging XOR/OR needs conditions or a default to be
+			// decidable on every path.
+			unconditional := 0
+			for _, f := range p.out[e.ID] {
+				if f.Condition == "" && f.ID != e.DefaultFlow {
+					unconditional++
+				}
+			}
+			if e.Kind == KindExclusiveGateway && unconditional > 1 {
+				addf("exclusive gateway %q has %d unconditional non-default outgoing flows", e.ID, unconditional)
+			}
+		}
+	case KindEventGateway:
+		if nOut < 2 {
+			addf("event gateway %q must have at least 2 outgoing flows, has %d", e.ID, nOut)
+		}
+		for _, f := range p.out[e.ID] {
+			t := p.byID[f.To]
+			if t == nil {
+				continue
+			}
+			switch t.Kind {
+			case KindTimerCatchEvent, KindMessageCatchEvent, KindReceiveTask:
+			default:
+				addf("event gateway %q successor %q must be a catch event, is %s", e.ID, f.To, t.Kind)
+			}
+		}
+	case KindSubProcess:
+		if e.SubProcess == nil {
+			addf("sub-process %q has no body", e.ID)
+		} else if err := e.SubProcess.Validate(); err != nil {
+			if ve, ok := err.(*ValidationError); ok {
+				for _, pr := range ve.Problems {
+					addf("sub-process %q: %s", e.ID, pr)
+				}
+			} else {
+				addf("sub-process %q: %v", e.ID, err)
+			}
+		}
+	case KindCallActivity:
+		if e.CalledProcess == "" {
+			addf("call activity %q names no process", e.ID)
+		}
+	case KindUserTask, KindManualTask:
+		if e.DueIn != "" {
+			if _, err := time.ParseDuration(e.DueIn); err != nil {
+				addf("task %q has bad dueIn %q", e.ID, e.DueIn)
+			}
+		}
+	case KindInvalid:
+		addf("element %q has invalid kind", e.ID)
+	}
+
+	if e.Multi != nil {
+		if !e.Kind.IsActivity() {
+			addf("element %q is not an activity but has a multi-instance marker", e.ID)
+		}
+		if e.Multi.Collection == "" {
+			addf("multi-instance activity %q has no collection expression", e.ID)
+		} else if _, err := expr.Compile(e.Multi.Collection); err != nil {
+			addf("multi-instance activity %q collection does not compile: %v", e.ID, err)
+		}
+		if e.Multi.ElementVar == "" {
+			addf("multi-instance activity %q has no element variable", e.ID)
+		}
+		if e.Multi.CompletionCondition != "" {
+			if _, err := expr.Compile(e.Multi.CompletionCondition); err != nil {
+				addf("multi-instance activity %q completion condition does not compile: %v", e.ID, err)
+			}
+		}
+	}
+	for varName, src := range e.Outputs {
+		if varName == "" {
+			addf("element %q has an output mapping with empty variable name", e.ID)
+		}
+		if _, err := expr.Compile(src); err != nil {
+			addf("element %q output %q does not compile: %v", e.ID, varName, err)
+		}
+	}
+	if e.CorrelationKey != "" {
+		if _, err := expr.Compile(e.CorrelationKey); err != nil {
+			addf("element %q correlation key does not compile: %v", e.ID, err)
+		}
+	}
+	return problems
+}
+
+func (p *Process) validateReachability() []string {
+	var problems []string
+	// Forward reachability from start events; boundary events count as
+	// reachable when their host is.
+	fwd := map[string]bool{}
+	var stack []string
+	for _, s := range p.StartEvents() {
+		stack = append(stack, s.ID)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fwd[id] {
+			continue
+		}
+		fwd[id] = true
+		for _, f := range p.out[id] {
+			stack = append(stack, f.To)
+		}
+		for _, b := range p.boundary[id] {
+			stack = append(stack, b.ID)
+		}
+	}
+	// Backward reachability from end events; a boundary event's host
+	// counts as backward-reachable through the boundary path.
+	bwd := map[string]bool{}
+	stack = stack[:0]
+	for _, e := range p.EndEvents() {
+		stack = append(stack, e.ID)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if bwd[id] {
+			continue
+		}
+		bwd[id] = true
+		for _, f := range p.in[id] {
+			stack = append(stack, f.From)
+		}
+		if e := p.byID[id]; e != nil && e.Kind == KindBoundaryEvent {
+			stack = append(stack, e.AttachedTo)
+		}
+	}
+	ids := make([]string, 0, len(p.Elements))
+	for _, e := range p.Elements {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !fwd[id] {
+			problems = append(problems, fmt.Sprintf("element %q unreachable from start", id))
+		}
+		if !bwd[id] {
+			problems = append(problems, fmt.Sprintf("no end event reachable from element %q", id))
+		}
+	}
+	return problems
+}
+
+// Stats summarises a process definition.
+type Stats struct {
+	Elements   int
+	Flows      int
+	Tasks      int
+	Gateways   int
+	Events     int
+	SubProcs   int
+	MaxFanOut  int
+	Conditions int
+}
+
+// Stats computes summary statistics over the definition (not recursing
+// into sub-processes).
+func (p *Process) Stats() Stats {
+	p.ensureIndex()
+	s := Stats{Elements: len(p.Elements), Flows: len(p.Flows)}
+	for _, e := range p.Elements {
+		switch {
+		case e.Kind.IsTask():
+			s.Tasks++
+		case e.Kind.IsGateway():
+			s.Gateways++
+		case e.Kind.IsEvent():
+			s.Events++
+		case e.Kind == KindSubProcess || e.Kind == KindCallActivity:
+			s.SubProcs++
+		}
+		if n := len(p.out[e.ID]); n > s.MaxFanOut {
+			s.MaxFanOut = n
+		}
+	}
+	for _, f := range p.Flows {
+		if f.Condition != "" {
+			s.Conditions++
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the process definition.
+func (p *Process) Clone() *Process {
+	cp := &Process{
+		ID: p.ID, Name: p.Name, Version: p.Version,
+		Documentation: p.Documentation,
+		Elements:      make([]*Element, len(p.Elements)),
+		Flows:         make([]*Flow, len(p.Flows)),
+	}
+	for i, e := range p.Elements {
+		ce := *e
+		if e.Outputs != nil {
+			ce.Outputs = make(map[string]string, len(e.Outputs))
+			for k, v := range e.Outputs {
+				ce.Outputs[k] = v
+			}
+		}
+		if e.Multi != nil {
+			mi := *e.Multi
+			ce.Multi = &mi
+		}
+		if e.SubProcess != nil {
+			ce.SubProcess = e.SubProcess.Clone()
+		}
+		cp.Elements[i] = &ce
+	}
+	for i, f := range p.Flows {
+		cf := *f
+		cp.Flows[i] = &cf
+	}
+	return cp
+}

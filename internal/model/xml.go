@@ -1,0 +1,289 @@
+package model
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The XML codec serialises process definitions in a BPMN-flavoured
+// dialect: each flow node is an element named after its kind
+// (<userTask id="..."/>, <exclusiveGateway .../>) and sequence flows
+// are <sequenceFlow sourceRef=... targetRef=...> elements with an
+// optional <conditionExpression> child, mirroring the BPMN 2.0
+// interchange structure closely enough to be immediately familiar.
+
+type xmlOutput struct {
+	Var  string `xml:"var,attr"`
+	Expr string `xml:",chardata"`
+}
+
+type xmlMulti struct {
+	Collection          string `xml:"collection,attr"`
+	ElementVar          string `xml:"elementVar,attr"`
+	Parallel            bool   `xml:"parallel,attr"`
+	CompletionCondition string `xml:"completionCondition,attr,omitempty"`
+}
+
+type xmlElem struct {
+	XMLName        xml.Name
+	ID             string      `xml:"id,attr"`
+	Name           string      `xml:"name,attr,omitempty"`
+	Assignee       string      `xml:"assignee,attr,omitempty"`
+	Role           string      `xml:"role,attr,omitempty"`
+	Handler        string      `xml:"handler,attr,omitempty"`
+	Priority       int         `xml:"priority,attr,omitempty"`
+	DueIn          string      `xml:"dueIn,attr,omitempty"`
+	Capability     string      `xml:"capability,attr,omitempty"`
+	Timer          string      `xml:"timer,attr,omitempty"`
+	Message        string      `xml:"message,attr,omitempty"`
+	CorrelationKey string      `xml:"correlationKey,attr,omitempty"`
+	ErrorCode      string      `xml:"errorCode,attr,omitempty"`
+	AttachedTo     string      `xml:"attachedTo,attr,omitempty"`
+	Boundary       string      `xml:"boundary,attr,omitempty"`
+	CancelActivity bool        `xml:"cancelActivity,attr,omitempty"`
+	DefaultFlow    string      `xml:"default,attr,omitempty"`
+	CalledProcess  string      `xml:"calledElement,attr,omitempty"`
+	Retries        int         `xml:"retries,attr,omitempty"`
+	Outputs        []xmlOutput `xml:"output,omitempty"`
+	Multi          *xmlMulti   `xml:"multiInstance,omitempty"`
+	Sub            *xmlProcess `xml:"process,omitempty"`
+}
+
+type xmlFlow struct {
+	XMLName   xml.Name `xml:"sequenceFlow"`
+	ID        string   `xml:"id,attr"`
+	Name      string   `xml:"name,attr,omitempty"`
+	SourceRef string   `xml:"sourceRef,attr"`
+	TargetRef string   `xml:"targetRef,attr"`
+	Condition string   `xml:"conditionExpression,omitempty"`
+}
+
+type xmlProcess struct {
+	XMLName       xml.Name  `xml:"process"`
+	ID            string    `xml:"id,attr"`
+	Name          string    `xml:"name,attr,omitempty"`
+	Version       int       `xml:"version,attr,omitempty"`
+	Documentation string    `xml:"documentation,omitempty"`
+	Elems         []xmlElem `xml:",any"`
+	Flows         []xmlFlow `xml:"sequenceFlow"`
+}
+
+func toXML(p *Process) *xmlProcess {
+	xp := &xmlProcess{ID: p.ID, Name: p.Name, Version: p.Version, Documentation: p.Documentation}
+	for _, e := range p.Elements {
+		xe := xmlElem{
+			XMLName:        xml.Name{Local: e.Kind.String()},
+			ID:             e.ID,
+			Name:           e.Name,
+			Assignee:       e.Assignee,
+			Role:           e.Role,
+			Handler:        e.Handler,
+			Priority:       e.Priority,
+			DueIn:          e.DueIn,
+			Capability:     e.Capability,
+			Timer:          e.Timer,
+			Message:        e.Message,
+			CorrelationKey: e.CorrelationKey,
+			ErrorCode:      e.ErrorCode,
+			AttachedTo:     e.AttachedTo,
+			CancelActivity: e.CancelActivity,
+			DefaultFlow:    e.DefaultFlow,
+			CalledProcess:  e.CalledProcess,
+			Retries:        e.Retries,
+		}
+		if e.Boundary != BoundaryNone {
+			xe.Boundary = e.Boundary.String()
+		}
+		if len(e.Outputs) > 0 {
+			vars := make([]string, 0, len(e.Outputs))
+			for v := range e.Outputs {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			for _, v := range vars {
+				xe.Outputs = append(xe.Outputs, xmlOutput{Var: v, Expr: e.Outputs[v]})
+			}
+		}
+		if e.Multi != nil {
+			xe.Multi = &xmlMulti{
+				Collection:          e.Multi.Collection,
+				ElementVar:          e.Multi.ElementVar,
+				Parallel:            e.Multi.Parallel,
+				CompletionCondition: e.Multi.CompletionCondition,
+			}
+		}
+		if e.SubProcess != nil {
+			xe.Sub = toXML(e.SubProcess)
+		}
+		xp.Elems = append(xp.Elems, xe)
+	}
+	for _, f := range p.Flows {
+		xp.Flows = append(xp.Flows, xmlFlow{
+			ID: f.ID, Name: f.Name, SourceRef: f.From, TargetRef: f.To, Condition: f.Condition,
+		})
+	}
+	return xp
+}
+
+func fromXML(xp *xmlProcess) (*Process, error) {
+	p := &Process{ID: xp.ID, Name: xp.Name, Version: xp.Version, Documentation: xp.Documentation}
+	for _, xe := range xp.Elems {
+		kind, ok := KindFromName(xe.XMLName.Local)
+		if !ok {
+			return nil, fmt.Errorf("model: unknown element <%s>", xe.XMLName.Local)
+		}
+		e := &Element{
+			ID:             xe.ID,
+			Name:           xe.Name,
+			Kind:           kind,
+			Assignee:       xe.Assignee,
+			Role:           xe.Role,
+			Handler:        xe.Handler,
+			Priority:       xe.Priority,
+			DueIn:          xe.DueIn,
+			Capability:     xe.Capability,
+			Timer:          xe.Timer,
+			Message:        xe.Message,
+			CorrelationKey: xe.CorrelationKey,
+			ErrorCode:      xe.ErrorCode,
+			AttachedTo:     xe.AttachedTo,
+			CancelActivity: xe.CancelActivity,
+			DefaultFlow:    xe.DefaultFlow,
+			CalledProcess:  xe.CalledProcess,
+			Retries:        xe.Retries,
+		}
+		switch xe.Boundary {
+		case "timer":
+			e.Boundary = BoundaryTimer
+		case "error":
+			e.Boundary = BoundaryError
+		case "message":
+			e.Boundary = BoundaryMessage
+		case "", "none":
+			e.Boundary = BoundaryNone
+		default:
+			return nil, fmt.Errorf("model: unknown boundary kind %q on %q", xe.Boundary, xe.ID)
+		}
+		if len(xe.Outputs) > 0 {
+			e.Outputs = make(map[string]string, len(xe.Outputs))
+			for _, o := range xe.Outputs {
+				e.Outputs[o.Var] = o.Expr
+			}
+		}
+		if xe.Multi != nil {
+			e.Multi = &MultiInstance{
+				Collection:          xe.Multi.Collection,
+				ElementVar:          xe.Multi.ElementVar,
+				Parallel:            xe.Multi.Parallel,
+				CompletionCondition: xe.Multi.CompletionCondition,
+			}
+		}
+		if xe.Sub != nil {
+			sub, err := fromXML(xe.Sub)
+			if err != nil {
+				return nil, err
+			}
+			e.SubProcess = sub
+		}
+		p.Elements = append(p.Elements, e)
+	}
+	for _, xf := range xp.Flows {
+		p.Flows = append(p.Flows, &Flow{
+			ID: xf.ID, Name: xf.Name, From: xf.SourceRef, To: xf.TargetRef, Condition: xf.Condition,
+		})
+	}
+	return p, nil
+}
+
+// UnmarshalXML decodes a <process> element, dispatching child elements
+// on their tag names (sequence flows vs flow nodes).
+func (xp *xmlProcess) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "id":
+			xp.ID = a.Value
+		case "name":
+			xp.Name = a.Value
+		case "version":
+			if _, err := fmt.Sscanf(a.Value, "%d", &xp.Version); err != nil {
+				return fmt.Errorf("model: bad version %q: %w", a.Value, err)
+			}
+		}
+	}
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return fmt.Errorf("model: unexpected EOF in <process>")
+		}
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "sequenceFlow":
+				var f xmlFlow
+				if err := d.DecodeElement(&f, &t); err != nil {
+					return err
+				}
+				xp.Flows = append(xp.Flows, f)
+			case "documentation":
+				var doc string
+				if err := d.DecodeElement(&doc, &t); err != nil {
+					return err
+				}
+				xp.Documentation = doc
+			default:
+				var e xmlElem
+				if err := d.DecodeElement(&e, &t); err != nil {
+					return err
+				}
+				e.XMLName = t.Name
+				xp.Elems = append(xp.Elems, e)
+			}
+		case xml.EndElement:
+			if t.Name.Local == "process" {
+				return nil
+			}
+		}
+	}
+}
+
+// EncodeXML serialises the process definition as indented XML.
+func EncodeXML(p *Process) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(toXML(p)); err != nil {
+		return nil, fmt.Errorf("model: encode xml: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// DecodeXML parses a process definition from XML and validates it.
+func DecodeXML(data []byte) (*Process, error) {
+	var xp xmlProcess
+	if err := xml.Unmarshal(data, &xp); err != nil {
+		return nil, fmt.Errorf("model: decode xml: %w", err)
+	}
+	p, err := fromXML(&xp)
+	if err != nil {
+		return nil, err
+	}
+	if p.Version == 0 {
+		p.Version = 1
+	}
+	p.Index()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,225 @@
+package petri
+
+// Structural analysis: place invariants (P-invariants). A P-invariant
+// is a non-negative integer weighting y of places with y·C = 0 for the
+// incidence matrix C — the weighted token count is constant under any
+// firing. Invariants give marking bounds without state-space
+// exploration: a net covered by positive P-invariants is structurally
+// bounded. The solver is Farkas' algorithm on the incidence matrix,
+// pruned to minimal-support invariants.
+
+// Invariant is one P-invariant: Weights[p] is the multiplier of place
+// p (0 for places outside the support).
+type Invariant struct {
+	Weights []int64
+}
+
+// Support returns the places with non-zero weight.
+func (iv Invariant) Support() []PlaceID {
+	var out []PlaceID
+	for p, w := range iv.Weights {
+		if w != 0 {
+			out = append(out, PlaceID(p))
+		}
+	}
+	return out
+}
+
+// WeightedTokens returns y·m for a marking.
+func (iv Invariant) WeightedTokens(m Marking) int64 {
+	var sum int64
+	for p, w := range iv.Weights {
+		if w != 0 {
+			sum += w * int64(m[p])
+		}
+	}
+	return sum
+}
+
+// incidence returns C[t][p] = post(t,p) - pre(t,p).
+func (n *Net) incidence() [][]int64 {
+	c := make([][]int64, n.Transitions())
+	for t := range c {
+		row := make([]int64, n.Places())
+		for _, p := range n.Pre(TransitionID(t)) {
+			row[p]--
+		}
+		for _, p := range n.Post(TransitionID(t)) {
+			row[p]++
+		}
+		c[t] = row
+	}
+	return c
+}
+
+// maxInvariantRows caps the intermediate row set of the Farkas
+// construction (it can blow up exponentially on adversarial nets).
+const maxInvariantRows = 4096
+
+// PInvariants computes non-negative P-invariants with minimal support
+// using Farkas' algorithm. The result may be empty (many workflow nets
+// with XOR routing still have the outer "one token in play" invariant;
+// nets with unbalanced splits have none). Returns nil if the row bound
+// is exceeded.
+func (n *Net) PInvariants() []Invariant {
+	places := n.Places()
+	c := n.incidence()
+	// Rows: [identity | incidence columns], one row per place.
+	type row struct {
+		y []int64 // length places
+		d []int64 // length transitions: y·C
+	}
+	rows := make([]*row, 0, places)
+	for p := 0; p < places; p++ {
+		y := make([]int64, places)
+		y[p] = 1
+		d := make([]int64, n.Transitions())
+		for t := 0; t < n.Transitions(); t++ {
+			d[t] = c[t][p]
+		}
+		rows = append(rows, &row{y: y, d: d})
+	}
+	// Eliminate transition columns one by one.
+	for t := 0; t < n.Transitions(); t++ {
+		var zero, pos, neg []*row
+		for _, r := range rows {
+			switch {
+			case r.d[t] == 0:
+				zero = append(zero, r)
+			case r.d[t] > 0:
+				pos = append(pos, r)
+			default:
+				neg = append(neg, r)
+			}
+		}
+		if len(pos)*len(neg)+len(zero) > maxInvariantRows {
+			return nil
+		}
+		next := zero
+		for _, rp := range pos {
+			for _, rn := range neg {
+				a, b := rp.d[t], -rn.d[t]
+				g := gcd64(a, b)
+				ca, cb := b/g, a/g
+				y := make([]int64, places)
+				for i := range y {
+					y[i] = ca*rp.y[i] + cb*rn.y[i]
+				}
+				d := make([]int64, n.Transitions())
+				for i := range d {
+					d[i] = ca*rp.d[i] + cb*rn.d[i]
+				}
+				next = append(next, &row{y: normalize(y), d: d})
+			}
+		}
+		rows = next
+	}
+	// Keep minimal-support, deduplicated invariants.
+	var out []Invariant
+	for _, r := range rows {
+		if isZero(r.y) {
+			continue
+		}
+		dominated := false
+		for _, other := range rows {
+			if other == r || isZero(other.y) {
+				continue
+			}
+			if strictlySmallerSupport(other.y, r.y) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		dup := false
+		for _, have := range out {
+			if equalVec(have.Weights, r.y) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, Invariant{Weights: r.y})
+		}
+	}
+	return out
+}
+
+// CoveredByPInvariants reports whether every place is in the support
+// of some computed invariant — a sufficient condition for structural
+// boundedness.
+func (n *Net) CoveredByPInvariants() bool {
+	invs := n.PInvariants()
+	covered := make([]bool, n.Places())
+	for _, iv := range invs {
+		for _, p := range iv.Support() {
+			covered[p] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return n.Places() > 0
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// normalize divides the vector by the gcd of its entries.
+func normalize(y []int64) []int64 {
+	var g int64
+	for _, v := range y {
+		if v != 0 {
+			g = gcd64(g, v)
+		}
+	}
+	if g > 1 {
+		for i := range y {
+			y[i] /= g
+		}
+	}
+	return y
+}
+
+func isZero(y []int64) bool {
+	for _, v := range y {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equalVec(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// strictlySmallerSupport reports whether support(a) ⊊ support(b).
+func strictlySmallerSupport(a, b []int64) bool {
+	smaller := false
+	for i := range a {
+		if a[i] != 0 && b[i] == 0 {
+			return false
+		}
+		if a[i] == 0 && b[i] != 0 {
+			smaller = true
+		}
+	}
+	return smaller
+}

@@ -1,0 +1,175 @@
+package petri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// cycleNet: p0 -> t0 -> p1 -> t1 -> p0. One token circulates, so
+// y = (1,1) is the P-invariant.
+func cycleNet() (*Net, Marking) {
+	b := NewBuilder()
+	p0 := b.AddPlace("p0")
+	p1 := b.AddPlace("p1")
+	t0 := b.AddTransition("t0")
+	t1 := b.AddTransition("t1")
+	b.ArcPT(p0, t0)
+	b.ArcTP(t0, p1)
+	b.ArcPT(p1, t1)
+	b.ArcTP(t1, p0)
+	net := b.Build()
+	m := net.NewMarking()
+	m[p0] = 1
+	return net, m
+}
+
+func TestPInvariantsCycle(t *testing.T) {
+	net, m0 := cycleNet()
+	invs := net.PInvariants()
+	if len(invs) != 1 {
+		t.Fatalf("invariants = %d, want 1", len(invs))
+	}
+	iv := invs[0]
+	if len(iv.Support()) != 2 {
+		t.Errorf("support = %v", iv.Support())
+	}
+	if iv.WeightedTokens(m0) != 1 {
+		t.Errorf("weighted tokens = %d", iv.WeightedTokens(m0))
+	}
+	if !net.CoveredByPInvariants() {
+		t.Error("cycle net should be covered")
+	}
+}
+
+func TestPInvariantsForkJoin(t *testing.T) {
+	// start -> fork -> (a, b) -> join -> end; short-circuited back to
+	// start so the net is conservative: invariant start+a+b?? The
+	// weighted invariant is start + end + a = start + end + b...
+	// Construct and just verify the invariant property holds along a run.
+	b := NewBuilder()
+	start := b.AddPlace("start")
+	pa := b.AddPlace("a")
+	pb := b.AddPlace("b")
+	end := b.AddPlace("end")
+	fork := b.AddTransition("fork")
+	ta := b.AddTransition("ta")
+	join := b.AddTransition("join")
+	back := b.AddTransition("back")
+	b.ArcPT(start, fork)
+	b.ArcTP(fork, pa)
+	b.ArcTP(fork, pb)
+	b.ArcPT(pa, ta)
+	pa2 := b.AddPlace("a2")
+	b.ArcTP(ta, pa2)
+	b.ArcPT(pa2, join)
+	b.ArcPT(pb, join)
+	b.ArcTP(join, end)
+	b.ArcPT(end, back)
+	b.ArcTP(back, start)
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[start] = 1
+
+	invs := net.PInvariants()
+	if len(invs) == 0 {
+		t.Fatal("fork/join cycle should have P-invariants")
+	}
+	if !net.CoveredByPInvariants() {
+		t.Error("conservative net should be covered")
+	}
+	// Invariant property: y·m constant along any firing sequence.
+	m := m0
+	for step := 0; step < 20; step++ {
+		es := net.EnabledSet(m)
+		if len(es) == 0 {
+			break
+		}
+		next := net.Fire(m, es[step%len(es)])
+		for _, iv := range invs {
+			if iv.WeightedTokens(next) != iv.WeightedTokens(m0) {
+				t.Fatalf("invariant broken at step %d: %d != %d",
+					step, iv.WeightedTokens(next), iv.WeightedTokens(m0))
+			}
+		}
+		m = next
+	}
+}
+
+func TestPInvariantsUnboundedNetNotCovered(t *testing.T) {
+	// A generator transition pumps tokens: no positive invariant can
+	// cover the pumped place.
+	b := NewBuilder()
+	src := b.AddPlace("src")
+	sink := b.AddPlace("sink")
+	gen := b.AddTransition("gen")
+	b.ArcPT(src, gen)
+	b.ArcTP(gen, src)
+	b.ArcTP(gen, sink)
+	net := b.Build()
+	if net.CoveredByPInvariants() {
+		t.Error("unbounded net must not be covered by P-invariants")
+	}
+	// src itself still carries an invariant (self-loop conserves it).
+	invs := net.PInvariants()
+	foundSrc := false
+	for _, iv := range invs {
+		for _, p := range iv.Support() {
+			if p == src {
+				foundSrc = true
+			}
+			if p == sink {
+				t.Error("sink must not be in any invariant support")
+			}
+		}
+	}
+	if !foundSrc {
+		t.Errorf("src should be covered, invariants = %v", invs)
+	}
+}
+
+// Property: for random chains (always conservative under
+// short-circuit), every computed invariant is genuinely invariant
+// under every enabled firing from the initial marking.
+func TestQuickInvariantsHoldUnderFiring(t *testing.T) {
+	f := func(nRaw uint8, steps uint8) bool {
+		n := int(nRaw%6) + 2
+		// Build a ring of n places.
+		b := NewBuilder()
+		var ps []PlaceID
+		for i := 0; i < n; i++ {
+			ps = append(ps, b.AddPlace(string(rune('a'+i))))
+		}
+		for i := 0; i < n; i++ {
+			t := b.AddTransition(string(rune('A' + i)))
+			b.ArcPT(ps[i], t)
+			b.ArcTP(t, ps[(i+1)%n])
+		}
+		net := b.Build()
+		m := net.NewMarking()
+		m[ps[0]] = 2
+		invs := net.PInvariants()
+		if len(invs) == 0 {
+			return false // a ring is conservative
+		}
+		want := make([]int64, len(invs))
+		for i, iv := range invs {
+			want[i] = iv.WeightedTokens(m)
+		}
+		for s := 0; s < int(steps%20); s++ {
+			es := net.EnabledSet(m)
+			if len(es) == 0 {
+				break
+			}
+			m = net.Fire(m, es[s%len(es)])
+			for i, iv := range invs {
+				if iv.WeightedTokens(m) != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

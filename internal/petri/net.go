@@ -1,0 +1,317 @@
+// Package petri implements place/transition Petri nets with token-game
+// semantics, reachability and coverability (Karp-Miller) analysis, and
+// the structural helpers needed by workflow-net verification.
+//
+// Nets are built once via a Builder and are immutable afterwards, so a
+// Net may be analysed concurrently. Markings are dense token-count
+// vectors indexed by place ID.
+package petri
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PlaceID identifies a place within its net (dense, 0-based).
+type PlaceID int
+
+// TransitionID identifies a transition within its net (dense, 0-based).
+type TransitionID int
+
+// Net is an immutable place/transition net. Arc weights are all 1,
+// which suffices for workflow nets derived from process models.
+type Net struct {
+	placeNames []string
+	transNames []string
+
+	pre  [][]PlaceID // pre[t] = input places of transition t
+	post [][]PlaceID // post[t] = output places of transition t
+
+	consumers [][]TransitionID // consumers[p] = transitions with p in pre
+	producers [][]TransitionID // producers[p] = transitions with p in post
+}
+
+// Builder assembles a Net.
+type Builder struct {
+	placeNames []string
+	transNames []string
+	placeByNm  map[string]PlaceID
+	transByNm  map[string]TransitionID
+	pre        [][]PlaceID
+	post       [][]PlaceID
+}
+
+// NewBuilder returns an empty net builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		placeByNm: map[string]PlaceID{},
+		transByNm: map[string]TransitionID{},
+	}
+}
+
+// AddPlace adds (or returns the existing) place with the given name.
+func (b *Builder) AddPlace(name string) PlaceID {
+	if id, ok := b.placeByNm[name]; ok {
+		return id
+	}
+	id := PlaceID(len(b.placeNames))
+	b.placeNames = append(b.placeNames, name)
+	b.placeByNm[name] = id
+	return id
+}
+
+// AddTransition adds (or returns the existing) transition with the
+// given name.
+func (b *Builder) AddTransition(name string) TransitionID {
+	if id, ok := b.transByNm[name]; ok {
+		return id
+	}
+	id := TransitionID(len(b.transNames))
+	b.transNames = append(b.transNames, name)
+	b.pre = append(b.pre, nil)
+	b.post = append(b.post, nil)
+	b.transByNm[name] = id
+	return id
+}
+
+// ArcPT adds an arc from place p to transition t.
+func (b *Builder) ArcPT(p PlaceID, t TransitionID) {
+	b.pre[t] = append(b.pre[t], p)
+}
+
+// ArcTP adds an arc from transition t to place p.
+func (b *Builder) ArcTP(t TransitionID, p PlaceID) {
+	b.post[t] = append(b.post[t], p)
+}
+
+// Build finalizes the net.
+func (b *Builder) Build() *Net {
+	n := &Net{
+		placeNames: b.placeNames,
+		transNames: b.transNames,
+		pre:        b.pre,
+		post:       b.post,
+		consumers:  make([][]TransitionID, len(b.placeNames)),
+		producers:  make([][]TransitionID, len(b.placeNames)),
+	}
+	for t := range n.pre {
+		for _, p := range n.pre[t] {
+			n.consumers[p] = append(n.consumers[p], TransitionID(t))
+		}
+		for _, p := range n.post[t] {
+			n.producers[p] = append(n.producers[p], TransitionID(t))
+		}
+	}
+	return n
+}
+
+// Places returns the number of places.
+func (n *Net) Places() int { return len(n.placeNames) }
+
+// Transitions returns the number of transitions.
+func (n *Net) Transitions() int { return len(n.transNames) }
+
+// PlaceName returns the name of place p.
+func (n *Net) PlaceName(p PlaceID) string { return n.placeNames[p] }
+
+// TransitionName returns the name of transition t.
+func (n *Net) TransitionName(t TransitionID) string { return n.transNames[t] }
+
+// PlaceByName looks a place up by name.
+func (n *Net) PlaceByName(name string) (PlaceID, bool) {
+	for i, nm := range n.placeNames {
+		if nm == name {
+			return PlaceID(i), true
+		}
+	}
+	return -1, false
+}
+
+// TransitionByName looks a transition up by name.
+func (n *Net) TransitionByName(name string) (TransitionID, bool) {
+	for i, nm := range n.transNames {
+		if nm == name {
+			return TransitionID(i), true
+		}
+	}
+	return -1, false
+}
+
+// Pre returns the input places of t.
+func (n *Net) Pre(t TransitionID) []PlaceID { return n.pre[t] }
+
+// Post returns the output places of t.
+func (n *Net) Post(t TransitionID) []PlaceID { return n.post[t] }
+
+// Consumers returns the transitions consuming from place p.
+func (n *Net) Consumers(p PlaceID) []TransitionID { return n.consumers[p] }
+
+// Producers returns the transitions producing into place p.
+func (n *Net) Producers(p PlaceID) []TransitionID { return n.producers[p] }
+
+// Omega is the token count representing "unboundedly many" in
+// coverability markings.
+const Omega = math.MaxInt32
+
+// Marking is a token-count vector indexed by PlaceID. A count of Omega
+// means "arbitrarily many" (coverability analysis only).
+type Marking []int32
+
+// NewMarking returns the empty marking for net n.
+func (n *Net) NewMarking() Marking { return make(Marking, n.Places()) }
+
+// MarkingOf builds a marking with the given token counts by place name.
+func (n *Net) MarkingOf(tokens map[string]int) (Marking, error) {
+	m := n.NewMarking()
+	for name, c := range tokens {
+		p, ok := n.PlaceByName(name)
+		if !ok {
+			return nil, fmt.Errorf("petri: unknown place %q", name)
+		}
+		m[p] = int32(c)
+	}
+	return m, nil
+}
+
+// Clone returns a copy of m.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether two markings are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether m >= o componentwise.
+func (m Marking) Covers(o Marking) bool {
+	for i := range m {
+		if m[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyCovers reports whether m >= o and m != o.
+func (m Marking) StrictlyCovers(o Marking) bool {
+	return m.Covers(o) && !m.Equal(o)
+}
+
+// Tokens returns the total token count (Omega-valued places count as
+// Omega).
+func (m Marking) Tokens() int64 {
+	var sum int64
+	for _, c := range m {
+		if c == Omega {
+			return int64(Omega)
+		}
+		sum += int64(c)
+	}
+	return sum
+}
+
+// HasOmega reports whether any component is Omega.
+func (m Marking) HasOmega() bool {
+	for _, c := range m {
+		if c == Omega {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a compact hashable representation of m.
+func (m Marking) Key() string {
+	// Sparse varint-ish encoding: most workflow markings are sparse.
+	var sb strings.Builder
+	for i, c := range m {
+		if c != 0 {
+			fmt.Fprintf(&sb, "%d:%d;", i, c)
+		}
+	}
+	return sb.String()
+}
+
+// String renders m as {place: count, ...} using place names.
+func (m Marking) String(n *Net) string {
+	var parts []string
+	for i, c := range m {
+		if c == 0 {
+			continue
+		}
+		cnt := fmt.Sprintf("%d", c)
+		if c == Omega {
+			cnt = "ω"
+		}
+		parts = append(parts, fmt.Sprintf("%s:%s", n.PlaceName(PlaceID(i)), cnt))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Enabled reports whether transition t is enabled in marking m.
+func (n *Net) Enabled(m Marking, t TransitionID) bool {
+	for _, p := range n.pre[t] {
+		if m[p] < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledSet returns all transitions enabled in m, in ID order.
+func (n *Net) EnabledSet(m Marking) []TransitionID {
+	var out []TransitionID
+	for t := 0; t < len(n.pre); t++ {
+		if n.Enabled(m, TransitionID(t)) {
+			out = append(out, TransitionID(t))
+		}
+	}
+	return out
+}
+
+// Fire fires transition t in marking m, returning the successor
+// marking. Fire panics if t is not enabled; callers check Enabled
+// first. Omega counts absorb consumption and production.
+func (n *Net) Fire(m Marking, t TransitionID) Marking {
+	out := m.Clone()
+	for _, p := range n.pre[t] {
+		if out[p] == Omega {
+			continue
+		}
+		if out[p] < 1 {
+			panic(fmt.Sprintf("petri: firing disabled transition %s", n.transNames[t]))
+		}
+		out[p]--
+	}
+	for _, p := range n.post[t] {
+		if out[p] == Omega {
+			continue
+		}
+		out[p]++
+	}
+	return out
+}
+
+// IsDead reports whether no transition is enabled in m.
+func (n *Net) IsDead(m Marking) bool {
+	for t := 0; t < len(n.pre); t++ {
+		if n.Enabled(m, TransitionID(t)) {
+			return false
+		}
+	}
+	return true
+}

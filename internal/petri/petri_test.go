@@ -1,0 +1,342 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// chainNet builds p0 -> t0 -> p1 -> t1 -> ... -> pn.
+func chainNet(n int) (*Net, Marking) {
+	b := NewBuilder()
+	prev := b.AddPlace("p0")
+	for i := 0; i < n; i++ {
+		t := b.AddTransition("t" + string(rune('a'+i)))
+		b.ArcPT(prev, t)
+		next := b.AddPlace("p" + string(rune('1'+i)))
+		b.ArcTP(t, next)
+		prev = next
+	}
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[0] = 1
+	return net, m0
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	b := NewBuilder()
+	p1 := b.AddPlace("in")
+	p2 := b.AddPlace("out")
+	tr := b.AddTransition("go")
+	b.ArcPT(p1, tr)
+	b.ArcTP(tr, p2)
+	// Adding the same names again returns the same IDs.
+	if b.AddPlace("in") != p1 || b.AddTransition("go") != tr {
+		t.Fatal("duplicate add should be idempotent")
+	}
+	n := b.Build()
+	if n.Places() != 2 || n.Transitions() != 1 {
+		t.Fatalf("sizes: %d places, %d transitions", n.Places(), n.Transitions())
+	}
+	if n.PlaceName(p1) != "in" || n.TransitionName(tr) != "go" {
+		t.Error("names wrong")
+	}
+	if got, ok := n.PlaceByName("out"); !ok || got != p2 {
+		t.Error("PlaceByName failed")
+	}
+	if _, ok := n.PlaceByName("ghost"); ok {
+		t.Error("PlaceByName(ghost) should fail")
+	}
+	if got, ok := n.TransitionByName("go"); !ok || got != tr {
+		t.Error("TransitionByName failed")
+	}
+	if len(n.Pre(tr)) != 1 || n.Pre(tr)[0] != p1 {
+		t.Error("Pre wrong")
+	}
+	if len(n.Consumers(p1)) != 1 || len(n.Producers(p2)) != 1 {
+		t.Error("consumer/producer index wrong")
+	}
+}
+
+func TestFiringSemantics(t *testing.T) {
+	net, m0 := chainNet(2)
+	t0 := TransitionID(0)
+	t1 := TransitionID(1)
+	if !net.Enabled(m0, t0) {
+		t.Fatal("t0 should be enabled initially")
+	}
+	if net.Enabled(m0, t1) {
+		t.Fatal("t1 should be disabled initially")
+	}
+	m1 := net.Fire(m0, t0)
+	if m0[0] != 1 {
+		t.Error("Fire must not mutate the input marking")
+	}
+	if m1[0] != 0 || m1[1] != 1 {
+		t.Errorf("m1 = %v", m1)
+	}
+	if es := net.EnabledSet(m1); len(es) != 1 || es[0] != t1 {
+		t.Errorf("EnabledSet(m1) = %v", es)
+	}
+	m2 := net.Fire(m1, t1)
+	if !net.IsDead(m2) {
+		t.Error("final marking should be dead")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("firing a disabled transition must panic")
+		}
+	}()
+	net.Fire(m0, t1)
+}
+
+func TestMarkingOps(t *testing.T) {
+	net, _ := chainNet(2)
+	m, err := net.MarkingOf(map[string]int{"p0": 2, "p2": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tokens() != 3 {
+		t.Errorf("Tokens = %d", m.Tokens())
+	}
+	o, _ := net.MarkingOf(map[string]int{"p0": 1})
+	if !m.Covers(o) || !m.StrictlyCovers(o) {
+		t.Error("covers failed")
+	}
+	if o.Covers(m) {
+		t.Error("o should not cover m")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone not equal")
+	}
+	if m.Key() == o.Key() {
+		t.Error("distinct markings share a key")
+	}
+	if _, err := net.MarkingOf(map[string]int{"ghost": 1}); err == nil {
+		t.Error("MarkingOf(ghost) should fail")
+	}
+	if s := m.String(net); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestReachabilityChain(t *testing.T) {
+	net, m0 := chainNet(5)
+	g, err := Reachability(net, m0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.States) != 6 {
+		t.Errorf("states = %d, want 6", len(g.States))
+	}
+	if len(g.Edges) != 5 {
+		t.Errorf("edges = %d, want 5", len(g.Edges))
+	}
+	if dl := g.Deadlocks(); len(dl) != 1 {
+		t.Errorf("deadlocks = %v, want exactly the final state", dl)
+	}
+	if dead := g.DeadTransitions(); len(dead) != 0 {
+		t.Errorf("dead transitions = %v", dead)
+	}
+	if !g.Complete {
+		t.Error("graph should be complete")
+	}
+}
+
+func TestReachabilityBudget(t *testing.T) {
+	// Parallel branches: 2^n states; budget cuts exploration short.
+	b := NewBuilder()
+	start := b.AddPlace("start")
+	tSplit := b.AddTransition("split")
+	b.ArcPT(start, tSplit)
+	for i := 0; i < 12; i++ {
+		pa := b.AddPlace("a" + string(rune('0'+i)))
+		pb := b.AddPlace("b" + string(rune('0'+i)))
+		tr := b.AddTransition("t" + string(rune('0'+i)))
+		b.ArcTP(tSplit, pa)
+		b.ArcPT(pa, tr)
+		b.ArcTP(tr, pb)
+	}
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[start] = 1
+	g, err := Reachability(net, m0, 100)
+	if !errors.Is(err, ErrStateSpaceExceeded) {
+		t.Fatalf("err = %v, want ErrStateSpaceExceeded", err)
+	}
+	if g.Complete {
+		t.Error("graph should be marked incomplete")
+	}
+}
+
+func TestDeadTransitionDetected(t *testing.T) {
+	b := NewBuilder()
+	p0 := b.AddPlace("p0")
+	p1 := b.AddPlace("p1")
+	pIso := b.AddPlace("isolated")
+	t0 := b.AddTransition("t0")
+	tDead := b.AddTransition("never")
+	b.ArcPT(p0, t0)
+	b.ArcTP(t0, p1)
+	b.ArcPT(pIso, tDead) // isolated place never marked
+	b.ArcTP(tDead, p1)
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[p0] = 1
+	g, err := Reachability(net, m0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := g.DeadTransitions()
+	if len(dead) != 1 || net.TransitionName(dead[0]) != "never" {
+		t.Errorf("dead = %v", dead)
+	}
+}
+
+func TestBackwardReachable(t *testing.T) {
+	// Diamond: s -> a|b -> join.
+	b := NewBuilder()
+	ps := b.AddPlace("s")
+	pa := b.AddPlace("a")
+	pb := b.AddPlace("b")
+	pe := b.AddPlace("e")
+	ta := b.AddTransition("ta")
+	tb := b.AddTransition("tb")
+	tja := b.AddTransition("ja")
+	tjb := b.AddTransition("jb")
+	b.ArcPT(ps, ta)
+	b.ArcTP(ta, pa)
+	b.ArcPT(ps, tb)
+	b.ArcTP(tb, pb)
+	b.ArcPT(pa, tja)
+	b.ArcTP(tja, pe)
+	b.ArcPT(pb, tjb)
+	b.ArcTP(tjb, pe)
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[ps] = 1
+	g, err := Reachability(net, m0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := net.NewMarking()
+	final[pe] = 1
+	fs := g.StateOf(final)
+	if fs < 0 {
+		t.Fatal("final marking not reached")
+	}
+	back := g.BackwardReachable([]int{fs})
+	// Every state can reach the final marking in this net.
+	if len(back) != len(g.States) {
+		t.Errorf("backward reachable %d of %d states", len(back), len(g.States))
+	}
+}
+
+func TestCoverabilityDetectsUnbounded(t *testing.T) {
+	// t produces into p without consuming: unbounded.
+	b := NewBuilder()
+	src := b.AddPlace("src")
+	p := b.AddPlace("p")
+	tr := b.AddTransition("gen")
+	b.ArcPT(src, tr)
+	b.ArcTP(tr, src) // keep src marked
+	b.ArcTP(tr, p)   // pump p
+	net := b.Build()
+	m0 := net.NewMarking()
+	m0[src] = 1
+	bounded, err := Bounded(net, m0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded {
+		t.Error("net should be unbounded")
+	}
+	g, err := Coverability(net, m0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOmega := false
+	for _, m := range g.States {
+		if m.HasOmega() {
+			foundOmega = true
+		}
+	}
+	if !foundOmega {
+		t.Error("coverability graph should contain an Omega marking")
+	}
+}
+
+func TestCoverabilityBoundedNet(t *testing.T) {
+	net, m0 := chainNet(3)
+	bounded, err := Bounded(net, m0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded {
+		t.Error("chain net should be bounded")
+	}
+}
+
+// Property: firing preserves token count for transitions with equal
+// pre/post arity (chain nets: 1 in, 1 out).
+func TestQuickChainTokenConservation(t *testing.T) {
+	f := func(n uint8) bool {
+		length := int(n%10) + 1
+		net, m0 := chainNet(length)
+		m := m0
+		for {
+			es := net.EnabledSet(m)
+			if len(es) == 0 {
+				break
+			}
+			m = net.Fire(m, es[0])
+			if m.Tokens() != 1 {
+				return false
+			}
+		}
+		// Token must end in the last place.
+		return m[len(m)-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reachability graph of a 1-safe chain has length+1 states.
+func TestQuickChainReachabilitySize(t *testing.T) {
+	f := func(n uint8) bool {
+		length := int(n%12) + 1
+		net, m0 := chainNet(length)
+		g, err := Reachability(net, m0, 10000)
+		if err != nil {
+			return false
+		}
+		return len(g.States) == length+1 && len(g.Edges) == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers is a partial order (reflexive, antisymmetric on
+// Equal, transitive) for random small markings.
+func TestQuickCoversPartialOrder(t *testing.T) {
+	f := func(a, b, c [4]uint8) bool {
+		ma := Marking{int32(a[0] % 4), int32(a[1] % 4), int32(a[2] % 4), int32(a[3] % 4)}
+		mb := Marking{int32(b[0] % 4), int32(b[1] % 4), int32(b[2] % 4), int32(b[3] % 4)}
+		mc := Marking{int32(c[0] % 4), int32(c[1] % 4), int32(c[2] % 4), int32(c[3] % 4)}
+		if !ma.Covers(ma) {
+			return false
+		}
+		if ma.Covers(mb) && mb.Covers(ma) && !ma.Equal(mb) {
+			return false
+		}
+		if ma.Covers(mb) && mb.Covers(mc) && !ma.Covers(mc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

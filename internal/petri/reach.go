@@ -1,0 +1,215 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStateSpaceExceeded is returned when exploration hits the caller's
+// state budget before exhausting the state space.
+var ErrStateSpaceExceeded = errors.New("petri: state space budget exceeded")
+
+// Edge is one firing in a state graph: from state From, firing
+// transition T leads to state To.
+type Edge struct {
+	From, To int
+	T        TransitionID
+}
+
+// Graph is an explicit state graph (reachability or coverability).
+// States are markings; state 0 is the initial marking.
+type Graph struct {
+	Net      *Net
+	States   []Marking
+	Edges    []Edge
+	Out      [][]int // Out[s] = indices into Edges leaving state s
+	Complete bool    // false if the exploration budget was exhausted
+}
+
+// index returns a state-key → state-id map for external lookups.
+func (g *Graph) index() map[string]int {
+	idx := make(map[string]int, len(g.States))
+	for i, m := range g.States {
+		idx[m.Key()] = i
+	}
+	return idx
+}
+
+// StateOf returns the state ID of marking m, or -1.
+func (g *Graph) StateOf(m Marking) int {
+	key := m.Key()
+	for i, s := range g.States {
+		if s.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Reachability explores the full reachability graph of net n from m0,
+// visiting at most maxStates states. If the budget is exceeded it
+// returns the partial graph together with ErrStateSpaceExceeded.
+func Reachability(n *Net, m0 Marking, maxStates int) (*Graph, error) {
+	g := &Graph{Net: n, Complete: true}
+	seen := map[string]int{}
+	push := func(m Marking) int {
+		k := m.Key()
+		if id, ok := seen[k]; ok {
+			return id
+		}
+		id := len(g.States)
+		g.States = append(g.States, m)
+		g.Out = append(g.Out, nil)
+		seen[k] = id
+		return id
+	}
+	push(m0.Clone())
+	for frontier := 0; frontier < len(g.States); frontier++ {
+		if len(g.States) > maxStates {
+			g.Complete = false
+			return g, fmt.Errorf("%w: %d states", ErrStateSpaceExceeded, len(g.States))
+		}
+		m := g.States[frontier]
+		for t := 0; t < n.Transitions(); t++ {
+			tid := TransitionID(t)
+			if !n.Enabled(m, tid) {
+				continue
+			}
+			next := n.Fire(m, tid)
+			to := push(next)
+			eid := len(g.Edges)
+			g.Edges = append(g.Edges, Edge{From: frontier, To: to, T: tid})
+			g.Out[frontier] = append(g.Out[frontier], eid)
+		}
+	}
+	return g, nil
+}
+
+// Deadlocks returns the IDs of states in which no transition is
+// enabled.
+func (g *Graph) Deadlocks() []int {
+	var out []int
+	for s := range g.States {
+		if len(g.Out[s]) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FiredTransitions returns the set of transitions appearing on at
+// least one edge.
+func (g *Graph) FiredTransitions() map[TransitionID]bool {
+	fired := make(map[TransitionID]bool)
+	for _, e := range g.Edges {
+		fired[e.T] = true
+	}
+	return fired
+}
+
+// DeadTransitions returns transitions that never fire anywhere in the
+// graph, in ID order.
+func (g *Graph) DeadTransitions() []TransitionID {
+	fired := g.FiredTransitions()
+	var out []TransitionID
+	for t := 0; t < g.Net.Transitions(); t++ {
+		if !fired[TransitionID(t)] {
+			out = append(out, TransitionID(t))
+		}
+	}
+	return out
+}
+
+// BackwardReachable returns the set of states from which any state in
+// targets is reachable (including the targets themselves).
+func (g *Graph) BackwardReachable(targets []int) map[int]bool {
+	// Build reverse adjacency once.
+	rev := make([][]int, len(g.States))
+	for _, e := range g.Edges {
+		rev[e.To] = append(rev[e.To], e.From)
+	}
+	seen := make(map[int]bool, len(targets))
+	stack := append([]int(nil), targets...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack, rev[s]...)
+	}
+	return seen
+}
+
+// Coverability builds the Karp-Miller coverability graph of net n from
+// m0, generalising growing token counts to Omega. It terminates on all
+// nets; maxStates bounds the exploration as a safety valve.
+func Coverability(n *Net, m0 Marking, maxStates int) (*Graph, error) {
+	g := &Graph{Net: n, Complete: true}
+	seen := map[string]int{}
+	// parent chain for ancestor acceleration
+	parents := []int{-1}
+	push := func(m Marking, parent int) (int, bool) {
+		k := m.Key()
+		if id, ok := seen[k]; ok {
+			return id, false
+		}
+		id := len(g.States)
+		g.States = append(g.States, m)
+		g.Out = append(g.Out, nil)
+		parents = append(parents, parent)
+		seen[k] = id
+		return id, true
+	}
+	seen[m0.Key()] = 0
+	g.States = append(g.States, m0.Clone())
+	g.Out = append(g.Out, nil)
+
+	for frontier := 0; frontier < len(g.States); frontier++ {
+		if len(g.States) > maxStates {
+			g.Complete = false
+			return g, fmt.Errorf("%w: %d states", ErrStateSpaceExceeded, len(g.States))
+		}
+		m := g.States[frontier]
+		for t := 0; t < n.Transitions(); t++ {
+			tid := TransitionID(t)
+			if !n.Enabled(m, tid) {
+				continue
+			}
+			next := n.Fire(m, tid)
+			// Karp-Miller acceleration: if next strictly covers an
+			// ancestor, pump the strictly larger places to Omega.
+			for a := frontier; a != -1; a = parents[a] {
+				anc := g.States[a]
+				if next.StrictlyCovers(anc) {
+					for p := range next {
+						if next[p] > anc[p] {
+							next[p] = Omega
+						}
+					}
+				}
+			}
+			to, _ := push(next, frontier)
+			eid := len(g.Edges)
+			g.Edges = append(g.Edges, Edge{From: frontier, To: to, T: tid})
+			g.Out[frontier] = append(g.Out[frontier], eid)
+		}
+	}
+	return g, nil
+}
+
+// Bounded reports whether the net with initial marking m0 is bounded,
+// i.e. its coverability graph contains no Omega marking.
+func Bounded(n *Net, m0 Marking, maxStates int) (bool, error) {
+	g, err := Coverability(n, m0, maxStates)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range g.States {
+		if m.HasOmega() {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,174 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testDirectory() *Directory {
+	d := NewDirectory()
+	d.AddUser(&User{ID: "alice", Roles: []string{"clerk", "manager"}, Capabilities: []string{"fraud"}})
+	d.AddUser(&User{ID: "bob", Roles: []string{"clerk"}})
+	d.AddUser(&User{ID: "carol", Roles: []string{"clerk"}, Capabilities: []string{"fraud", "legal"}})
+	return d
+}
+
+func TestDirectory(t *testing.T) {
+	d := testDirectory()
+	if d.Count() != 3 {
+		t.Errorf("Count = %d", d.Count())
+	}
+	u := d.UserByID("alice")
+	if u == nil || !u.HasRole("manager") || !u.HasCapability("fraud") {
+		t.Errorf("alice = %+v", u)
+	}
+	if d.UserByID("ghost") != nil {
+		t.Error("ghost should be nil")
+	}
+	clerks := d.UsersInRole("clerk")
+	if len(clerks) != 3 {
+		t.Errorf("clerks = %d", len(clerks))
+	}
+	if got := d.UsersInRole("nobody"); len(got) != 0 {
+		t.Errorf("empty role = %v", got)
+	}
+	all := d.AllUsers()
+	if len(all) != 3 || all[0].ID != "alice" || all[2].ID != "carol" {
+		t.Errorf("AllUsers = %v", all)
+	}
+	// Returned copies must not alias internal state.
+	u.Roles[0] = "hacked"
+	if d.UserByID("alice").Roles[0] == "hacked" {
+		t.Error("UserByID leaks internal state")
+	}
+	// Re-adding replaces role membership.
+	d.AddUser(&User{ID: "bob", Roles: []string{"manager"}})
+	if len(d.UsersInRole("clerk")) != 2 {
+		t.Errorf("clerk membership after re-add = %d", len(d.UsersInRole("clerk")))
+	}
+	if len(d.UsersInRole("manager")) != 2 {
+		t.Errorf("manager membership after re-add = %d", len(d.UsersInRole("manager")))
+	}
+}
+
+func noLoad(string) int { return 0 }
+
+func TestRandomPolicy(t *testing.T) {
+	d := testDirectory()
+	p := NewRandomPolicy(42)
+	if p.Pick(nil, noLoad) != nil {
+		t.Error("empty candidates should pick nil")
+	}
+	seen := map[string]int{}
+	for i := 0; i < 300; i++ {
+		u := p.Pick(d.UsersInRole("clerk"), noLoad)
+		seen[u.ID]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("random policy never picked some users: %v", seen)
+	}
+	for id, n := range seen {
+		if n < 50 {
+			t.Errorf("user %s picked only %d of 300", id, n)
+		}
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	d := testDirectory()
+	p := NewRoundRobinPolicy()
+	var order []string
+	for i := 0; i < 6; i++ {
+		order = append(order, p.Pick(d.UsersInRole("clerk"), noLoad).ID)
+	}
+	want := []string{"alice", "bob", "carol", "alice", "bob", "carol"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if p.Pick(nil, noLoad) != nil {
+		t.Error("empty candidates should pick nil")
+	}
+}
+
+func TestShortestQueuePolicy(t *testing.T) {
+	d := testDirectory()
+	loads := map[string]int{"alice": 5, "bob": 2, "carol": 2}
+	load := func(id string) int { return loads[id] }
+	p := ShortestQueuePolicy{}
+	// bob and carol tie at 2; bob wins by ID.
+	if got := p.Pick(d.UsersInRole("clerk"), load); got.ID != "bob" {
+		t.Errorf("picked %s, want bob", got.ID)
+	}
+	loads["bob"] = 9
+	if got := p.Pick(d.UsersInRole("clerk"), load); got.ID != "carol" {
+		t.Errorf("picked %s, want carol", got.ID)
+	}
+	if p.Pick(nil, load) != nil {
+		t.Error("empty candidates should pick nil")
+	}
+}
+
+func TestCapabilityPolicy(t *testing.T) {
+	d := testDirectory()
+	p := CapabilityPolicy{Capability: "fraud"}
+	got := p.Pick(d.UsersInRole("clerk"), noLoad)
+	if got == nil || (got.ID != "alice" && got.ID != "carol") {
+		t.Errorf("picked %v, want a fraud-capable user", got)
+	}
+	// Nobody has "quantum".
+	if got := (CapabilityPolicy{Capability: "quantum"}).Pick(d.UsersInRole("clerk"), noLoad); got != nil {
+		t.Error("impossible capability should pick nil")
+	}
+	// Empty capability matches everyone.
+	if got := (CapabilityPolicy{}).Pick(d.UsersInRole("clerk"), noLoad); got == nil {
+		t.Error("empty capability should pick someone")
+	}
+	if name := p.Name(); name != "capability(fraud)" {
+		t.Errorf("Name = %q", name)
+	}
+}
+
+// Property: shortest-queue never picks a strictly more loaded user
+// than some other candidate.
+func TestQuickShortestQueueOptimal(t *testing.T) {
+	d := testDirectory()
+	f := func(a, b, c uint8) bool {
+		loads := map[string]int{"alice": int(a % 50), "bob": int(b % 50), "carol": int(c % 50)}
+		load := func(id string) int { return loads[id] }
+		picked := ShortestQueuePolicy{}.Pick(d.UsersInRole("clerk"), load)
+		for _, other := range loads {
+			if load(picked.ID) > other {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-robin distributes evenly — after k*n picks every
+// candidate was chosen exactly k times.
+func TestQuickRoundRobinFair(t *testing.T) {
+	d := testDirectory()
+	f := func(k uint8) bool {
+		rounds := int(k%10) + 1
+		p := NewRoundRobinPolicy()
+		counts := map[string]int{}
+		for i := 0; i < rounds*3; i++ {
+			counts[p.Pick(d.UsersInRole("clerk"), noLoad).ID]++
+		}
+		for _, n := range counts {
+			if n != rounds {
+				return false
+			}
+		}
+		return len(counts) == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package rules implements the business-rules component of the BPMS:
+// decision tables evaluated over case data, with the DMN hit policies
+// (UNIQUE, FIRST, ANY, PRIORITY, COLLECT, RULE ORDER). Tables compile
+// their condition and output cells to expression programs once and are
+// then safe for concurrent evaluation; the engine invokes tables from
+// script tasks and gateway conditions, and they are benchmarked in
+// experiment T7.
+package rules
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"bpms/internal/expr"
+)
+
+// HitPolicy selects how multiple matching rules combine.
+type HitPolicy string
+
+// DMN hit policies.
+const (
+	// Unique requires exactly one rule to match.
+	Unique HitPolicy = "UNIQUE"
+	// First returns the first matching rule in table order.
+	First HitPolicy = "FIRST"
+	// Any allows multiple matches provided they agree on the outputs.
+	Any HitPolicy = "ANY"
+	// Priority returns the matching rule with the highest priority.
+	Priority HitPolicy = "PRIORITY"
+	// Collect returns the outputs of every matching rule.
+	Collect HitPolicy = "COLLECT"
+	// RuleOrder returns all matches in table order (same as Collect
+	// for this engine, which always evaluates in table order).
+	RuleOrder HitPolicy = "RULE ORDER"
+)
+
+func (h HitPolicy) valid() bool {
+	switch h {
+	case Unique, First, Any, Priority, Collect, RuleOrder:
+		return true
+	}
+	return false
+}
+
+func (h HitPolicy) multi() bool { return h == Collect || h == RuleOrder }
+
+// Rule is one row of a decision table. All conditions must hold for
+// the rule to match; an empty condition list matches everything.
+type Rule struct {
+	ID string `json:"id,omitempty"`
+	// Conditions are boolean expressions over case data; all must be
+	// true ("-" and "" cells are omitted).
+	Conditions []string `json:"conditions,omitempty"`
+	// Outputs maps output names to value expressions.
+	Outputs map[string]string `json:"outputs"`
+	// Priority orders rules for the PRIORITY hit policy (higher wins).
+	Priority int `json:"priority,omitempty"`
+}
+
+// Table is a decision table definition.
+type Table struct {
+	Name      string    `json:"name"`
+	HitPolicy HitPolicy `json:"hitPolicy"`
+	// Outputs declares the output names every rule must produce.
+	Outputs []string `json:"outputs"`
+	Rules   []Rule   `json:"rules"`
+}
+
+// Errors returned by evaluation.
+var (
+	ErrNoMatch       = errors.New("rules: no rule matched")
+	ErrNotUnique     = errors.New("rules: multiple rules matched under UNIQUE")
+	ErrAnyDisagree   = errors.New("rules: matching rules disagree under ANY")
+	ErrBadDefinition = errors.New("rules: invalid table definition")
+)
+
+// Compiled is a validated, compiled decision table, safe for
+// concurrent evaluation.
+type Compiled struct {
+	table Table
+	conds [][]*expr.Program
+	outs  []map[string]*expr.Program
+}
+
+// Compile validates the table and compiles every cell.
+func Compile(t Table) (*Compiled, error) {
+	if !t.HitPolicy.valid() {
+		return nil, fmt.Errorf("%w: unknown hit policy %q", ErrBadDefinition, t.HitPolicy)
+	}
+	if len(t.Outputs) == 0 {
+		return nil, fmt.Errorf("%w: table %q has no outputs", ErrBadDefinition, t.Name)
+	}
+	if len(t.Rules) == 0 {
+		return nil, fmt.Errorf("%w: table %q has no rules", ErrBadDefinition, t.Name)
+	}
+	c := &Compiled{table: t}
+	for ri, r := range t.Rules {
+		var conds []*expr.Program
+		for ci, src := range r.Conditions {
+			if src == "" || src == "-" {
+				continue
+			}
+			p, err := expr.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("%w: rule %d condition %d: %v", ErrBadDefinition, ri, ci, err)
+			}
+			conds = append(conds, p)
+		}
+		c.conds = append(c.conds, conds)
+		outs := make(map[string]*expr.Program, len(t.Outputs))
+		for _, name := range t.Outputs {
+			src, ok := r.Outputs[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: rule %d missing output %q", ErrBadDefinition, ri, name)
+			}
+			p, err := expr.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("%w: rule %d output %q: %v", ErrBadDefinition, ri, name, err)
+			}
+			outs[name] = p
+		}
+		c.outs = append(c.outs, outs)
+	}
+	return c, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(t Table) *Compiled {
+	c, err := Compile(t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the table name.
+func (c *Compiled) Name() string { return c.table.Name }
+
+// Decision is the result of evaluating a table.
+type Decision struct {
+	// Matched lists the indices of matching rules, in table order.
+	Matched []int
+	// Outputs holds the decided values for single-result policies
+	// (UNIQUE, FIRST, ANY, PRIORITY).
+	Outputs map[string]expr.Value
+	// List holds one output map per match for COLLECT / RULE ORDER.
+	List []map[string]expr.Value
+}
+
+// Eval evaluates the table against env.
+func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
+	var matched []int
+	for ri := range c.table.Rules {
+		ok := true
+		for _, cond := range c.conds[ri] {
+			hit, err := cond.EvalBool(env)
+			if err != nil {
+				return nil, fmt.Errorf("rules: table %q rule %d: %w", c.table.Name, ri, err)
+			}
+			if !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, ri)
+			if c.table.HitPolicy == First && len(matched) == 1 {
+				break
+			}
+			if c.table.HitPolicy == Unique && len(matched) > 1 {
+				return nil, fmt.Errorf("%w: table %q rules %d and %d", ErrNotUnique, c.table.Name, matched[0], matched[1])
+			}
+		}
+	}
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("%w: table %q", ErrNoMatch, c.table.Name)
+	}
+	d := &Decision{Matched: matched}
+	if c.table.HitPolicy.multi() {
+		for _, ri := range matched {
+			out, err := c.evalOutputs(ri, env)
+			if err != nil {
+				return nil, err
+			}
+			d.List = append(d.List, out)
+		}
+		return d, nil
+	}
+	pick := matched[0]
+	switch c.table.HitPolicy {
+	case Priority:
+		for _, ri := range matched[1:] {
+			if c.table.Rules[ri].Priority > c.table.Rules[pick].Priority {
+				pick = ri
+			}
+		}
+	case Any:
+		first, err := c.evalOutputs(matched[0], env)
+		if err != nil {
+			return nil, err
+		}
+		for _, ri := range matched[1:] {
+			other, err := c.evalOutputs(ri, env)
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range first {
+				if !v.Equal(other[k]) {
+					return nil, fmt.Errorf("%w: table %q output %q", ErrAnyDisagree, c.table.Name, k)
+				}
+			}
+		}
+		d.Outputs = first
+		return d, nil
+	}
+	out, err := c.evalOutputs(pick, env)
+	if err != nil {
+		return nil, err
+	}
+	d.Outputs = out
+	return d, nil
+}
+
+func (c *Compiled) evalOutputs(ri int, env expr.Env) (map[string]expr.Value, error) {
+	out := make(map[string]expr.Value, len(c.outs[ri]))
+	for name, p := range c.outs[ri] {
+		v, err := p.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("rules: table %q rule %d output %q: %w", c.table.Name, ri, name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// EncodeJSON serialises the table definition.
+func EncodeJSON(t Table) ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// DecodeJSON parses and compiles a table from JSON, returning both the
+// definition and the compiled form.
+func DecodeJSON(data []byte) (Table, *Compiled, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Table{}, nil, fmt.Errorf("rules: decode: %w", err)
+	}
+	c, err := Compile(t)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	return t, c, nil
+}

@@ -1,0 +1,271 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bpms/internal/expr"
+)
+
+// riskTable is a classic credit-risk decision table.
+func riskTable(policy HitPolicy) Table {
+	return Table{
+		Name:      "risk",
+		HitPolicy: policy,
+		Outputs:   []string{"risk", "rate"},
+		Rules: []Rule{
+			{ID: "low", Conditions: []string{"amount < 1000"},
+				Outputs: map[string]string{"risk": `"low"`, "rate": "0.02"}, Priority: 1},
+			{ID: "mid", Conditions: []string{"amount >= 1000", "amount < 10000"},
+				Outputs: map[string]string{"risk": `"medium"`, "rate": "0.05"}, Priority: 2},
+			{ID: "high", Conditions: []string{"amount >= 10000"},
+				Outputs: map[string]string{"risk": `"high"`, "rate": "0.11"}, Priority: 3},
+		},
+	}
+}
+
+func TestUniquePolicy(t *testing.T) {
+	c := MustCompile(riskTable(Unique))
+	d, err := c.Eval(expr.MapEnv{"amount": expr.Int(5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Outputs["risk"].AsString(); got != "medium" {
+		t.Errorf("risk = %q", got)
+	}
+	if got, _ := d.Outputs["rate"].AsFloat(); got != 0.05 {
+		t.Errorf("rate = %v", got)
+	}
+	if len(d.Matched) != 1 || d.Matched[0] != 1 {
+		t.Errorf("Matched = %v", d.Matched)
+	}
+}
+
+func TestUniqueViolation(t *testing.T) {
+	tbl := riskTable(Unique)
+	// Make rules overlap.
+	tbl.Rules[1].Conditions = []string{"amount >= 0"}
+	c := MustCompile(tbl)
+	_, err := c.Eval(expr.MapEnv{"amount": expr.Int(500)})
+	if !errors.Is(err, ErrNotUnique) {
+		t.Errorf("err = %v, want ErrNotUnique", err)
+	}
+}
+
+func TestFirstPolicy(t *testing.T) {
+	tbl := Table{
+		Name: "discount", HitPolicy: First, Outputs: []string{"pct"},
+		Rules: []Rule{
+			{Conditions: []string{`grade == "gold"`}, Outputs: map[string]string{"pct": "20"}},
+			{Conditions: []string{"years > 2"}, Outputs: map[string]string{"pct": "10"}},
+			{Conditions: nil, Outputs: map[string]string{"pct": "0"}}, // catch-all
+		},
+	}
+	c := MustCompile(tbl)
+	cases := []struct {
+		env  expr.MapEnv
+		want int64
+	}{
+		{expr.MapEnv{"grade": expr.String("gold"), "years": expr.Int(5)}, 20},
+		{expr.MapEnv{"grade": expr.String("basic"), "years": expr.Int(5)}, 10},
+		{expr.MapEnv{"grade": expr.String("basic"), "years": expr.Int(1)}, 0},
+	}
+	for _, tt := range cases {
+		d, err := c.Eval(tt.env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := d.Outputs["pct"].AsInt(); got != tt.want {
+			t.Errorf("pct = %d, want %d", got, tt.want)
+		}
+	}
+}
+
+func TestAnyPolicy(t *testing.T) {
+	agree := Table{
+		Name: "eligibility", HitPolicy: Any, Outputs: []string{"ok"},
+		Rules: []Rule{
+			{Conditions: []string{"age >= 18"}, Outputs: map[string]string{"ok": "true"}},
+			{Conditions: []string{"verified == true"}, Outputs: map[string]string{"ok": "true"}},
+		},
+	}
+	c := MustCompile(agree)
+	d, err := c.Eval(expr.MapEnv{"age": expr.Int(30), "verified": expr.True})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Outputs["ok"].AsBool(); !ok {
+		t.Error("ok should be true")
+	}
+	// Disagreement is an error.
+	disagree := agree
+	disagree.Rules = append([]Rule(nil), agree.Rules...)
+	disagree.Rules[1] = Rule{Conditions: []string{"verified == true"}, Outputs: map[string]string{"ok": "false"}}
+	c2 := MustCompile(disagree)
+	if _, err := c2.Eval(expr.MapEnv{"age": expr.Int(30), "verified": expr.True}); !errors.Is(err, ErrAnyDisagree) {
+		t.Errorf("err = %v, want ErrAnyDisagree", err)
+	}
+}
+
+func TestPriorityPolicy(t *testing.T) {
+	tbl := riskTable(Priority)
+	// Overlap all three; highest priority (high=3) must win.
+	for i := range tbl.Rules {
+		tbl.Rules[i].Conditions = []string{"amount >= 0"}
+	}
+	c := MustCompile(tbl)
+	d, err := c.Eval(expr.MapEnv{"amount": expr.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Outputs["risk"].AsString(); got != "high" {
+		t.Errorf("risk = %q, want high", got)
+	}
+}
+
+func TestCollectAndRuleOrder(t *testing.T) {
+	tbl := Table{
+		Name: "notifications", HitPolicy: Collect, Outputs: []string{"channel"},
+		Rules: []Rule{
+			{Conditions: []string{"amount > 100"}, Outputs: map[string]string{"channel": `"email"`}},
+			{Conditions: []string{"amount > 1000"}, Outputs: map[string]string{"channel": `"sms"`}},
+			{Conditions: []string{"amount > 10000"}, Outputs: map[string]string{"channel": `"phone"`}},
+		},
+	}
+	for _, hp := range []HitPolicy{Collect, RuleOrder} {
+		tbl.HitPolicy = hp
+		c := MustCompile(tbl)
+		d, err := c.Eval(expr.MapEnv{"amount": expr.Int(5000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.List) != 2 {
+			t.Fatalf("%s: matches = %d, want 2", hp, len(d.List))
+		}
+		ch0, _ := d.List[0]["channel"].AsString()
+		ch1, _ := d.List[1]["channel"].AsString()
+		if ch0 != "email" || ch1 != "sms" {
+			t.Errorf("%s: channels = %s,%s", hp, ch0, ch1)
+		}
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tbl := Table{
+		Name: "t", HitPolicy: First, Outputs: []string{"x"},
+		Rules: []Rule{{Conditions: []string{"v > 10"}, Outputs: map[string]string{"x": "1"}}},
+	}
+	c := MustCompile(tbl)
+	if _, err := c.Eval(expr.MapEnv{"v": expr.Int(1)}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestDashAndEmptyConditionsMatchAll(t *testing.T) {
+	tbl := Table{
+		Name: "t", HitPolicy: First, Outputs: []string{"x"},
+		Rules: []Rule{{Conditions: []string{"-", ""}, Outputs: map[string]string{"x": "7"}}},
+	}
+	c := MustCompile(tbl)
+	d, err := c.Eval(expr.EmptyEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Outputs["x"].AsInt(); got != 7 {
+		t.Errorf("x = %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		tbl  Table
+		sub  string
+	}{
+		{"bad policy", Table{Name: "t", HitPolicy: "MAGIC", Outputs: []string{"x"},
+			Rules: []Rule{{Outputs: map[string]string{"x": "1"}}}}, "hit policy"},
+		{"no outputs", Table{Name: "t", HitPolicy: First,
+			Rules: []Rule{{Outputs: map[string]string{"x": "1"}}}}, "no outputs"},
+		{"no rules", Table{Name: "t", HitPolicy: First, Outputs: []string{"x"}}, "no rules"},
+		{"bad condition", Table{Name: "t", HitPolicy: First, Outputs: []string{"x"},
+			Rules: []Rule{{Conditions: []string{"1 +"}, Outputs: map[string]string{"x": "1"}}}}, "condition"},
+		{"missing output", Table{Name: "t", HitPolicy: First, Outputs: []string{"x", "y"},
+			Rules: []Rule{{Outputs: map[string]string{"x": "1"}}}}, "missing output"},
+		{"bad output", Table{Name: "t", HitPolicy: First, Outputs: []string{"x"},
+			Rules: []Rule{{Outputs: map[string]string{"x": ")("}}}}, "output"},
+	}
+	for _, tt := range cases {
+		_, err := Compile(tt.tbl)
+		if err == nil {
+			t.Errorf("%s: want error", tt.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadDefinition) {
+			t.Errorf("%s: err = %v, want ErrBadDefinition", tt.name, err)
+		}
+		if !strings.Contains(err.Error(), tt.sub) {
+			t.Errorf("%s: err = %q, want substring %q", tt.name, err, tt.sub)
+		}
+	}
+}
+
+func TestEvalErrorPropagates(t *testing.T) {
+	tbl := Table{
+		Name: "t", HitPolicy: First, Outputs: []string{"x"},
+		Rules: []Rule{{Conditions: []string{"missing > 1"}, Outputs: map[string]string{"x": "1"}}},
+	}
+	c := MustCompile(tbl)
+	if _, err := c.Eval(expr.EmptyEnv); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("err = %v, want unbound variable", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tbl := riskTable(Unique)
+	data, err := EncodeJSON(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, compiled, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "risk" || got.HitPolicy != Unique || len(got.Rules) != 3 {
+		t.Fatalf("decoded: %+v", got)
+	}
+	d, err := compiled.Eval(expr.MapEnv{"amount": expr.Int(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk, _ := d.Outputs["risk"].AsString(); risk != "low" {
+		t.Errorf("risk = %q", risk)
+	}
+	if _, _, err := DecodeJSON([]byte("{broken")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+// Property: the risk table is a total, consistent function of amount —
+// exactly one rule matches any non-negative amount, and UNIQUE equals
+// FIRST and PRIORITY on it.
+func TestQuickRiskTableTotal(t *testing.T) {
+	u := MustCompile(riskTable(Unique))
+	f := MustCompile(riskTable(First))
+	p := MustCompile(riskTable(Priority))
+	fn := func(raw uint32) bool {
+		env := expr.MapEnv{"amount": expr.Int(int64(raw % 100000))}
+		du, err1 := u.Eval(env)
+		df, err2 := f.Eval(env)
+		dp, err3 := p.Eval(env)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return du.Outputs["risk"].Equal(df.Outputs["risk"]) &&
+			du.Outputs["risk"].Equal(dp.Outputs["risk"])
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

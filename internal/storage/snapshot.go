@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SnapshotStore persists point-in-time state images keyed by the
+// journal index they cover. Writes are atomic (write to a temp file,
+// fsync, rename), and each snapshot is CRC-protected.
+type SnapshotStore struct {
+	dir    string
+	mu     sync.Mutex
+	retain int
+}
+
+// Snapshot file layout: [8B index][4B crc over data][data].
+
+// OpenSnapshotStore opens (or creates) a snapshot store in dir,
+// retaining at most retain snapshots (older ones are pruned on write;
+// retain <= 0 means keep 2).
+func OpenSnapshotStore(dir string, retain int) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create snapshot dir: %w", err)
+	}
+	if retain <= 0 {
+		retain = 2
+	}
+	return &SnapshotStore{dir: dir, retain: retain}, nil
+}
+
+func snapshotName(index uint64) string {
+	return fmt.Sprintf("snap-%020d.snap", index)
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[5:len(name)-5], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Write stores a snapshot covering journal indices <= index.
+func (s *SnapshotStore) Write(index uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint64(buf[0:8], index)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(data, castagnoli))
+	copy(buf[12:], data)
+
+	tmp := filepath.Join(s.dir, "snap.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, snapshotName(index))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return s.pruneLocked()
+}
+
+func (s *SnapshotStore) indicesLocked() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		if idx, ok := parseSnapshotName(e.Name()); ok {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+func (s *SnapshotStore) pruneLocked() error {
+	idxs, err := s.indicesLocked()
+	if err != nil {
+		return err
+	}
+	for len(idxs) > s.retain {
+		if err := os.Remove(filepath.Join(s.dir, snapshotName(idxs[0]))); err != nil {
+			return err
+		}
+		idxs = idxs[1:]
+	}
+	return nil
+}
+
+// Latest returns the newest valid snapshot (highest index with a good
+// CRC). ok is false when no usable snapshot exists; corrupt snapshots
+// are skipped, falling back to older ones.
+func (s *SnapshotStore) Latest() (index uint64, data []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idxs, err := s.indicesLocked()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(idxs) - 1; i >= 0; i-- {
+		buf, err := os.ReadFile(filepath.Join(s.dir, snapshotName(idxs[i])))
+		if err != nil || len(buf) < 12 {
+			continue
+		}
+		idx := binary.LittleEndian.Uint64(buf[0:8])
+		crc := binary.LittleEndian.Uint32(buf[8:12])
+		payload := buf[12:]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			continue
+		}
+		return idx, payload, true, nil
+	}
+	return 0, nil, false, nil
+}

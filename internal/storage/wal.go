@@ -1,0 +1,363 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record layout on disk:
+//
+//	[4B little-endian payload length]
+//	[4B CRC32-Castagnoli over index+payload]
+//	[8B little-endian record index]
+//	[payload bytes]
+//
+// Segment files are named wal-<firstIndex>.log with a zero-padded
+// 20-digit first index, so lexical order equals index order.
+
+const recordHeader = 4 + 4 + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FileJournal is a durable Journal over segmented append-only files.
+type FileJournal struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	active      *os.File
+	activeBase  uint64 // first index of the active segment
+	activeSize  int64
+	activeBuf   *bufio.Writer
+	segments    []uint64 // first indices of all segments, sorted
+	nextIndex   uint64
+	firstIndex  uint64 // oldest retained index (0 when empty)
+	sinceSync   int
+	closed      bool
+	appendedAny bool
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("wal-%020d.log", first)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[4:len(name)-4], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// OpenFileJournal opens (or creates) a journal in dir, recovering from
+// any torn tail left by a crash.
+func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	j := &FileJournal{dir: dir, opts: opts, nextIndex: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read dir: %w", err)
+	}
+	for _, e := range entries {
+		if base, ok := parseSegmentName(e.Name()); ok {
+			j.segments = append(j.segments, base)
+		}
+	}
+	sort.Slice(j.segments, func(a, b int) bool { return j.segments[a] < j.segments[b] })
+	if len(j.segments) > 0 {
+		j.firstIndex = j.segments[0]
+		// Recover the last segment: scan and truncate a torn tail.
+		last := j.segments[len(j.segments)-1]
+		lastGood, size, err := j.scanSegment(last, nil)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, segmentName(last))
+		if err := os.Truncate(path, size); err != nil {
+			return nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+		}
+		if lastGood == 0 {
+			// Empty last segment: next index is its base.
+			j.nextIndex = last
+		} else {
+			j.nextIndex = lastGood + 1
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		j.active = f
+		j.activeBase = last
+		j.activeSize = size
+		j.activeBuf = bufio.NewWriterSize(f, 64<<10)
+	}
+	return j, nil
+}
+
+// scanSegment reads a segment, calling fn per valid record, and
+// returns the last valid index seen (0 if none) and the byte offset
+// just past the last valid record.
+func (j *FileJournal) scanSegment(base uint64, fn func(uint64, []byte) error) (uint64, int64, error) {
+	path := filepath.Join(j.dir, segmentName(base))
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: open segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+	var offset int64
+	var lastGood uint64
+	hdr := make([]byte, recordHeader)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return lastGood, offset, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		index := binary.LittleEndian.Uint64(hdr[8:16])
+		if length > 64<<20 {
+			return lastGood, offset, nil // implausible: treat as torn
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return lastGood, offset, nil // torn payload
+		}
+		h := crc32.New(castagnoli)
+		h.Write(hdr[8:16])
+		h.Write(payload)
+		if h.Sum32() != crc {
+			return lastGood, offset, nil // corrupt: truncate here
+		}
+		if fn != nil {
+			if err := fn(index, payload); err != nil {
+				return lastGood, offset, err
+			}
+		}
+		lastGood = index
+		offset += int64(recordHeader) + int64(length)
+	}
+}
+
+// Append implements Journal.
+func (j *FileJournal) Append(payload []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	recSize := int64(recordHeader) + int64(len(payload))
+	if j.active == nil || (j.activeSize > 0 && j.activeSize+recSize > j.opts.SegmentSize) {
+		if err := j.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	index := j.nextIndex
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], index)
+	h := crc32.New(castagnoli)
+	h.Write(hdr[8:16])
+	h.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], h.Sum32())
+	if _, err := j.activeBuf.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := j.activeBuf.Write(payload); err != nil {
+		return 0, err
+	}
+	j.activeSize += recSize
+	j.nextIndex++
+	if j.firstIndex == 0 {
+		j.firstIndex = index
+	}
+	j.appendedAny = true
+	j.sinceSync++
+	switch j.opts.Policy {
+	case SyncAlways:
+		if err := j.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncEvery:
+		if j.sinceSync >= j.opts.SyncInterval {
+			if err := j.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return index, nil
+}
+
+func (j *FileJournal) rollLocked() error {
+	if j.active != nil {
+		if err := j.activeBuf.Flush(); err != nil {
+			return err
+		}
+		if err := j.active.Close(); err != nil {
+			return err
+		}
+	}
+	base := j.nextIndex
+	path := filepath.Join(j.dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create segment: %w", err)
+	}
+	j.active = f
+	j.activeBase = base
+	j.activeSize = 0
+	j.activeBuf = bufio.NewWriterSize(f, 64<<10)
+	j.segments = append(j.segments, base)
+	return nil
+}
+
+func (j *FileJournal) syncLocked() error {
+	if j.active == nil {
+		return nil
+	}
+	if err := j.activeBuf.Flush(); err != nil {
+		return err
+	}
+	if err := j.active.Sync(); err != nil {
+		return err
+	}
+	j.sinceSync = 0
+	return nil
+}
+
+// Replay implements Journal.
+func (j *FileJournal) Replay(from uint64, fn func(uint64, []byte) error) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	// Flush buffered appends so the reader sees them.
+	if j.activeBuf != nil {
+		if err := j.activeBuf.Flush(); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+	}
+	segments := append([]uint64(nil), j.segments...)
+	j.mu.Unlock()
+
+	for i, base := range segments {
+		// Skip whole segments below from.
+		if i+1 < len(segments) && segments[i+1] <= from {
+			continue
+		}
+		_, _, err := j.scanSegment(base, func(index uint64, payload []byte) error {
+			if index < from {
+				return nil
+			}
+			return fn(index, payload)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LastIndex implements Journal.
+func (j *FileJournal) LastIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.nextIndex == 1 && !j.appendedAny && len(j.segments) == 0 {
+		return 0
+	}
+	return j.nextIndex - 1
+}
+
+// FirstIndex implements Journal.
+func (j *FileJournal) FirstIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.firstIndex
+}
+
+// DropBefore implements Journal: whole segments entirely below upTo
+// are deleted.
+func (j *FileJournal) DropBefore(upTo uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	keep := j.segments[:0]
+	for i, base := range j.segments {
+		// A segment is droppable when the next segment starts at or
+		// below upTo (so this one holds only records < upTo) and it is
+		// not the active segment.
+		droppable := i+1 < len(j.segments) && j.segments[i+1] <= upTo && base != j.activeBase
+		if droppable {
+			if err := os.Remove(filepath.Join(j.dir, segmentName(base))); err != nil {
+				return err
+			}
+			continue
+		}
+		keep = append(keep, base)
+	}
+	j.segments = keep
+	if len(j.segments) > 0 {
+		j.firstIndex = j.segments[0]
+	}
+	return nil
+}
+
+// Sync implements Journal.
+func (j *FileJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncLocked()
+}
+
+// Close implements Journal.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.active != nil {
+		if err := j.activeBuf.Flush(); err != nil {
+			return err
+		}
+		if err := j.active.Sync(); err != nil {
+			return err
+		}
+		return j.active.Close()
+	}
+	return nil
+}
+
+// SegmentCount reports the number of live segment files (for tests and
+// the benchmark harness).
+func (j *FileJournal) SegmentCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.segments)
+}

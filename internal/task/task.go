@@ -1,0 +1,575 @@
+// Package task implements the worklist subsystem of the BPMS: human
+// work items with the standard lifecycle (created → offered →
+// allocated → started → completed/failed/skipped), per-user worklists,
+// delegation, deadlines, and pluggable allocation via the resource
+// package. The engine creates an item when a user task is activated
+// and resumes the process instance from the completion callback.
+package task
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bpms/internal/resource"
+)
+
+// State is a work-item lifecycle state.
+type State int
+
+// Work-item states.
+const (
+	Created State = iota
+	Offered
+	Allocated
+	Started
+	Completed
+	Failed
+	Skipped
+	Cancelled
+)
+
+var stateNames = [...]string{
+	"created", "offered", "allocated", "started",
+	"completed", "failed", "skipped", "cancelled",
+}
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// MarshalJSON encodes the state as its name.
+func (s State) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a state name.
+func (s *State) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for i, n := range stateNames {
+		if n == name {
+			*s = State(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("task: unknown state %q", name)
+}
+
+// Terminal reports whether no further transitions are allowed.
+func (s State) Terminal() bool {
+	switch s {
+	case Completed, Failed, Skipped, Cancelled:
+		return true
+	}
+	return false
+}
+
+// legal transitions of the work-item state machine.
+var transitions = map[State][]State{
+	Created:   {Offered, Allocated, Cancelled, Skipped},
+	Offered:   {Allocated, Cancelled, Skipped},
+	Allocated: {Started, Offered, Cancelled, Skipped},
+	Started:   {Completed, Failed, Allocated, Cancelled},
+}
+
+func canTransition(from, to State) bool {
+	for _, s := range transitions[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by the service.
+var (
+	ErrNotFound      = errors.New("task: work item not found")
+	ErrBadTransition = errors.New("task: illegal lifecycle transition")
+	ErrNotAuthorized = errors.New("task: user not authorized for item")
+)
+
+// Item is one human work item.
+type Item struct {
+	ID         string         `json:"id"`
+	ProcessID  string         `json:"processId"`
+	InstanceID string         `json:"instanceId"`
+	ElementID  string         `json:"elementId"`
+	Name       string         `json:"name,omitempty"`
+	State      State          `json:"state"`
+	Role       string         `json:"role,omitempty"`
+	Capability string         `json:"capability,omitempty"`
+	Assignee   string         `json:"assignee,omitempty"` // current owner
+	OfferedTo  []string       `json:"offeredTo,omitempty"`
+	Priority   int            `json:"priority,omitempty"`
+	Data       map[string]any `json:"data,omitempty"`    // input payload
+	Outcome    map[string]any `json:"outcome,omitempty"` // completion payload
+	Reason     string         `json:"reason,omitempty"`  // failure/skip reason
+
+	CreatedAt   time.Time `json:"createdAt"`
+	DueAt       time.Time `json:"dueAt,omitempty"`
+	AllocatedAt time.Time `json:"allocatedAt,omitempty"`
+	StartedAt   time.Time `json:"startedAt,omitempty"`
+	ClosedAt    time.Time `json:"closedAt,omitempty"`
+}
+
+func (it *Item) clone() *Item {
+	cp := *it
+	cp.OfferedTo = append([]string(nil), it.OfferedTo...)
+	return &cp
+}
+
+// Spec describes a work item to create.
+type Spec struct {
+	ProcessID  string
+	InstanceID string
+	ElementID  string
+	Name       string
+	Role       string
+	Assignee   string // direct allocation when set
+	Capability string
+	Priority   int
+	Due        time.Duration // 0 = no deadline
+	Data       map[string]any
+}
+
+// Listener observes lifecycle transitions. from==to==Created for the
+// initial creation event. Listeners run synchronously under no lock.
+type Listener func(item *Item, from, to State)
+
+// Service is the worklist manager.
+type Service struct {
+	mu        sync.Mutex
+	items     map[string]*Item
+	byUser    map[string]map[string]bool // user -> item IDs allocated/started
+	offered   map[string]map[string]bool // user -> item IDs offered
+	nextID    uint64
+	directory *resource.Directory
+	policy    resource.Policy
+	autoAlloc bool
+	now       func() time.Time
+	listeners []Listener
+}
+
+// Config configures a Service.
+type Config struct {
+	// Directory resolves roles to users (required for role routing).
+	Directory *resource.Directory
+	// Policy picks a user when AutoAllocate is set (default
+	// shortest-queue).
+	Policy resource.Policy
+	// AutoAllocate pushes role-routed items straight to a user chosen
+	// by Policy instead of offering them for pull-style claiming.
+	AutoAllocate bool
+	// Now supplies timestamps (default time.Now).
+	Now func() time.Time
+}
+
+// NewService creates a worklist service.
+func NewService(cfg Config) *Service {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = resource.ShortestQueuePolicy{}
+	}
+	if cfg.Directory == nil {
+		cfg.Directory = resource.NewDirectory()
+	}
+	return &Service{
+		items:     map[string]*Item{},
+		byUser:    map[string]map[string]bool{},
+		offered:   map[string]map[string]bool{},
+		directory: cfg.Directory,
+		policy:    cfg.Policy,
+		autoAlloc: cfg.AutoAllocate,
+		now:       cfg.Now,
+	}
+}
+
+// Subscribe registers a lifecycle listener.
+func (s *Service) Subscribe(l Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, l)
+}
+
+func (s *Service) notify(item *Item, from, to State) {
+	for _, l := range s.listeners {
+		l(item, from, to)
+	}
+}
+
+// Load returns the queue length (allocated + started) of a user.
+func (s *Service) Load(userID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byUser[userID])
+}
+
+func (s *Service) loadLocked(userID string) int { return len(s.byUser[userID]) }
+
+// Create registers a new work item and routes it: direct assignees are
+// allocated immediately; role-routed items are offered to the role's
+// members (or auto-allocated when configured); unrouted items stay
+// Created for explicit allocation.
+func (s *Service) Create(spec Spec) (*Item, error) {
+	s.mu.Lock()
+	s.nextID++
+	now := s.now()
+	it := &Item{
+		ID:         fmt.Sprintf("wi-%d", s.nextID),
+		ProcessID:  spec.ProcessID,
+		InstanceID: spec.InstanceID,
+		ElementID:  spec.ElementID,
+		Name:       spec.Name,
+		State:      Created,
+		Role:       spec.Role,
+		Capability: spec.Capability,
+		Priority:   spec.Priority,
+		Data:       spec.Data,
+		CreatedAt:  now,
+	}
+	if spec.Due > 0 {
+		it.DueAt = now.Add(spec.Due)
+	}
+	s.items[it.ID] = it
+	created := it.clone()
+
+	var events []func()
+	events = append(events, func() { s.notify(created, Created, Created) })
+
+	switch {
+	case spec.Assignee != "":
+		s.allocateLocked(it, spec.Assignee, &events)
+	case spec.Role != "":
+		candidates := s.candidatesLocked(it)
+		if s.autoAlloc {
+			if u := s.policy.Pick(candidates, s.loadLocked); u != nil {
+				s.allocateLocked(it, u.ID, &events)
+			} else {
+				s.offerLocked(it, candidates, &events)
+			}
+		} else {
+			s.offerLocked(it, candidates, &events)
+		}
+	}
+	s.mu.Unlock()
+	for _, fn := range events {
+		fn()
+	}
+	return s.Get(it.ID)
+}
+
+func (s *Service) candidatesLocked(it *Item) []*resource.User {
+	users := s.directory.UsersInRole(it.Role)
+	if it.Capability == "" {
+		return users
+	}
+	var out []*resource.User
+	for _, u := range users {
+		if u.HasCapability(it.Capability) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (s *Service) offerLocked(it *Item, candidates []*resource.User, events *[]func()) {
+	from := it.State
+	it.State = Offered
+	it.OfferedTo = it.OfferedTo[:0]
+	for _, u := range candidates {
+		it.OfferedTo = append(it.OfferedTo, u.ID)
+		if s.offered[u.ID] == nil {
+			s.offered[u.ID] = map[string]bool{}
+		}
+		s.offered[u.ID][it.ID] = true
+	}
+	snap := it.clone()
+	*events = append(*events, func() { s.notify(snap, from, Offered) })
+}
+
+func (s *Service) allocateLocked(it *Item, userID string, events *[]func()) {
+	from := it.State
+	s.clearOffersLocked(it)
+	it.State = Allocated
+	it.Assignee = userID
+	it.AllocatedAt = s.now()
+	if s.byUser[userID] == nil {
+		s.byUser[userID] = map[string]bool{}
+	}
+	s.byUser[userID][it.ID] = true
+	snap := it.clone()
+	*events = append(*events, func() { s.notify(snap, from, Allocated) })
+}
+
+func (s *Service) clearOffersLocked(it *Item) {
+	for _, uid := range it.OfferedTo {
+		delete(s.offered[uid], it.ID)
+	}
+	it.OfferedTo = nil
+}
+
+// Get returns a copy of the work item.
+func (s *Service) Get(id string) (*Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return it.clone(), nil
+}
+
+// transition applies a guarded state change under the lock and then
+// notifies listeners.
+func (s *Service) transition(id string, to State, mutate func(*Item) error) (*Item, error) {
+	s.mu.Lock()
+	it, ok := s.items[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	from := it.State
+	if !canTransition(from, to) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s (item %s)", ErrBadTransition, from, to, id)
+	}
+	if mutate != nil {
+		if err := mutate(it); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	// Bookkeeping common to every transition.
+	switch to {
+	case Allocated:
+		s.clearOffersLocked(it)
+		if it.Assignee != "" {
+			if s.byUser[it.Assignee] == nil {
+				s.byUser[it.Assignee] = map[string]bool{}
+			}
+			s.byUser[it.Assignee][it.ID] = true
+		}
+		it.AllocatedAt = s.now()
+	case Started:
+		it.StartedAt = s.now()
+	case Offered:
+		// Reoffer (e.g. release): drop from owner queue.
+		if it.Assignee != "" {
+			delete(s.byUser[it.Assignee], it.ID)
+			it.Assignee = ""
+		}
+	}
+	if to.Terminal() {
+		s.clearOffersLocked(it)
+		if it.Assignee != "" {
+			delete(s.byUser[it.Assignee], it.ID)
+		}
+		it.ClosedAt = s.now()
+	}
+	it.State = to
+	snap := it.clone()
+	s.mu.Unlock()
+	s.notify(snap, from, to)
+	return snap, nil
+}
+
+// Claim allocates an offered (or created) item to user. Offered items
+// may only be claimed by a user they were offered to.
+func (s *Service) Claim(id, userID string) (*Item, error) {
+	return s.transition(id, Allocated, func(it *Item) error {
+		if it.State == Offered {
+			ok := false
+			for _, uid := range it.OfferedTo {
+				if uid == userID {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("%w: %s not offered %s", ErrNotAuthorized, userID, id)
+			}
+		}
+		it.Assignee = userID
+		return nil
+	})
+}
+
+// Start begins work on an allocated item; only the assignee may start.
+func (s *Service) Start(id, userID string) (*Item, error) {
+	return s.transition(id, Started, func(it *Item) error {
+		if it.Assignee != userID {
+			return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
+		}
+		return nil
+	})
+}
+
+// Complete finishes a started item with an outcome payload.
+func (s *Service) Complete(id, userID string, outcome map[string]any) (*Item, error) {
+	return s.transition(id, Completed, func(it *Item) error {
+		if it.Assignee != userID {
+			return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
+		}
+		it.Outcome = outcome
+		return nil
+	})
+}
+
+// Fail marks a started item as failed with a reason.
+func (s *Service) Fail(id, userID, reason string) (*Item, error) {
+	return s.transition(id, Failed, func(it *Item) error {
+		if it.Assignee != userID {
+			return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
+		}
+		it.Reason = reason
+		return nil
+	})
+}
+
+// Skip cancels a not-yet-started item, recording a reason.
+func (s *Service) Skip(id, reason string) (*Item, error) {
+	return s.transition(id, Skipped, func(it *Item) error {
+		it.Reason = reason
+		return nil
+	})
+}
+
+// Cancel terminates an item in any non-terminal state (used when the
+// owning process instance is cancelled or a boundary event interrupts).
+func (s *Service) Cancel(id, reason string) (*Item, error) {
+	return s.transition(id, Cancelled, func(it *Item) error {
+		it.Reason = reason
+		return nil
+	})
+}
+
+// Delegate moves an allocated item from its assignee to another user.
+func (s *Service) Delegate(id, fromUser, toUser string) (*Item, error) {
+	s.mu.Lock()
+	it, ok := s.items[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if it.State != Allocated && it.State != Started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: delegate from %s", ErrBadTransition, it.State)
+	}
+	if it.Assignee != fromUser {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, fromUser, id)
+	}
+	from := it.State
+	delete(s.byUser[fromUser], it.ID)
+	it.Assignee = toUser
+	if s.byUser[toUser] == nil {
+		s.byUser[toUser] = map[string]bool{}
+	}
+	s.byUser[toUser][it.ID] = true
+	// Delegation returns a started item to Allocated for the new owner.
+	it.State = Allocated
+	it.AllocatedAt = s.now()
+	snap := it.clone()
+	s.mu.Unlock()
+	s.notify(snap, from, Allocated)
+	return snap, nil
+}
+
+// Release returns an allocated item to the offered state so another
+// role member can claim it.
+func (s *Service) Release(id, userID string) (*Item, error) {
+	it, err := s.transition(id, Offered, func(it *Item) error {
+		if it.Assignee != userID {
+			return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild offers for the role.
+	s.mu.Lock()
+	stored := s.items[id]
+	var events []func()
+	s.offerLocked(stored, s.candidatesLocked(stored), &events)
+	stored.State = Offered
+	s.mu.Unlock()
+	return it, nil
+}
+
+// Worklist returns the items allocated to or started by user, sorted
+// by priority (desc) then creation time.
+func (s *Service) Worklist(userID string) []*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Item
+	for id := range s.byUser[userID] {
+		out = append(out, s.items[id].clone())
+	}
+	sortItems(out)
+	return out
+}
+
+// OfferedItems returns the items offered to user.
+func (s *Service) OfferedItems(userID string) []*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Item
+	for id := range s.offered[userID] {
+		out = append(out, s.items[id].clone())
+	}
+	sortItems(out)
+	return out
+}
+
+// ByState returns copies of all items in the given state.
+func (s *Service) ByState(state State) []*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Item
+	for _, it := range s.items {
+		if it.State == state {
+			out = append(out, it.clone())
+		}
+	}
+	sortItems(out)
+	return out
+}
+
+// Overdue returns open items whose deadline has passed at the given
+// time.
+func (s *Service) Overdue(now time.Time) []*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Item
+	for _, it := range s.items {
+		if !it.State.Terminal() && !it.DueAt.IsZero() && it.DueAt.Before(now) {
+			out = append(out, it.clone())
+		}
+	}
+	sortItems(out)
+	return out
+}
+
+func sortItems(items []*Item) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Priority != items[b].Priority {
+			return items[a].Priority > items[b].Priority
+		}
+		if !items[a].CreatedAt.Equal(items[b].CreatedAt) {
+			return items[a].CreatedAt.Before(items[b].CreatedAt)
+		}
+		return items[a].ID < items[b].ID
+	})
+}

@@ -1,0 +1,303 @@
+package verify
+
+import "bpms/internal/petri"
+
+// The reduction pre-pass shrinks a marked net with Murata's
+// liveness/boundedness-preserving rules before state-space analysis:
+// fusion of series transitions (FST), fusion of series places (FSP),
+// fusion of parallel transitions (FPT), fusion of parallel places
+// (FPP), and elimination of marked self-loop places (ESP). Because
+// soundness of a workflow net equals liveness+boundedness of its
+// short-circuited net, the verdict on the reduced net carries over to
+// the original. Rules that would create arc weights greater than one
+// are skipped (the rest of the analyzer is weight-1 only).
+
+// rnet is a mutable marked net used only during reduction.
+type rnet struct {
+	placeProd map[int]map[int]bool // place -> transitions producing into it
+	placeCons map[int]map[int]bool // place -> transitions consuming from it
+	transPre  map[int]map[int]bool // transition -> input places
+	transPost map[int]map[int]bool // transition -> output places
+	marking   map[int]int
+}
+
+func newRNet(n *petri.Net, m0 petri.Marking) *rnet {
+	r := &rnet{
+		placeProd: map[int]map[int]bool{},
+		placeCons: map[int]map[int]bool{},
+		transPre:  map[int]map[int]bool{},
+		transPost: map[int]map[int]bool{},
+		marking:   map[int]int{},
+	}
+	for p := 0; p < n.Places(); p++ {
+		r.placeProd[p] = map[int]bool{}
+		r.placeCons[p] = map[int]bool{}
+		if m0[p] > 0 {
+			r.marking[p] = int(m0[p])
+		}
+	}
+	for t := 0; t < n.Transitions(); t++ {
+		r.transPre[t] = map[int]bool{}
+		r.transPost[t] = map[int]bool{}
+		for _, p := range n.Pre(petri.TransitionID(t)) {
+			r.transPre[t][int(p)] = true
+			r.placeCons[int(p)][t] = true
+		}
+		for _, p := range n.Post(petri.TransitionID(t)) {
+			r.transPost[t][int(p)] = true
+			r.placeProd[int(p)][t] = true
+		}
+	}
+	return r
+}
+
+func (r *rnet) removePlace(p int) {
+	for t := range r.placeProd[p] {
+		delete(r.transPost[t], p)
+	}
+	for t := range r.placeCons[p] {
+		delete(r.transPre[t], p)
+	}
+	delete(r.placeProd, p)
+	delete(r.placeCons, p)
+	delete(r.marking, p)
+}
+
+func (r *rnet) removeTrans(t int) {
+	for p := range r.transPre[t] {
+		delete(r.placeCons[p], t)
+	}
+	for p := range r.transPost[t] {
+		delete(r.placeProd[p], t)
+	}
+	delete(r.transPre, t)
+	delete(r.transPost, t)
+}
+
+func only(s map[int]bool) (int, bool) {
+	if len(s) != 1 {
+		return 0, false
+	}
+	for k := range s {
+		return k, true
+	}
+	return 0, false
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// fuseSeriesTransitions applies FST once; reports whether it fired.
+// Pattern: place p with a single producer t1 and single consumer t2,
+// where p is t2's only input and p is unmarked: t2 merges into t1.
+func (r *rnet) fuseSeriesTransitions() bool {
+	for p, prod := range r.placeProd {
+		t1, ok1 := only(prod)
+		t2, ok2 := only(r.placeCons[p])
+		if !ok1 || !ok2 || t1 == t2 || r.marking[p] != 0 {
+			continue
+		}
+		if len(r.transPre[t2]) != 1 {
+			continue
+		}
+		// Avoid creating weighted arcs.
+		conflict := false
+		for q := range r.transPost[t2] {
+			if q != p && r.transPost[t1][q] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		// Merge: t1's output p is replaced by t2's outputs.
+		delete(r.transPost[t1], p)
+		delete(r.placeProd[p], t1)
+		for q := range r.transPost[t2] {
+			r.transPost[t1][q] = true
+			r.placeProd[q][t1] = true
+		}
+		r.removeTrans(t2)
+		r.removePlace(p)
+		return true
+	}
+	return false
+}
+
+// fuseSeriesPlaces applies FSP once. Pattern: transition t with a
+// single input p1 (whose only consumer is t) and single output p2:
+// p1 merges into p2, t disappears.
+func (r *rnet) fuseSeriesPlaces(protected map[int]bool) bool {
+	for t, pre := range r.transPre {
+		p1, ok1 := only(pre)
+		p2, ok2 := only(r.transPost[t])
+		if !ok1 || !ok2 || p1 == p2 || protected[p1] {
+			continue
+		}
+		if len(r.placeCons[p1]) != 1 {
+			continue
+		}
+		// Avoid weighted arcs: producers of p1 must not already feed p2.
+		conflict := false
+		for tp := range r.placeProd[p1] {
+			if tp != t && r.transPost[tp][p2] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for tp := range r.placeProd[p1] {
+			if tp == t {
+				continue
+			}
+			delete(r.transPost[tp], p1)
+			r.transPost[tp][p2] = true
+			r.placeProd[p2][tp] = true
+		}
+		r.marking[p2] += r.marking[p1]
+		if r.marking[p2] == 0 {
+			delete(r.marking, p2)
+		}
+		r.removeTrans(t)
+		r.removePlace(p1)
+		return true
+	}
+	return false
+}
+
+// fuseParallelTransitions applies FPT once: two transitions with
+// identical pre and post sets are redundant; one is removed.
+func (r *rnet) fuseParallelTransitions() bool {
+	// Group by a cheap signature first to stay near-linear.
+	bySig := map[[2]int][]int{}
+	for t := range r.transPre {
+		sig := [2]int{len(r.transPre[t]), len(r.transPost[t])}
+		bySig[sig] = append(bySig[sig], t)
+	}
+	for _, ts := range bySig {
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				a, b := ts[i], ts[j]
+				if sameSet(r.transPre[a], r.transPre[b]) && sameSet(r.transPost[a], r.transPost[b]) {
+					r.removeTrans(b)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// fuseParallelPlaces applies FPP once: two equally marked places with
+// identical producers and consumers are redundant; one is removed.
+func (r *rnet) fuseParallelPlaces(protected map[int]bool) bool {
+	bySig := map[[2]int][]int{}
+	for p := range r.placeProd {
+		sig := [2]int{len(r.placeProd[p]), len(r.placeCons[p])}
+		bySig[sig] = append(bySig[sig], p)
+	}
+	for _, ps := range bySig {
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				a, b := ps[i], ps[j]
+				if protected[b] {
+					a, b = b, a
+				}
+				if protected[b] {
+					continue
+				}
+				if r.marking[a] == r.marking[b] &&
+					sameSet(r.placeProd[a], r.placeProd[b]) && sameSet(r.placeCons[a], r.placeCons[b]) {
+					r.removePlace(b)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// elimSelfLoopPlace applies ESP once: a marked place whose producers
+// equal its consumers never constrains firing and is removed.
+func (r *rnet) elimSelfLoopPlace(protected map[int]bool) bool {
+	for p := range r.placeProd {
+		if protected[p] || r.marking[p] < 1 {
+			continue
+		}
+		if len(r.placeProd[p]) == 0 {
+			continue
+		}
+		if sameSet(r.placeProd[p], r.placeCons[p]) {
+			r.removePlace(p)
+			return true
+		}
+	}
+	return false
+}
+
+// Reduce applies the rule set to fixpoint and rebuilds an immutable
+// net plus its initial marking. protectedNames are never removed
+// (the analyzer protects nothing for verdict-only runs; tests may
+// protect i/o to inspect them).
+func Reduce(n *petri.Net, m0 petri.Marking, protectedNames ...string) (*petri.Net, petri.Marking) {
+	r := newRNet(n, m0)
+	protected := map[int]bool{}
+	for _, name := range protectedNames {
+		if p, ok := n.PlaceByName(name); ok {
+			protected[int(p)] = true
+		}
+	}
+	for {
+		if r.fuseSeriesTransitions() {
+			continue
+		}
+		if r.fuseSeriesPlaces(protected) {
+			continue
+		}
+		if r.fuseParallelTransitions() {
+			continue
+		}
+		if r.fuseParallelPlaces(protected) {
+			continue
+		}
+		if r.elimSelfLoopPlace(protected) {
+			continue
+		}
+		break
+	}
+	// Rebuild.
+	b := petri.NewBuilder()
+	placeID := map[int]petri.PlaceID{}
+	for p := range r.placeProd {
+		placeID[p] = b.AddPlace(n.PlaceName(petri.PlaceID(p)))
+	}
+	for t := range r.transPre {
+		tid := b.AddTransition(n.TransitionName(petri.TransitionID(t)))
+		for p := range r.transPre[t] {
+			b.ArcPT(placeID[p], tid)
+		}
+		for p := range r.transPost[t] {
+			b.ArcTP(tid, placeID[p])
+		}
+	}
+	out := b.Build()
+	m := out.NewMarking()
+	for p, c := range r.marking {
+		if id, ok := out.PlaceByName(n.PlaceName(petri.PlaceID(p))); ok {
+			m[id] = int32(c)
+		}
+	}
+	return out, m
+}

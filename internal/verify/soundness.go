@@ -1,0 +1,381 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"bpms/internal/model"
+	"bpms/internal/petri"
+)
+
+// Options configures a soundness check.
+type Options struct {
+	// MaxStates bounds state-space exploration (default 200000).
+	MaxStates int
+	// UseReduction enables the Murata reduction fast path on the
+	// short-circuited net before state-space analysis.
+	UseReduction bool
+	// Diagnostics requests element-level detail (dead elements,
+	// per-violation messages) even when the fast path already decided
+	// the verdict; it forces a direct state-space pass.
+	Diagnostics bool
+}
+
+// DefaultOptions enables the reduction fast path with diagnostics.
+func DefaultOptions() Options {
+	return Options{MaxStates: 200000, UseReduction: true, Diagnostics: true}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 200000
+	}
+	return o
+}
+
+// Result reports the outcome of a soundness check.
+type Result struct {
+	// Sound is the verdict: the classical soundness property holds.
+	Sound bool
+	// Method records how the verdict was reached.
+	Method string
+	// Bounded reports whether the workflow net is bounded.
+	Bounded bool
+	// StateCount is the number of states explored in the decisive pass.
+	StateCount int
+	// NetPlaces / NetTransitions are the sizes of the translated net;
+	// ReducedPlaces / ReducedTransitions the sizes after reduction
+	// (equal to the former when reduction is disabled).
+	NetPlaces, NetTransitions         int
+	ReducedPlaces, ReducedTransitions int
+	// Violations lists human-readable soundness violations.
+	Violations []string
+	// DeadElements lists model elements that can never execute.
+	DeadElements []string
+	// Warnings lists translation approximations (see package doc).
+	Warnings []string
+	// Incomplete is true when the state budget was exhausted before a
+	// verdict; Sound is then false and Violations explains.
+	Incomplete bool
+}
+
+const shortCircuitTransition = "τ*"
+
+// Check verifies the classical soundness of a process definition:
+// (1) option to complete, (2) proper completion, and (3) no dead
+// transitions, on its workflow-net translation.
+func Check(p *model.Process, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	net, nm, warnings, err := ToNet(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Warnings:       warnings,
+		NetPlaces:      net.Places(),
+		NetTransitions: net.Transitions(),
+	}
+	res.ReducedPlaces, res.ReducedTransitions = res.NetPlaces, res.NetTransitions
+
+	if opts.UseReduction && !opts.Diagnostics {
+		// Fast path: soundness(N) == live(N*) && bounded(N*) on the
+		// short-circuited net, which reduction preserves.
+		sound, states, reducedP, reducedT, incomplete := checkViaReduction(net, opts.MaxStates)
+		res.Method = "reduction+statespace"
+		res.StateCount = states
+		res.ReducedPlaces, res.ReducedTransitions = reducedP, reducedT
+		res.Incomplete = incomplete
+		res.Sound = sound
+		res.Bounded = !incomplete // boundedness decided within the pass
+		if incomplete {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("state budget of %d exhausted before a verdict", opts.MaxStates))
+		} else if !sound {
+			res.Violations = append(res.Violations, "short-circuited net is not live and bounded")
+		}
+		return res, nil
+	}
+
+	if err := checkDirect(net, nm, opts, res); err != nil {
+		return nil, err
+	}
+	if opts.UseReduction {
+		res.Method = "statespace+diagnostics"
+	} else {
+		res.Method = "statespace"
+	}
+	return res, nil
+}
+
+// checkViaReduction decides soundness through the short-circuited,
+// reduced net. It returns (sound, statesExplored, places, transitions,
+// incomplete).
+func checkViaReduction(net *petri.Net, maxStates int) (bool, int, int, int, bool) {
+	sc := shortCircuit(net)
+	m0 := sc.NewMarking()
+	src, _ := sc.PlaceByName(SourcePlace)
+	m0[src] = 1
+	red, rm0 := Reduce(sc, m0)
+	places, transitions := red.Places(), red.Transitions()
+
+	cov, err := petri.Coverability(red, rm0, maxStates)
+	if err != nil {
+		return false, len(cov.States), places, transitions, true
+	}
+	for _, m := range cov.States {
+		if m.HasOmega() {
+			return false, len(cov.States), places, transitions, false
+		}
+	}
+	// Bounded: the coverability graph IS the reachability graph.
+	if !isLive(red, cov) {
+		return false, len(cov.States), places, transitions, false
+	}
+	return true, len(cov.States), places, transitions, false
+}
+
+// shortCircuit copies net and adds τ*: o -> i.
+func shortCircuit(net *petri.Net) *petri.Net {
+	b := petri.NewBuilder()
+	for p := 0; p < net.Places(); p++ {
+		b.AddPlace(net.PlaceName(petri.PlaceID(p)))
+	}
+	for t := 0; t < net.Transitions(); t++ {
+		tid := b.AddTransition(net.TransitionName(petri.TransitionID(t)))
+		for _, p := range net.Pre(petri.TransitionID(t)) {
+			b.ArcPT(petri.PlaceID(p), tid)
+		}
+		for _, p := range net.Post(petri.TransitionID(t)) {
+			b.ArcTP(tid, petri.PlaceID(p))
+		}
+	}
+	star := b.AddTransition(shortCircuitTransition)
+	src := b.AddPlace(SourcePlace)
+	sink := b.AddPlace(SinkPlace)
+	b.ArcPT(sink, star)
+	b.ArcTP(star, src)
+	return b.Build()
+}
+
+// isLive checks liveness on a complete (bounded) state graph: every
+// transition must be fireable from every reachable state.
+func isLive(net *petri.Net, g *petri.Graph) bool {
+	if net.Transitions() == 0 {
+		return true
+	}
+	// Any deadlock kills liveness immediately.
+	for s := range g.States {
+		if len(g.Out[s]) == 0 {
+			return false
+		}
+	}
+	for t := 0; t < net.Transitions(); t++ {
+		var targets []int
+		for _, e := range g.Edges {
+			if e.T == petri.TransitionID(t) {
+				targets = append(targets, e.From)
+			}
+		}
+		if len(targets) == 0 {
+			return false // dead transition
+		}
+		back := g.BackwardReachable(targets)
+		if len(back) != len(g.States) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDirect runs the textbook three-condition check on the original
+// net, filling element-level diagnostics.
+func checkDirect(net *petri.Net, nm *NetMap, opts Options, res *Result) error {
+	src, ok := net.PlaceByName(SourcePlace)
+	if !ok {
+		return fmt.Errorf("verify: translated net has no source place")
+	}
+	sink, ok := net.PlaceByName(SinkPlace)
+	if !ok {
+		return fmt.Errorf("verify: translated net has no sink place")
+	}
+	m0 := net.NewMarking()
+	m0[src] = 1
+
+	bounded, err := petri.Bounded(net, m0, opts.MaxStates)
+	if err != nil {
+		res.Incomplete = true
+		res.Sound = false
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("state budget of %d exhausted during boundedness analysis", opts.MaxStates))
+		return nil
+	}
+	res.Bounded = bounded
+	if !bounded {
+		res.Sound = false
+		res.Violations = append(res.Violations, "workflow net is unbounded (tokens can accumulate)")
+		return nil
+	}
+
+	g, err := petri.Reachability(net, m0, opts.MaxStates)
+	res.StateCount = len(g.States)
+	if err != nil {
+		res.Incomplete = true
+		res.Sound = false
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("state budget of %d exhausted during reachability analysis", opts.MaxStates))
+		return nil
+	}
+
+	final := net.NewMarking()
+	final[sink] = 1
+	finalState := -1
+	properViolations := 0
+	for s, m := range g.States {
+		if m.Equal(final) {
+			finalState = s
+			continue
+		}
+		if m[sink] >= 1 {
+			properViolations++
+			if properViolations <= 3 {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("improper completion: reachable marking %s has tokens besides the sink", m.String(net)))
+			}
+		}
+	}
+	if properViolations > 3 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("... and %d more improper completions", properViolations-3))
+	}
+
+	if finalState < 0 {
+		res.Violations = append(res.Violations, "the final marking is not reachable")
+		for i, s := range g.Deadlocks() {
+			if i >= 3 {
+				break
+			}
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("no option to complete: deadlock at marking %s", g.States[s].String(net)))
+		}
+	} else {
+		back := g.BackwardReachable([]int{finalState})
+		stuck := 0
+		for s := range g.States {
+			if !back[s] {
+				stuck++
+				if stuck <= 3 {
+					kind := "livelock"
+					if len(g.Out[s]) == 0 {
+						kind = "deadlock"
+					}
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("no option to complete: %s at marking %s", kind, g.States[s].String(net)))
+				}
+			}
+		}
+		if stuck > 3 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("... and %d more stuck states", stuck-3))
+		}
+	}
+
+	deadEls := map[string]bool{}
+	for _, t := range g.DeadTransitions() {
+		name := net.TransitionName(t)
+		el := nm.ElementOf[name]
+		if el == "" {
+			el = name
+		}
+		deadEls[el] = true
+	}
+	// An element is dead only if ALL of its transitions are dead
+	// (multi-transition encodings fire partially by design).
+	fired := g.FiredTransitions()
+	for t := 0; t < net.Transitions(); t++ {
+		if fired[petri.TransitionID(t)] {
+			delete(deadEls, nm.ElementOf[net.TransitionName(petri.TransitionID(t))])
+		}
+	}
+	for el := range deadEls {
+		res.DeadElements = append(res.DeadElements, el)
+	}
+	sort.Strings(res.DeadElements)
+	for _, el := range res.DeadElements {
+		res.Violations = append(res.Violations, fmt.Sprintf("element %q can never execute", el))
+	}
+
+	res.Sound = len(res.Violations) == 0
+	return nil
+}
+
+// IsWorkflowNet checks the structural workflow-net property of the
+// translation of p: a unique source and sink place and every node on a
+// path from source to sink.
+func IsWorkflowNet(p *model.Process) (bool, []string, error) {
+	net, _, _, err := ToNet(p)
+	if err != nil {
+		return false, nil, err
+	}
+	src, _ := net.PlaceByName(SourcePlace)
+	sink, _ := net.PlaceByName(SinkPlace)
+	var problems []string
+	if len(net.Producers(src)) != 0 {
+		problems = append(problems, "source place has producers")
+	}
+	if len(net.Consumers(sink)) != 0 {
+		problems = append(problems, "sink place has consumers")
+	}
+	// Forward from src over the bipartite graph.
+	nNodes := net.Places() + net.Transitions()
+	tNode := func(t petri.TransitionID) int { return net.Places() + int(t) }
+	fwd := make([]bool, nNodes)
+	stack := []int{int(src)}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fwd[n] {
+			continue
+		}
+		fwd[n] = true
+		if n < net.Places() {
+			for _, t := range net.Consumers(petri.PlaceID(n)) {
+				stack = append(stack, tNode(t))
+			}
+		} else {
+			for _, pp := range net.Post(petri.TransitionID(n - net.Places())) {
+				stack = append(stack, int(pp))
+			}
+		}
+	}
+	bwd := make([]bool, nNodes)
+	stack = []int{int(sink)}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if bwd[n] {
+			continue
+		}
+		bwd[n] = true
+		if n < net.Places() {
+			for _, t := range net.Producers(petri.PlaceID(n)) {
+				stack = append(stack, tNode(t))
+			}
+		} else {
+			for _, pp := range net.Pre(petri.TransitionID(n - net.Places())) {
+				stack = append(stack, int(pp))
+			}
+		}
+	}
+	for n := 0; n < nNodes; n++ {
+		if !fwd[n] || !bwd[n] {
+			var name string
+			if n < net.Places() {
+				name = "place " + net.PlaceName(petri.PlaceID(n))
+			} else {
+				name = "transition " + net.TransitionName(petri.TransitionID(n-net.Places()))
+			}
+			problems = append(problems, fmt.Sprintf("%s is not on a path from source to sink", name))
+		}
+	}
+	return len(problems) == 0, problems, nil
+}

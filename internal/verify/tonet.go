@@ -1,0 +1,297 @@
+// Package verify implements formal verification of process definitions
+// against workflow-net semantics: the classic soundness property
+// (option to complete, proper completion, no dead transitions) of
+// van der Aalst, checked on the Petri-net translation of the model,
+// with a liveness/boundedness-preserving reduction pre-pass as a fast
+// path.
+//
+// The translation follows the standard BPMN→WF-net mapping. Constructs
+// whose semantics are not expressible in place/transition nets are
+// over-approximated and reported as warnings:
+//
+//   - inclusive (OR) gateways use non-empty-subset split/merge semantics;
+//   - boundary events on sub-processes cancel only the busy token, not
+//     interior tokens;
+//   - multi-instance activities verify as a single instance;
+//   - call activities verify as atomic tasks;
+//   - terminate end events verify as plain end events.
+package verify
+
+import (
+	"fmt"
+
+	"bpms/internal/model"
+	"bpms/internal/petri"
+)
+
+// SourcePlace and SinkPlace are the names of the WF-net's unique
+// source (i) and sink (o) places in the translated net.
+const (
+	SourcePlace = "i"
+	SinkPlace   = "o"
+)
+
+// NetMap relates the translated net back to the process model for
+// diagnostics: each transition belongs to exactly one element.
+type NetMap struct {
+	// ElementOf maps a transition name to the originating element ID.
+	ElementOf map[string]string
+}
+
+// maxInclusiveFanout caps the subset expansion of inclusive gateways
+// (2^n - 1 transitions).
+const maxInclusiveFanout = 12
+
+// translator builds a Petri net from a process model.
+type translator struct {
+	b        *petri.Builder
+	nm       *NetMap
+	warnings []string
+}
+
+func (tr *translator) warnf(format string, args ...any) {
+	tr.warnings = append(tr.warnings, fmt.Sprintf(format, args...))
+}
+
+// transition registers a transition and records its owning element.
+func (tr *translator) transition(name, elementID string) petri.TransitionID {
+	t := tr.b.AddTransition(name)
+	tr.nm.ElementOf[name] = elementID
+	return t
+}
+
+// ToNet translates a validated process definition into a workflow net
+// with source place "i" and sink place "o". It returns the net, the
+// diagnostic map, and any approximation warnings.
+func ToNet(p *model.Process) (*petri.Net, *NetMap, []string, error) {
+	tr := &translator{
+		b:  petri.NewBuilder(),
+		nm: &NetMap{ElementOf: map[string]string{}},
+	}
+	source := tr.b.AddPlace(SourcePlace)
+	sink := tr.b.AddPlace(SinkPlace)
+	if err := tr.process(p, "", source, sink); err != nil {
+		return nil, nil, nil, err
+	}
+	return tr.b.Build(), tr.nm, tr.warnings, nil
+}
+
+// process translates one process body. prefix namespaces sub-process
+// elements; entry and exit are the places standing for the body's
+// source and sink.
+func (tr *translator) process(p *model.Process, prefix string, entry, exit petri.PlaceID) error {
+	p.Index()
+	flowPlace := func(f *model.Flow) petri.PlaceID {
+		return tr.b.AddPlace(prefix + "f:" + f.ID)
+	}
+	inPlaces := func(id string) []petri.PlaceID {
+		flows := p.Incoming(id)
+		out := make([]petri.PlaceID, len(flows))
+		for i, f := range flows {
+			out[i] = flowPlace(f)
+		}
+		return out
+	}
+	outPlaces := func(id string) []petri.PlaceID {
+		flows := p.Outgoing(id)
+		out := make([]petri.PlaceID, len(flows))
+		for i, f := range flows {
+			out[i] = flowPlace(f)
+		}
+		return out
+	}
+
+	for _, e := range p.Elements {
+		qid := prefix + e.ID
+		switch e.Kind {
+		case model.KindStartEvent:
+			t := tr.transition(qid, qid)
+			tr.b.ArcPT(entry, t)
+			for _, o := range outPlaces(e.ID) {
+				tr.b.ArcTP(t, o)
+			}
+		case model.KindEndEvent, model.KindTerminateEnd:
+			if e.Kind == model.KindTerminateEnd {
+				tr.warnf("terminate end %q verified as a plain end event", qid)
+			}
+			// Implicit XOR-join: one transition per incoming flow.
+			for i, pin := range inPlaces(e.ID) {
+				t := tr.transition(fmt.Sprintf("%s#%d", qid, i), qid)
+				tr.b.ArcPT(pin, t)
+				tr.b.ArcTP(t, exit)
+			}
+		case model.KindExclusiveGateway, model.KindEventGateway:
+			// One transition per (incoming, outgoing) pair.
+			for i, pin := range inPlaces(e.ID) {
+				for j, pout := range outPlaces(e.ID) {
+					t := tr.transition(fmt.Sprintf("%s#%d>%d", qid, i, j), qid)
+					tr.b.ArcPT(pin, t)
+					tr.b.ArcTP(t, pout)
+				}
+			}
+		case model.KindParallelGateway:
+			t := tr.transition(qid, qid)
+			for _, pin := range inPlaces(e.ID) {
+				tr.b.ArcPT(pin, t)
+			}
+			for _, pout := range outPlaces(e.ID) {
+				tr.b.ArcTP(t, pout)
+			}
+		case model.KindBoundaryEvent:
+			// Encoded by the host activity.
+			continue
+		case model.KindInclusiveGateway:
+			if err := tr.inclusive(p, prefix, e, inPlaces(e.ID), outPlaces(e.ID)); err != nil {
+				return err
+			}
+		case model.KindSubProcess:
+			if err := tr.subProcess(p, prefix, e, inPlaces(e.ID), outPlaces(e.ID)); err != nil {
+				return err
+			}
+		default:
+			// All task and intermediate-event kinds share the activity
+			// encoding (with implicit XOR-join / parallel-out).
+			tr.activity(p, prefix, e, inPlaces(e.ID), outPlaces(e.ID))
+		}
+	}
+	return nil
+}
+
+// activity encodes a task or intermediate event. When the node has one
+// incoming flow and no boundary events it is a single transition; the
+// general case uses enter transitions into a busy place plus a done
+// transition, with boundary events racing on the busy place.
+func (tr *translator) activity(p *model.Process, prefix string, e *model.Element, ins, outs []petri.PlaceID) {
+	qid := prefix + e.ID
+	if e.Multi != nil {
+		tr.warnf("multi-instance activity %q verified as a single instance", qid)
+	}
+	if e.Kind == model.KindCallActivity {
+		tr.warnf("call activity %q verified as an atomic task", qid)
+	}
+	boundaries := p.BoundaryEvents(e.ID)
+	if len(boundaries) == 0 && len(ins) == 1 {
+		t := tr.transition(qid, qid)
+		tr.b.ArcPT(ins[0], t)
+		for _, o := range outs {
+			tr.b.ArcTP(t, o)
+		}
+		return
+	}
+	busy := tr.b.AddPlace(prefix + "busy:" + e.ID)
+	var arms []petri.PlaceID
+	for _, bd := range boundaries {
+		arms = append(arms, tr.b.AddPlace(prefix+"arm:"+bd.ID))
+	}
+	for i, pin := range ins {
+		t := tr.transition(fmt.Sprintf("%s#enter%d", qid, i), qid)
+		tr.b.ArcPT(pin, t)
+		tr.b.ArcTP(t, busy)
+		for _, arm := range arms {
+			tr.b.ArcTP(t, arm)
+		}
+	}
+	done := tr.transition(qid, qid)
+	tr.b.ArcPT(busy, done)
+	for _, arm := range arms {
+		tr.b.ArcPT(arm, done)
+	}
+	for _, o := range outs {
+		tr.b.ArcTP(done, o)
+	}
+	for bi, bd := range boundaries {
+		bqid := prefix + bd.ID
+		t := tr.transition(bqid, bqid)
+		if bd.CancelActivity {
+			// Interrupting: steal the busy token and all arms.
+			tr.b.ArcPT(busy, t)
+			for _, arm := range arms {
+				tr.b.ArcPT(arm, t)
+			}
+		} else {
+			// Non-interrupting: consume only its own arm (fires at
+			// most once per activation).
+			tr.b.ArcPT(arms[bi], t)
+		}
+		for _, f := range p.Outgoing(bd.ID) {
+			tr.b.ArcTP(t, tr.b.AddPlace(prefix+"f:"+f.ID))
+		}
+	}
+}
+
+// subProcess inlines the body net between the parent's flows.
+func (tr *translator) subProcess(p *model.Process, prefix string, e *model.Element, ins, outs []petri.PlaceID) error {
+	qid := prefix + e.ID
+	subPrefix := qid + "/"
+	subEntry := tr.b.AddPlace(subPrefix + SourcePlace)
+	subExit := tr.b.AddPlace(subPrefix + SinkPlace)
+	boundaries := p.BoundaryEvents(e.ID)
+	if len(boundaries) > 0 {
+		tr.warnf("boundary events on sub-process %q cancel only the busy token, not interior tokens", qid)
+	}
+	busy := tr.b.AddPlace(prefix + "busy:" + e.ID)
+	for i, pin := range ins {
+		t := tr.transition(fmt.Sprintf("%s#enter%d", qid, i), qid)
+		tr.b.ArcPT(pin, t)
+		tr.b.ArcTP(t, subEntry)
+		tr.b.ArcTP(t, busy)
+	}
+	done := tr.transition(qid, qid)
+	tr.b.ArcPT(subExit, done)
+	tr.b.ArcPT(busy, done)
+	for _, o := range outs {
+		tr.b.ArcTP(done, o)
+	}
+	for _, bd := range boundaries {
+		bqid := prefix + bd.ID
+		t := tr.transition(bqid, bqid)
+		tr.b.ArcPT(busy, t)
+		for _, f := range p.Outgoing(bd.ID) {
+			tr.b.ArcTP(t, tr.b.AddPlace(prefix+"f:"+f.ID))
+		}
+	}
+	return tr.process(e.SubProcess, subPrefix, subEntry, subExit)
+}
+
+// inclusive encodes an OR gateway with non-empty-subset semantics on
+// both sides, warning about the approximation.
+func (tr *translator) inclusive(p *model.Process, prefix string, e *model.Element, ins, outs []petri.PlaceID) error {
+	qid := prefix + e.ID
+	if len(ins) > maxInclusiveFanout || len(outs) > maxInclusiveFanout {
+		return fmt.Errorf("verify: inclusive gateway %q fan-in/out exceeds %d", qid, maxInclusiveFanout)
+	}
+	tr.warnf("inclusive gateway %q approximated with subset split/merge semantics", qid)
+	// Center place decouples join subsets from split subsets.
+	center := tr.b.AddPlace(prefix + "or:" + e.ID)
+	if len(ins) == 1 {
+		t := tr.transition(qid+"#in", qid)
+		tr.b.ArcPT(ins[0], t)
+		tr.b.ArcTP(t, center)
+	} else {
+		for mask := 1; mask < 1<<len(ins); mask++ {
+			t := tr.transition(fmt.Sprintf("%s#in%d", qid, mask), qid)
+			for i, pin := range ins {
+				if mask&(1<<i) != 0 {
+					tr.b.ArcPT(pin, t)
+				}
+			}
+			tr.b.ArcTP(t, center)
+		}
+	}
+	if len(outs) == 1 {
+		t := tr.transition(qid+"#out", qid)
+		tr.b.ArcPT(center, t)
+		tr.b.ArcTP(t, outs[0])
+	} else {
+		for mask := 1; mask < 1<<len(outs); mask++ {
+			t := tr.transition(fmt.Sprintf("%s#out%d", qid, mask), qid)
+			tr.b.ArcPT(center, t)
+			for i, pout := range outs {
+				if mask&(1<<i) != 0 {
+					tr.b.ArcTP(t, pout)
+				}
+			}
+		}
+	}
+	return nil
+}
