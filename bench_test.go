@@ -234,6 +234,37 @@ func BenchmarkT5_ExprAggregate(b *testing.B) {
 	}
 }
 
+// T9: deploy-time expression compilation — compile-once vs the
+// compile-per-evaluation pattern, micro and engine-level.
+
+// BenchmarkT9_ConditionHeavy20 drives a 20-choice condition-heavy
+// process (bench.ConditionHeavy) through the engine; with deploy-time
+// compilation no expression is parsed after Deploy.
+func BenchmarkT9_ConditionHeavy20(b *testing.B) {
+	// amount 600 drives acc past 1000 by the second choice, so most
+	// guards take the two-output "hot" branch: the workload is
+	// dominated by condition and output-mapping evaluation.
+	benchCases(b, bench.ConditionHeavy(20), map[string]any{"amount": 600})
+}
+
+// BenchmarkT9_ExprCompilePerEval is the seed engine's per-evaluation
+// behavior (lex + parse + eval every time), kept as the baseline the
+// compilation pipeline is measured against.
+func BenchmarkT9_ExprCompilePerEval(b *testing.B) {
+	env := expr.MapEnv{"amount": expr.Int(1500), "region": expr.String("EU")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := expr.Compile(`amount > 1000 && region == "EU"`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // F3: discovery (mining a 100-trace log per iteration).
 
 func BenchmarkF3_AlphaMiner(b *testing.B) {

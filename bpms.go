@@ -134,6 +134,9 @@ var (
 	MapValue    = expr.Map
 	EvalExpr    = expr.Eval
 	CompileExpr = expr.Compile
+	// CachedExpr compiles through the bounded shared program cache —
+	// the compile-once entry point for ad-hoc expression sources.
+	CachedExpr = expr.Cached
 )
 
 // Human tasks and resources.

@@ -1,0 +1,3 @@
+module bpms
+
+go 1.24

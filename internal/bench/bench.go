@@ -96,6 +96,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T7Rules(scale) },
 		func() *Table { return F5Recovery(scale) },
 		func() *Table { return T8EndToEnd(scale) },
+		func() *Table { return T9CompileOnce(scale) },
 	}
 }
 
@@ -115,6 +116,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T7": func() *Table { return T7Rules(scale) },
 		"F5": func() *Table { return F5Recovery(scale) },
 		"T8": func() *Table { return T8EndToEnd(scale) },
+		"T9": func() *Table { return T9CompileOnce(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

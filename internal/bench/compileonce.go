@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bpms/internal/expr"
+	"bpms/internal/model"
+)
+
+// ConditionHeavy chains n exclusive choices whose guarded branches are
+// script tasks with output mappings, so per-instance cost is dominated
+// by expression evaluation. It is the workload behind experiment T9
+// and the root-level T9 benchmarks.
+func ConditionHeavy(n int) *model.Process {
+	b := model.New(fmt.Sprintf("cond-%d", n))
+	b.Start("start")
+	prev := "start"
+	for i := 1; i <= n; i++ {
+		x := fmt.Sprintf("x%d", i)
+		hot := fmt.Sprintf("hot%d", i)
+		cold := fmt.Sprintf("cold%d", i)
+		dflt := fmt.Sprintf("d%d", i)
+		join := fmt.Sprintf("j%d", i)
+		b.XOR(x, model.Default(dflt))
+		b.ScriptTask(hot,
+			model.Output("acc", fmt.Sprintf("coalesce(acc, 0) + amount * %d", i)),
+			model.Output("tier", `acc > 1000 ? "gold" : "base"`))
+		b.ScriptTask(cold, model.Output("acc", "coalesce(acc, 0) + 1"))
+		b.XOR(join)
+		b.Flow(prev, x)
+		b.FlowIf(x, hot, fmt.Sprintf(`amount %% %d == 0 || tier == "gold"`, i+1))
+		b.FlowID(dflt, x, cold, "")
+		b.Flow(hot, join)
+		b.Flow(cold, join)
+		prev = join
+	}
+	b.End("end")
+	b.Flow(prev, "end")
+	return b.MustBuild()
+}
+
+// T9CompileOnce quantifies the deploy-time expression compilation
+// pipeline: evaluation through a precompiled program and through the
+// shared program cache against the seed's compile-per-evaluation
+// pattern, plus the condition-heavy engine workload that stresses
+// flow conditions and output mappings end to end.
+func T9CompileOnce(scale Scale) *Table {
+	t := &Table{
+		ID:     "T9",
+		Title:  "compile-once vs compile-per-eval expression pipelines",
+		Header: []string{"pipeline", "ops", "wall", "per-op"},
+	}
+	n := scale.pick(200000, 2000000)
+	src := `amount > 1000 && region == "EU"`
+	env := expr.MapEnv{"amount": expr.Int(1500), "region": expr.String("EU")}
+
+	perOp := func(name string, ops int, run func() error) {
+		start := time.Now()
+		if err := run(); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", name, err))
+			return
+		}
+		d := time.Since(start)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(ops),
+			secs(d), fmt.Sprintf("%dns", d.Nanoseconds()/int64(ops))})
+	}
+
+	perOp("compile per eval (seed behavior)", n, func() error {
+		for i := 0; i < n; i++ {
+			p, err := expr.Compile(src)
+			if err != nil {
+				return err
+			}
+			if _, err := p.Eval(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	perOp("precompiled program", n, func() error {
+		p := expr.MustCompile(src)
+		for i := 0; i < n; i++ {
+			if _, err := p.Eval(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	perOp("shared cache (expr.Cached)", n, func() error {
+		for i := 0; i < n; i++ {
+			p, err := expr.Cached(src)
+			if err != nil {
+				return err
+			}
+			if _, err := p.Eval(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	cases := scale.pick(500, 10000)
+	proc := ConditionHeavy(20)
+	// amount 600 keeps most choices on the expression-heavy branch.
+	perOp("engine: condition-heavy (20 choices)", cases, func() error {
+		_, err := RunCases(proc, map[string]any{"amount": 600}, cases)
+		return err
+	})
+	return t
+}

@@ -160,7 +160,7 @@ func (e *Engine) corrKey(inst *Instance, el *model.Element, extra map[string]exp
 	if el.CorrelationKey == "" {
 		return "", nil
 	}
-	p, err := expr.Compile(el.CorrelationKey)
+	p, err := el.CorrelationProgram()
 	if err != nil {
 		return "", fmt.Errorf("correlation key of %q: %w", el.ID, err)
 	}

@@ -164,13 +164,19 @@ func (e *Engine) handler(name string) (Handler, bool) {
 }
 
 // Deploy validates and registers a process definition (and persists
-// the deployment).
+// the deployment). Every expression in the definition — flow
+// conditions, output mappings, multi-instance collection/completion
+// conditions, correlation keys — is compiled once here; runtime
+// evaluation reuses the retained programs.
 func (e *Engine) Deploy(p *model.Process) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	cp := p.Clone()
 	cp.Index()
+	if err := cp.Compile(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	e.definitions[cp.ID] = cp
 	e.mu.Unlock()

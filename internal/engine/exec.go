@@ -3,7 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -257,7 +256,7 @@ func (e *Engine) continueOutgoing(inst *Instance, tok *Token, proc *model.Proces
 			taken = append(taken, f)
 			continue
 		}
-		ok, err := e.evalCond(inst, f.Condition, nil)
+		ok, err := e.evalFlowCond(inst, f, nil)
 		if err != nil {
 			e.incident(inst, tok.Elem, fmt.Sprintf("flow %q condition: %v", f.ID, err))
 			return
@@ -297,35 +296,37 @@ func (e *Engine) continueOutgoing(inst *Instance, tok *Token, proc *model.Proces
 	}
 }
 
-func (e *Engine) evalCond(inst *Instance, src string, extra map[string]expr.Value) (bool, error) {
-	p, err := expr.Compile(src)
+// evalFlowCond evaluates a sequence flow's guard using its precompiled
+// program (deployed definitions compile all expressions once, at
+// deploy time; see model.Process.Compile).
+func (e *Engine) evalFlowCond(inst *Instance, f *model.Flow, extra map[string]expr.Value) (bool, error) {
+	p, err := f.Program()
 	if err != nil {
 		return false, err
+	}
+	if p == nil {
+		return true, nil // unconditional
 	}
 	return p.EvalBool(inst.env(extra))
 }
 
-// applyOutputs evaluates an element's output mappings (sorted by
-// variable name for determinism) into the case data.
+// applyOutputs evaluates an element's precompiled output mappings
+// (sorted by variable name for determinism) into the case data.
 func (e *Engine) applyOutputs(inst *Instance, el *model.Element, extra map[string]expr.Value) error {
-	if len(el.Outputs) == 0 {
+	mappings, err := el.OutputMappings()
+	if err != nil {
+		return err
+	}
+	if len(mappings) == 0 {
 		return nil
 	}
-	names := make([]string, 0, len(el.Outputs))
-	for name := range el.Outputs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		p, err := expr.Compile(el.Outputs[name])
+	env := inst.env(extra)
+	for _, m := range mappings {
+		v, err := m.Program.Eval(env)
 		if err != nil {
-			return fmt.Errorf("output %q: %w", name, err)
+			return fmt.Errorf("output %q: %w", m.Name, err)
 		}
-		v, err := p.Eval(inst.env(extra))
-		if err != nil {
-			return fmt.Errorf("output %q: %w", name, err)
-		}
-		inst.Vars[name] = v
+		inst.Vars[m.Name] = v
 	}
 	inst.dirty = true
 	return nil

@@ -25,7 +25,7 @@ func (e *Engine) exclusiveSplit(inst *Instance, tok *Token, proc *model.Process,
 		}
 		enabled := true
 		if f.Condition != "" {
-			ok, err := e.evalCond(inst, f.Condition, nil)
+			ok, err := e.evalFlowCond(inst, f, nil)
 			if err != nil {
 				e.incident(inst, tok.Elem, fmt.Sprintf("flow %q condition: %v", f.ID, err))
 				return
@@ -60,7 +60,7 @@ func (e *Engine) inclusiveSplit(inst *Instance, tok *Token, proc *model.Process,
 		}
 		enabled := true
 		if f.Condition != "" {
-			ok, err := e.evalCond(inst, f.Condition, nil)
+			ok, err := e.evalFlowCond(inst, f, nil)
 			if err != nil {
 				e.incident(inst, tok.Elem, fmt.Sprintf("flow %q condition: %v", f.ID, err))
 				return

@@ -21,9 +21,15 @@ import (
 // enterMultiInstance evaluates the collection and dispatches per the
 // activity kind.
 func (e *Engine) enterMultiInstance(inst *Instance, tok *Token, proc *model.Process, el *model.Element) {
-	p, err := expr.Compile(el.Multi.Collection)
+	p, err := el.CollectionProgram()
 	if err != nil {
 		e.incident(inst, tok.Elem, fmt.Sprintf("multi-instance collection: %v", err))
+		return
+	}
+	if p == nil {
+		// Deploy validates the collection non-empty, but recovery
+		// compiles without validating; fault rather than crash.
+		e.incident(inst, tok.Elem, "multi-instance collection: empty expression")
 		return
 	}
 	v, err := p.Eval(inst.env(nil))
@@ -205,7 +211,7 @@ func (e *Engine) miCompletionConditionMet(inst *Instance, el *model.Element, ext
 	if el.Multi == nil || el.Multi.CompletionCondition == "" {
 		return false, nil
 	}
-	p, err := expr.Compile(el.Multi.CompletionCondition)
+	p, err := el.CompletionProgram()
 	if err != nil {
 		return false, fmt.Errorf("multi-instance completion condition: %w", err)
 	}

@@ -181,6 +181,9 @@ func (e *Engine) recover() error {
 			}
 			for _, def := range img.Definitions {
 				def.Index()
+				if err := def.Compile(); err != nil {
+					return fmt.Errorf("engine: compile snapshot definition %q: %w", def.ID, err)
+				}
 				e.definitions[def.ID] = def
 			}
 			for _, raw := range img.Instances {
@@ -202,6 +205,9 @@ func (e *Engine) recover() error {
 		switch rec.Kind {
 		case "deploy":
 			rec.Process.Index()
+			if err := rec.Process.Compile(); err != nil {
+				return fmt.Errorf("engine: compile recovered definition %q: %w", rec.Process.ID, err)
+			}
 			e.definitions[rec.Process.ID] = rec.Process
 		case "instance":
 			var st instState

@@ -1,0 +1,97 @@
+package expr
+
+import "sync"
+
+// Cache is a bounded, concurrency-safe source → *Program cache. It
+// backs evaluation of ad-hoc expression sources (API-submitted
+// conditions, simulation workloads, benchmark generators) so that a
+// source string is lexed and parsed at most once while it stays
+// resident. Deployed process definitions do not go through the cache:
+// they retain their programs directly (model.Process.Compile).
+//
+// Eviction is FIFO over insertion order: when the cache is full the
+// oldest entry is discarded. Programs are immutable, so an evicted
+// program remains valid for holders that already obtained it.
+type Cache struct {
+	mu    sync.RWMutex
+	max   int
+	funcs *FuncSet
+	bySrc map[string]*Program
+	order []string // insertion order, oldest first
+}
+
+// DefaultCacheSize bounds the package-level cache used by Cached.
+const DefaultCacheSize = 4096
+
+// NewCache returns a Cache holding at most max programs, compiled
+// against the default function set. max <= 0 selects DefaultCacheSize.
+func NewCache(max int) *Cache {
+	return NewCacheWith(max, DefaultFuncs)
+}
+
+// NewCacheWith is NewCache with an explicit function set.
+func NewCacheWith(max int, funcs *FuncSet) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{max: max, funcs: funcs, bySrc: make(map[string]*Program)}
+}
+
+// Get returns the compiled program for src, compiling and inserting it
+// on a miss. Compile errors are not cached: a bad source is re-parsed
+// on every call, which keeps error reporting exact and the cache free
+// of negative entries.
+func (c *Cache) Get(src string) (*Program, error) {
+	c.mu.RLock()
+	p, ok := c.bySrc[src]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	// Compile outside the lock: parsing is pure and racing compilers
+	// at worst duplicate work for one source.
+	p, err := CompileWith(src, c.funcs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.bySrc[src]; ok {
+		return prev, nil // another goroutine won the race
+	}
+	for len(c.bySrc) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.bySrc, oldest)
+	}
+	c.bySrc[src] = p
+	c.order = append(c.order, src)
+	return p, nil
+}
+
+// Len reports the number of resident programs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.bySrc)
+}
+
+// defaultCache backs Cached.
+var defaultCache = NewCache(DefaultCacheSize)
+
+// Cached compiles src through the package-level program cache. It is
+// the compile-once entry point for ad-hoc sources; deployed process
+// models should precompile via model.Process.Compile instead.
+func Cached(src string) (*Program, error) {
+	return defaultCache.Get(src)
+}
+
+// EvalCached evaluates src against env using the package-level cache,
+// replacing compile-per-call uses of Eval on hot paths.
+func EvalCached(src string, env Env) (Value, error) {
+	p, err := Cached(src)
+	if err != nil {
+		return Null, err
+	}
+	return p.Eval(env)
+}

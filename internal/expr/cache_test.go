@@ -1,0 +1,125 @@
+package expr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitReturnsSameProgram(t *testing.T) {
+	c := NewCache(8)
+	p1, err := c.Get("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("cache miss for identical source")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	v, err := p1.Eval(MapEnv{"a": Int(2), "b": Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.AsInt(); i != 5 {
+		t.Errorf("eval = %v, want 5", v)
+	}
+}
+
+func TestCacheEvictsOldestAndStaysBounded(t *testing.T) {
+	const max = 4
+	c := NewCache(max)
+	for i := 0; i < 3*max; i++ {
+		if _, err := c.Get(fmt.Sprintf("v + %d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > max {
+			t.Fatalf("cache grew to %d, bound is %d", c.Len(), max)
+		}
+	}
+	if c.Len() != max {
+		t.Errorf("Len = %d, want %d", c.Len(), max)
+	}
+	// The oldest entries were evicted; re-fetching recompiles to a new
+	// program, while the newest survivor is still the cached pointer.
+	newest := fmt.Sprintf("v + %d", 3*max-1)
+	pNewest, _ := c.Get(newest)
+	pAgain, _ := c.Get(newest)
+	if pNewest != pAgain {
+		t.Error("newest entry was evicted")
+	}
+	// An evicted program remains usable by existing holders and the
+	// recompiled replacement evaluates identically.
+	pOld, err := c.Get("v + 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pOld.Eval(MapEnv{"v": Int(41)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.AsInt(); i != 41 {
+		t.Errorf("recompiled eval = %v, want 41", v)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(8)
+	if _, err := c.Get("1 +"); err == nil {
+		t.Fatal("want compile error")
+	}
+	if c.Len() != 0 {
+		t.Errorf("error was cached: Len = %d", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	srcs := make([]string, 32) // more sources than capacity: constant churn
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("n * %d + 1", i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			env := MapEnv{"n": Int(int64(g))}
+			for i := 0; i < 500; i++ {
+				src := srcs[(g*7+i)%len(srcs)]
+				p, err := c.Get(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Eval(env); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("bound violated: Len = %d", c.Len())
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCache(64)
+	if _, err := c.Get(`amount > 1000 && region == "EU"`); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(`amount > 1000 && region == "EU"`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

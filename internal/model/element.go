@@ -10,7 +10,11 @@
 // workflow-net semantics lives in internal/verify.
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"bpms/internal/expr"
+)
 
 // ElementKind enumerates the supported BPMN flow-node types.
 type ElementKind int
@@ -215,6 +219,12 @@ type Element struct {
 
 	// Retry policy for service tasks (0 = no retries).
 	Retries int `json:"retries,omitempty"`
+
+	// compiled holds the element's deploy-time compiled expression
+	// programs (built by Process.Compile; nil until then). Readers go
+	// through the accessor methods in compile.go, which fall back to
+	// the shared expression cache for uncompiled definitions.
+	compiled *compiledElement
 }
 
 // Flow is a sequence flow (directed edge) between two elements.
@@ -224,4 +234,7 @@ type Flow struct {
 	From      string `json:"from"`
 	To        string `json:"to"`
 	Condition string `json:"condition,omitempty"` // guard expression; empty = unconditional
+
+	// program is the deploy-time compiled Condition (see Element.compiled).
+	program *expr.Program
 }

@@ -101,7 +101,10 @@ func Compile(t Table) (*Compiled, error) {
 			if src == "" || src == "-" {
 				continue
 			}
-			p, err := expr.Compile(src)
+			// The shared cache deduplicates programs across tables and
+			// recompilations of the same table (rule sets are routinely
+			// re-deployed with most cells unchanged).
+			p, err := expr.Cached(src)
 			if err != nil {
 				return nil, fmt.Errorf("%w: rule %d condition %d: %v", ErrBadDefinition, ri, ci, err)
 			}
@@ -114,7 +117,7 @@ func Compile(t Table) (*Compiled, error) {
 			if !ok {
 				return nil, fmt.Errorf("%w: rule %d missing output %q", ErrBadDefinition, ri, name)
 			}
-			p, err := expr.Compile(src)
+			p, err := expr.Cached(src)
 			if err != nil {
 				return nil, fmt.Errorf("%w: rule %d output %q: %v", ErrBadDefinition, ri, name, err)
 			}

@@ -211,9 +211,17 @@ func (j *FileJournal) rollLocked() error {
 		if err := j.activeBuf.Flush(); err != nil {
 			return err
 		}
+		// Sync before closing: once the segment is rolled, a later
+		// explicit Sync() only reaches the new active file, so under
+		// SyncEvery/SyncNever this is the last chance to make the
+		// outgoing segment's tail durable.
+		if err := j.active.Sync(); err != nil {
+			return err
+		}
 		if err := j.active.Close(); err != nil {
 			return err
 		}
+		j.sinceSync = 0
 	}
 	base := j.nextIndex
 	path := filepath.Join(j.dir, segmentName(base))
@@ -318,7 +326,15 @@ func (j *FileJournal) DropBefore(upTo uint64) error {
 		keep = append(keep, base)
 	}
 	j.segments = keep
-	if len(j.segments) > 0 {
+	// Recompute firstIndex from the surviving keep-set rather than
+	// patching it conditionally: the oldest retained record is the
+	// base of the oldest surviving segment. The empty case is
+	// defensive — the active segment always survives today — and
+	// mirrors the field's "0 when empty" contract should dropping
+	// ever extend to the active segment.
+	if len(j.segments) == 0 {
+		j.firstIndex = 0
+	} else {
 		j.firstIndex = j.segments[0]
 	}
 	return nil
