@@ -182,6 +182,49 @@ func BenchmarkT4_Replay(b *testing.B) {
 	j.Close()
 }
 
+// T10: group-commit durable appends. Durable throughput under
+// parallelism is the group-commit win: batch coalesces concurrent
+// AppendDurable calls behind one fsync, while always pays one fsync
+// per append.
+
+func benchAppend(b *testing.B, opts storage.Options, durable bool) {
+	j, err := storage.OpenFileJournal(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var err error
+			if durable {
+				_, err = j.AppendDurable(payload)
+			} else {
+				_, err = j.Append(payload)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkT10_AppendDurableBatch(b *testing.B) {
+	benchAppend(b, storage.Options{Policy: storage.SyncBatch}, true)
+}
+
+func BenchmarkT10_AppendSyncAlways(b *testing.B) {
+	benchAppend(b, storage.Options{Policy: storage.SyncAlways}, false)
+}
+
+func BenchmarkT10_AppendSyncEvery256(b *testing.B) {
+	benchAppend(b, storage.Options{Policy: storage.SyncEvery, SyncInterval: 256}, false)
+}
+
 // F2: allocation-policy simulation (one 100-case run per iteration).
 
 func benchPolicy(b *testing.B, pol resource.Policy) {

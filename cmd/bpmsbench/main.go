@@ -5,10 +5,12 @@
 //
 //	bpmsbench            # run everything at full scale
 //	bpmsbench -quick     # smaller workloads (CI-sized)
-//	bpmsbench -run T3    # a single experiment (T1..T8, F1..F5)
+//	bpmsbench -run T3    # a single experiment (T1..T10, F1..F5)
+//	bpmsbench -json      # emit tables as JSON (for CI artifacts)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	run := flag.String("run", "", "run a single experiment id (e.g. T1, F3)")
+	asJSON := flag.Bool("json", false, "emit result tables as a JSON array on stdout")
 	flag.Parse()
 
 	scale := bench.Full
@@ -27,24 +30,47 @@ func main() {
 		scale = bench.Quick
 	}
 
+	emit := func(tables []*bench.Table, elapsed time.Duration) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tables); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("done in %.1fs\n", elapsed.Seconds())
+	}
+
 	if *run != "" {
 		fn, ok := bench.ByID(*run, scale)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use T1..T8, F1..F5)\n", *run)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use T1..T10, F1..F5)\n", *run)
 			os.Exit(2)
 		}
 		start := time.Now()
-		fmt.Println(fn().Render())
-		fmt.Printf("(%s in %.1fs)\n", *run, time.Since(start).Seconds())
+		emit([]*bench.Table{fn()}, time.Since(start))
 		return
 	}
 
 	total := time.Now()
+	var tables []*bench.Table
 	for _, fn := range bench.All(scale) {
 		start := time.Now()
 		t := fn()
-		fmt.Println(t.Render())
-		fmt.Printf("(%s in %.1fs)\n\n", t.ID, time.Since(start).Seconds())
+		tables = append(tables, t)
+		if !*asJSON {
+			fmt.Println(t.Render())
+			fmt.Printf("(%s in %.1fs)\n\n", t.ID, time.Since(start).Seconds())
+		}
 	}
-	fmt.Printf("all experiments in %.1fs\n", time.Since(total).Seconds())
+	if *asJSON {
+		emit(tables, time.Since(total))
+	} else {
+		fmt.Printf("all experiments in %.1fs\n", time.Since(total).Seconds())
+	}
 }

@@ -3,18 +3,31 @@
 //
 // Usage:
 //
-//	bpmsd -addr :8080 -data ./data -user alice=clerk,manager -user bob=clerk
+//	bpmsd -addr :8080 -data ./data -sync batch -user alice=clerk,manager
+//
+// Durability is controlled by -sync (never|always|every|batch; see the
+// README's Durability section), -sync-every (append count for the
+// every policy), and -sync-interval (max fsync latency for the batch
+// policy). With -durable (default on for any policy except never),
+// API-visible state transitions wait for the WAL commit
+// acknowledgement, so a SIGKILL after a response never loses the
+// acknowledged state. On SIGINT/SIGTERM the daemon drains in-flight
+// HTTP requests and commit batches, syncs the WAL, and closes cleanly.
 //
 // Definitions are deployed and instances driven through the REST API
 // (see internal/api); bpmsctl is the companion client.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"bpms"
 	"bpms/internal/api"
@@ -24,8 +37,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
+	syncMode := flag.String("sync", "batch", "WAL sync policy: never|always|every|batch")
+	syncEvery := flag.Int("sync-every", 256, "appends between fsyncs (every policy)")
+	syncInterval := flag.Duration("sync-interval", 2*time.Millisecond, "max delay before batched appends are fsynced (batch policy)")
 	snapshotEvery := flag.Int("snapshot-every", 1000, "journal appends between snapshots (0 = never)")
 	autoAllocate := flag.Bool("auto-allocate", false, "push tasks to users instead of offering")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	var users []resource.User
 	flag.Func("user", "user spec id=role1,role2 (repeatable)", func(s string) error {
 		id, roles, ok := strings.Cut(s, "=")
@@ -39,13 +56,22 @@ func main() {
 		users = append(users, u)
 		return nil
 	})
+	durable := flag.Bool("durable", true, "state transitions wait for the WAL commit ack (forced off with -sync never)")
 	flag.Parse()
 
+	policy, err := bpms.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := bpms.Options{
-		DataDir:      *data,
-		AutoAllocate: *autoAllocate,
-		RunTimers:    true,
-		Users:        users,
+		DataDir:       *data,
+		SyncPolicy:    policy,
+		SyncInterval:  *syncEvery,
+		BatchMaxDelay: *syncInterval,
+		Durable:       *durable && policy != bpms.SyncNever,
+		AutoAllocate:  *autoAllocate,
+		RunTimers:     true,
+		Users:         users,
 	}
 	if *data != "" {
 		opts.SnapshotEvery = *snapshotEvery
@@ -54,13 +80,56 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
 
+	// Effective configuration, then recovery summary.
+	if *data == "" {
+		fmt.Println("bpmsd: in-memory (no data dir; -sync has no effect)")
+	} else {
+		fmt.Printf("bpmsd: data dir %s, sync=%s", *data, policy)
+		switch policy {
+		case bpms.SyncEvery:
+			fmt.Printf(" every=%d", *syncEvery)
+		case bpms.SyncBatch:
+			fmt.Printf(" interval=%s", *syncInterval)
+		}
+		fmt.Printf(", durable=%v\n", opts.Durable)
+	}
 	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered, %d user(s)\n",
 		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Directory.Count())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := api.New(sys)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal: nothing to drain.
+		sys.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("bpmsd: shutdown signal received, draining")
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "bpmsd: drain: %v\n", err)
+		}
+		cancel()
+		active := 0
+		for _, id := range sys.Engine.Instances() {
+			if v, err := sys.Engine.Instance(id); err == nil && v.Status == bpms.StatusActive {
+				active++
+			}
+		}
+		if err := sys.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bpmsd: close: %v\n", err)
+			os.Exit(1)
+		}
+		last, synced := sys.JournalIndexes()
+		fmt.Printf("bpmsd: shutdown complete: %d active instance(s) drained, journal index %d, last synced %d\n",
+			active, last, synced)
 	}
 }

@@ -5,12 +5,14 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"bpms/internal/core"
 	"bpms/internal/engine"
@@ -24,6 +26,9 @@ import (
 type Server struct {
 	bpms *core.BPMS
 	mux  *http.ServeMux
+
+	mu   sync.Mutex
+	http *http.Server
 }
 
 // New builds the HTTP server for a BPMS.
@@ -353,7 +358,29 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // ListenAndServe runs the server on addr (convenience for cmd/bpmsd).
+// It returns http.ErrServerClosed after a graceful Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
+	s.mu.Lock()
+	if s.http != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("api: server already running")
+	}
+	srv := &http.Server{Addr: addr, Handler: s.mux}
+	s.http = srv
+	s.mu.Unlock()
 	fmt.Printf("bpmsd listening on %s\n", addr)
-	return http.ListenAndServe(addr, s.mux)
+	return srv.ListenAndServe()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish (bounded by ctx). Safe to call from another
+// goroutine than ListenAndServe; a no-op when the server never ran.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }

@@ -97,26 +97,28 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return F5Recovery(scale) },
 		func() *Table { return T8EndToEnd(scale) },
 		func() *Table { return T9CompileOnce(scale) },
+		func() *Table { return T10GroupCommit(scale) },
 	}
 }
 
 // ByID returns the experiment function for an ID like "T1" or "F3".
 func ByID(id string, scale Scale) (func() *Table, bool) {
 	m := map[string]func() *Table{
-		"T1": func() *Table { return T1Throughput(scale) },
-		"T2": func() *Table { return T2TaskLatency(scale) },
-		"F1": func() *Table { return F1Scaling(scale) },
-		"T3": func() *Table { return T3Verification(scale) },
-		"T4": func() *Table { return T4Storage(scale) },
-		"F2": func() *Table { return F2Policies(scale) },
-		"T5": func() *Table { return T5Expressions(scale) },
-		"F3": func() *Table { return F3Discovery(scale) },
-		"T6": func() *Table { return T6Correlation(scale) },
-		"F4": func() *Table { return F4Timers(scale) },
-		"T7": func() *Table { return T7Rules(scale) },
-		"F5": func() *Table { return F5Recovery(scale) },
-		"T8": func() *Table { return T8EndToEnd(scale) },
-		"T9": func() *Table { return T9CompileOnce(scale) },
+		"T1":  func() *Table { return T1Throughput(scale) },
+		"T2":  func() *Table { return T2TaskLatency(scale) },
+		"F1":  func() *Table { return F1Scaling(scale) },
+		"T3":  func() *Table { return T3Verification(scale) },
+		"T4":  func() *Table { return T4Storage(scale) },
+		"F2":  func() *Table { return F2Policies(scale) },
+		"T5":  func() *Table { return T5Expressions(scale) },
+		"F3":  func() *Table { return F3Discovery(scale) },
+		"T6":  func() *Table { return T6Correlation(scale) },
+		"F4":  func() *Table { return F4Timers(scale) },
+		"T7":  func() *Table { return T7Rules(scale) },
+		"F5":  func() *Table { return F5Recovery(scale) },
+		"T8":  func() *Table { return T8EndToEnd(scale) },
+		"T9":  func() *Table { return T9CompileOnce(scale) },
+		"T10": func() *Table { return T10GroupCommit(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

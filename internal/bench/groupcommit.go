@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpms/internal/storage"
+)
+
+// T10GroupCommit measures durable append throughput per sync policy
+// under rising writer concurrency — the experiment behind the
+// SyncBatch group-commit pipeline. "always" fsyncs per append (one
+// writer's fsync serializes everyone), "every256" defers durability to
+// every 256th append (appends are fast but a crash loses the tail),
+// and "batch" group-commits: every append gets a durability ack, yet
+// concurrent writers share one fsync per batch.
+func T10GroupCommit(scale Scale) *Table {
+	writerCounts := []int{1, 4, 16, 64}
+	if scale == Full {
+		writerCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	per := scale.pick(25, 100)
+	payload := make([]byte, 256)
+	t := &Table{
+		ID:     "T10",
+		Title:  "group commit: append throughput vs concurrent writers (256B records)",
+		Header: []string{"policy", "writers", "appends", "durable ack", "wall", "appends/s"},
+	}
+	rates := map[string]map[int]float64{}
+	for _, pol := range []struct {
+		name    string
+		opts    storage.Options
+		durable bool
+	}{
+		{"always", storage.Options{Policy: storage.SyncAlways}, true},
+		{"every256", storage.Options{Policy: storage.SyncEvery, SyncInterval: 256}, false},
+		{"batch", storage.Options{Policy: storage.SyncBatch}, true},
+	} {
+		rates[pol.name] = map[int]float64{}
+		for _, writers := range writerCounts {
+			dir, err := os.MkdirTemp("", "bench-t10")
+			if err != nil {
+				panic(err)
+			}
+			j, err := storage.OpenFileJournal(dir, pol.opts)
+			if err != nil {
+				panic(err)
+			}
+			total := writers * per
+			var firstErr atomic.Value
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						var err error
+						if pol.durable {
+							_, err = j.AppendDurable(payload)
+						} else {
+							_, err = j.Append(payload)
+						}
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			d := time.Since(start)
+			j.Close()
+			os.RemoveAll(dir)
+			if err, _ := firstErr.Load().(error); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s/%d writers: %v", pol.name, writers, err))
+				continue
+			}
+			rates[pol.name][writers] = float64(total) / d.Seconds()
+			t.Rows = append(t.Rows, []string{
+				pol.name, fmt.Sprint(writers), fmt.Sprint(total),
+				fmt.Sprintf("%v", pol.durable), secs(d), rate(total, d),
+			})
+		}
+	}
+	if a, b := rates["always"][16], rates["batch"][16]; a > 0 && b > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("batch vs always at 16 writers: %.1fx durable append throughput", b/a))
+	}
+	return t
+}

@@ -27,6 +27,19 @@ type Options struct {
 	DataDir string
 	// SyncPolicy applies to the file journals (ignored in memory).
 	SyncPolicy storage.SyncPolicy
+	// SyncInterval is the append count between fsyncs for SyncEvery
+	// (default 256).
+	SyncInterval int
+	// BatchMaxDelay is the SyncBatch max-latency tick (default 2ms):
+	// buffered records reach stable storage at least this often.
+	BatchMaxDelay time.Duration
+	// BatchMaxRecords bounds a SyncBatch group commit (default 1024).
+	BatchMaxRecords int
+	// Durable makes API-visible state transitions wait for the state
+	// journal's durability acknowledgement before returning. Under
+	// SyncBatch, concurrent transitions share one group-commit fsync,
+	// so this costs one fsync per batch rather than per transition.
+	Durable bool
 	// SnapshotEvery writes a state snapshot after this many journal
 	// appends (0 disables snapshots; requires DataDir).
 	SnapshotEvery int
@@ -85,11 +98,17 @@ func Open(opts Options) (*BPMS, error) {
 		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: create data dir: %w", err)
 		}
-		sj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "state"), storage.Options{Policy: opts.SyncPolicy})
+		jopts := storage.Options{
+			Policy:          opts.SyncPolicy,
+			SyncInterval:    opts.SyncInterval,
+			BatchMaxDelay:   opts.BatchMaxDelay,
+			BatchMaxRecords: opts.BatchMaxRecords,
+		}
+		sj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "state"), jopts)
 		if err != nil {
 			return nil, err
 		}
-		hj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "history"), storage.Options{Policy: opts.SyncPolicy})
+		hj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "history"), jopts)
 		if err != nil {
 			sj.Close()
 			return nil, err
@@ -131,6 +150,7 @@ func Open(opts Options) (*BPMS, error) {
 		Timers:        wheel,
 		Clock:         opts.Clock,
 		History:       hist,
+		Durable:       opts.Durable,
 	})
 	if err != nil {
 		return nil, err
@@ -151,7 +171,9 @@ func Open(opts Options) (*BPMS, error) {
 	return b, nil
 }
 
-// Close stops the timer runner and syncs/closes the journals.
+// Close stops the timer runner and syncs/closes the journals. Under
+// SyncBatch journals this drains in-flight commit batches: every
+// acknowledged append is on stable storage when Close returns.
 func (b *BPMS) Close() error {
 	if b.runner != nil {
 		b.runner.Stop()
@@ -163,6 +185,25 @@ func (b *BPMS) Close() error {
 		}
 	}
 	return first
+}
+
+// SyncJournals forces both journals to stable storage (without
+// closing them).
+func (b *BPMS) SyncJournals() error {
+	var first error
+	for _, j := range b.journals {
+		if err := j.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// JournalIndexes reports the state journal's last appended and last
+// synced record indices (for shutdown summaries and monitoring). Both
+// remain readable after Close.
+func (b *BPMS) JournalIndexes() (last, synced uint64) {
+	return b.journals[0].LastIndex(), b.journals[0].SyncedIndex()
 }
 
 // DeployFile loads a definition from a .json or .xml file, validates

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"bpms/internal/expr"
 	"bpms/internal/model"
 	"bpms/internal/resource"
+	"bpms/internal/storage"
 	"bpms/internal/timer"
 )
 
@@ -91,6 +93,63 @@ func TestOpenPersistentAndReopen(t *testing.T) {
 	got, _ = b2.Engine.Instance(v.ID)
 	if got.Status != engine.StatusCompleted {
 		t.Fatalf("status after resume = %s", got.Status)
+	}
+}
+
+// TestDurableBatchRecoveryWithoutClose is the group-commit durability
+// contract at the system level: with SyncPolicy SyncBatch and Durable
+// acknowledgements, every state transition that returned survives a
+// crash — simulated by reopening the data dir WITHOUT closing the
+// first system (Close would flush everything and mask the guarantee).
+func TestDurableBatchRecoveryWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(Options{
+		DataDir:    dir,
+		SyncPolicy: storage.SyncBatch,
+		Durable:    true,
+		Users:      []resource.User{{ID: "alice", Roles: []string{"clerk"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.New("durable-held").
+		Start("s").UserTask("work", model.Role("clerk")).End("e").
+		Seq("s", "work", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Engine.StartInstance("durable-held", map[string]any{"i": i})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+
+	// Crash: no Close. The acked transitions must all be on disk.
+	b2, err := Open(Options{DataDir: dir,
+		Users: []resource.User{{ID: "alice", Roles: []string{"clerk"}}}})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer b2.Close()
+	for _, id := range ids {
+		got, err := b2.Engine.Instance(id)
+		if err != nil {
+			t.Fatalf("acked instance %s lost: %v", id, err)
+		}
+		if got.Status != engine.StatusActive {
+			t.Fatalf("instance %s recovered as %s", id, got.Status)
+		}
 	}
 }
 

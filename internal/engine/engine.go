@@ -81,6 +81,13 @@ type Config struct {
 	// Recover replays the journal to restore engine state (default
 	// true when the journal is non-empty).
 	Recover bool
+	// Durable makes API-visible state transitions wait for the
+	// journal's durability acknowledgement (Journal.AppendDurable)
+	// before returning: once StartInstance, a task completion, or a
+	// message delivery returns, the resulting state survives a crash.
+	// Under a SyncBatch journal, concurrent transitions share one
+	// group-commit fsync.
+	Durable bool
 }
 
 // Engine is the enactment service. All exported methods are safe for
@@ -95,6 +102,7 @@ type Engine struct {
 	snapshots     *storage.SnapshotStore
 	snapshotEvery int
 	appendsSince  int
+	durable       bool
 
 	tasks  *task.Service
 	timers timer.Service
@@ -132,6 +140,7 @@ func New(cfg Config) (*Engine, error) {
 		journal:       cfg.Journal,
 		snapshots:     cfg.Snapshots,
 		snapshotEvery: cfg.SnapshotEvery,
+		durable:       cfg.Durable,
 		tasks:         cfg.Tasks,
 		timers:        cfg.Timers,
 		clock:         cfg.Clock,
@@ -249,9 +258,15 @@ func (e *Engine) StartInstance(processID string, vars map[string]any) (*Instance
 		}
 		e.advance(inst, tok)
 	}
-	e.finishChecks(inst)
+	perr := e.finishChecks(inst)
 	v := e.viewSnapshot(inst)
 	e.releaseStep(inst)
+	if perr != nil {
+		// The instance ran, but its state never reached (durable)
+		// storage: a crash would lose it, so the caller must not treat
+		// this start as acknowledged.
+		return nil, perr
+	}
 	return v, nil
 }
 
@@ -299,8 +314,7 @@ func (e *Engine) CancelInstance(id, reason string) error {
 	inst.Status = StatusCancelled
 	e.audit(&history.Event{Type: history.InstanceCancelled, Time: e.clock.Now(),
 		ProcessID: inst.ProcessID, InstanceID: inst.ID, Data: map[string]any{"reason": reason}})
-	e.finishStep(inst)
-	return nil
+	return e.finishStep(inst)
 }
 
 // Variables returns a copy of the instance's case data.
@@ -336,8 +350,7 @@ func (e *Engine) SetVariable(id, name string, value any) error {
 	inst.Vars[name] = ev
 	e.audit(&history.Event{Type: history.VariableSet, Time: e.clock.Now(),
 		ProcessID: inst.ProcessID, InstanceID: inst.ID, Data: map[string]any{"name": name}})
-	e.finishStep(inst)
-	return nil
+	return e.finishStep(inst)
 }
 
 // audit forwards an event to the history store when configured.

@@ -42,21 +42,28 @@ func (inst *Instance) env(extra map[string]expr.Value) expr.Env {
 // finishStep completes an externally triggered step: re-evaluates
 // inclusive joins (their enablement is non-local), detects instance
 // completion, persists dirty state, releases the instance lock, and
-// dispatches thrown messages.
-func (e *Engine) finishStep(inst *Instance) {
-	e.finishChecks(inst)
+// dispatches thrown messages. The error is the persistence/durability
+// failure, if any; asynchronous callers (task listener, timers,
+// message delivery) ignore it — persistence stays write-behind there —
+// while synchronous API entry points propagate it so a failed durable
+// acknowledgement is never reported as success.
+func (e *Engine) finishStep(inst *Instance) error {
+	err := e.finishChecks(inst)
 	e.releaseStep(inst)
+	return err
 }
 
 // finishChecks runs the end-of-step bookkeeping under the instance
 // lock.
-func (e *Engine) finishChecks(inst *Instance) {
+func (e *Engine) finishChecks(inst *Instance) error {
 	e.checkInclusiveJoins(inst)
 	e.checkCompletion(inst)
+	var err error
 	if inst.dirty {
-		e.persistInstance(inst)
+		err = e.persistInstance(inst)
 		inst.dirty = false
 	}
+	return err
 }
 
 // releaseStep unlocks the instance and dispatches messages thrown

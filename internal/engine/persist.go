@@ -62,21 +62,38 @@ func (e *Engine) encodeInstance(inst *Instance) ([]byte, error) {
 	return json.Marshal(st)
 }
 
+// appendRecord writes one journal record, waiting for the durability
+// acknowledgement when the engine runs in durable mode. In durable
+// mode the caller (holding one instance's lock) blocks only for its
+// batch's fsync; transitions on other instances proceed concurrently
+// and share the same group commit.
+func (e *Engine) appendRecord(rec []byte) (uint64, error) {
+	if e.durable {
+		return e.journal.AppendDurable(rec)
+	}
+	return e.journal.Append(rec)
+}
+
 // persistInstance appends the instance's current state to the journal.
-// Called under the instance lock.
-func (e *Engine) persistInstance(inst *Instance) {
+// Called under the instance lock. The returned error matters in
+// durable mode: it is the failed durability acknowledgement, and API
+// entry points must not report success past it. Serialization
+// failures still must not kill execution on async (listener/timer)
+// paths, whose callers ignore the return value as before.
+func (e *Engine) persistInstance(inst *Instance) error {
 	data, err := e.encodeInstance(inst)
 	if err != nil {
-		return // serialization failure must not kill execution
+		return fmt.Errorf("engine: encode instance %s: %w", inst.ID, err)
 	}
 	rec, err := json.Marshal(record{Kind: "instance", State: data})
 	if err != nil {
-		return
+		return fmt.Errorf("engine: encode record for %s: %w", inst.ID, err)
 	}
-	if _, err := e.journal.Append(rec); err != nil {
-		return
+	if _, err := e.appendRecord(rec); err != nil {
+		return fmt.Errorf("engine: persist instance %s: %w", inst.ID, err)
 	}
 	e.maybeSnapshot()
+	return nil
 }
 
 func (e *Engine) persistDeploy(p *model.Process) error {
@@ -84,7 +101,7 @@ func (e *Engine) persistDeploy(p *model.Process) error {
 	if err != nil {
 		return err
 	}
-	if _, err := e.journal.Append(rec); err != nil {
+	if _, err := e.appendRecord(rec); err != nil {
 		return err
 	}
 	e.maybeSnapshot()

@@ -6,16 +6,19 @@
 // the journal (from the latest snapshot when present).
 //
 // Durability contract: Append returns after the record is in the OS
-// page cache; Sync (or SyncEvery/SyncAlways policies) forces it to
-// stable storage. Records are length-prefixed and CRC-protected, and a
-// torn tail (partial final record after a crash) is detected and
-// truncated on open.
+// page cache; Sync (or the SyncEvery/SyncAlways/SyncBatch policies)
+// forces it to stable storage. AppendDurable returns only after the
+// record is on stable storage — under SyncBatch, concurrent callers
+// are group-committed behind a single fsync. Records are
+// length-prefixed and CRC-protected, and a torn tail (partial final
+// record after a crash) is detected and truncated on open.
 package storage
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed journal.
@@ -31,6 +34,12 @@ var ErrCorrupt = errors.New("storage: corrupt record")
 type Journal interface {
 	// Append adds a record and returns its index.
 	Append(payload []byte) (uint64, error)
+	// AppendDurable adds a record and blocks until it is on stable
+	// storage. Under SyncBatch, concurrent callers are coalesced into
+	// one group commit (a single write+fsync acknowledges the whole
+	// batch); under other policies the append is followed by a sync
+	// where needed.
+	AppendDurable(payload []byte) (uint64, error)
 	// Replay streams records with index >= from, in order. The
 	// callback's payload is only valid for the duration of the call.
 	Replay(from uint64, fn func(index uint64, payload []byte) error) error
@@ -44,6 +53,10 @@ type Journal interface {
 	DropBefore(upTo uint64) error
 	// Sync forces buffered records to stable storage.
 	Sync() error
+	// SyncedIndex returns the index of the newest record known to be
+	// on stable storage (0 when nothing is durable yet). For in-memory
+	// journals this equals LastIndex.
+	SyncedIndex() uint64
 	// Close releases resources. The journal must not be used after.
 	Close() error
 }
@@ -73,6 +86,11 @@ func (m *MemJournal) Append(payload []byte) (uint64, error) {
 	copy(cp, payload)
 	m.records = append(m.records, cp)
 	return m.first + uint64(len(m.records)) - 1, nil
+}
+
+// AppendDurable implements Journal (memory is "durable" on return).
+func (m *MemJournal) AppendDurable(payload []byte) (uint64, error) {
+	return m.Append(payload)
 }
 
 // Replay implements Journal.
@@ -145,6 +163,9 @@ func (m *MemJournal) Sync() error {
 	return nil
 }
 
+// SyncedIndex implements Journal.
+func (m *MemJournal) SyncedIndex() uint64 { return m.LastIndex() }
+
 // Close implements Journal.
 func (m *MemJournal) Close() error {
 	m.mu.Lock()
@@ -164,7 +185,44 @@ const (
 	SyncAlways
 	// SyncEvery fsyncs after every N appends.
 	SyncEvery
+	// SyncBatch group-commits: a dedicated committer goroutine
+	// coalesces concurrent appends into one write+fsync and wakes all
+	// AppendDurable waiters once their records are durable. Plain
+	// Appends are synced within BatchMaxDelay or after BatchMaxRecords
+	// unsynced appends, whichever comes first.
+	SyncBatch
 )
+
+// String names the policy (flag value form).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "every"
+	case SyncBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses a policy name as accepted by bpmsd's -sync
+// flag: never, always, every, batch.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never":
+		return SyncNever, nil
+	case "always":
+		return SyncAlways, nil
+	case "every":
+		return SyncEvery, nil
+	case "batch":
+		return SyncBatch, nil
+	}
+	return 0, fmt.Errorf("storage: unknown sync policy %q (want never|always|every|batch)", s)
+}
 
 // Options configures a file journal.
 type Options struct {
@@ -175,6 +233,14 @@ type Options struct {
 	Policy SyncPolicy
 	// SyncInterval is N for SyncEvery (default 256).
 	SyncInterval int
+	// BatchMaxRecords bounds a SyncBatch group: after this many
+	// unsynced appends the committer is woken even if no durability
+	// ack is pending (default 1024).
+	BatchMaxRecords int
+	// BatchMaxDelay is the SyncBatch max-latency tick: buffered
+	// records are fsynced at least this often, so a lone writer never
+	// stalls behind an empty batch (default 2ms).
+	BatchMaxDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -184,16 +250,22 @@ func (o Options) withDefaults() Options {
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = 256
 	}
+	if o.BatchMaxRecords <= 0 {
+		o.BatchMaxRecords = 1024
+	}
+	if o.BatchMaxDelay <= 0 {
+		o.BatchMaxDelay = 2 * time.Millisecond
+	}
 	return o
 }
 
 func (o Options) String() string {
-	pol := "never"
+	pol := o.Policy.String()
 	switch o.Policy {
-	case SyncAlways:
-		pol = "always"
 	case SyncEvery:
 		pol = fmt.Sprintf("every%d", o.SyncInterval)
+	case SyncBatch:
+		pol = fmt.Sprintf("batch(max=%d,tick=%s)", o.BatchMaxRecords, o.BatchMaxDelay)
 	}
 	return fmt.Sprintf("seg=%dB sync=%s", o.SegmentSize, pol)
 }

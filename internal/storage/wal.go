@@ -8,10 +8,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Record layout on disk:
@@ -42,8 +44,23 @@ type FileJournal struct {
 	nextIndex   uint64
 	firstIndex  uint64 // oldest retained index (0 when empty)
 	sinceSync   int
+	syncedIndex uint64 // newest index known to be on stable storage
+	waiters     []commitWaiter
 	closed      bool
 	appendedAny bool
+
+	// Group-commit machinery (SyncBatch only).
+	commitCh chan struct{} // wakes the committer; buffered, coalescing
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// commitWaiter is one AppendDurable caller parked until its record's
+// batch is fsynced.
+type commitWaiter struct {
+	index uint64
+	ch    chan error
 }
 
 func segmentName(first uint64) string {
@@ -106,6 +123,13 @@ func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
 		j.activeSize = size
 		j.activeBuf = bufio.NewWriterSize(f, 64<<10)
 	}
+	j.syncedIndex = j.nextIndex - 1 // everything recovered is on disk
+	if j.opts.Policy == SyncBatch {
+		j.commitCh = make(chan struct{}, 1)
+		j.stopCh = make(chan struct{})
+		j.doneCh = make(chan struct{})
+		go j.committer()
+	}
 	return j, nil
 }
 
@@ -161,6 +185,181 @@ func (j *FileJournal) scanSegment(base uint64, fn func(uint64, []byte) error) (u
 func (j *FileJournal) Append(payload []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.appendLocked(payload)
+}
+
+// AppendDurable implements Journal: the append returns only after the
+// record is on stable storage. Under SyncBatch the caller parks on an
+// ack channel and the committer goroutine group-commits all records
+// buffered since the last fsync; under other policies the append is
+// followed by a direct sync when the policy alone does not guarantee
+// durability.
+func (j *FileJournal) AppendDurable(payload []byte) (uint64, error) {
+	j.mu.Lock()
+	index, err := j.appendLocked(payload)
+	if err != nil {
+		j.mu.Unlock()
+		return 0, err
+	}
+	switch j.opts.Policy {
+	case SyncAlways:
+		// appendLocked already synced.
+		j.mu.Unlock()
+		return index, nil
+	case SyncBatch:
+		ch := make(chan error, 1)
+		j.waiters = append(j.waiters, commitWaiter{index: index, ch: ch})
+		j.mu.Unlock()
+		j.kickCommitter()
+		return index, <-ch
+	default: // SyncNever, SyncEvery
+		err := j.syncLocked()
+		j.mu.Unlock()
+		return index, err
+	}
+}
+
+// kickCommitter wakes the committer without blocking; a pending wakeup
+// coalesces with this one.
+func (j *FileJournal) kickCommitter() {
+	select {
+	case j.commitCh <- struct{}{}:
+	default:
+	}
+}
+
+// committer is the SyncBatch group-commit loop: it fsyncs whenever an
+// AppendDurable waiter is parked or the max-latency tick elapses with
+// unsynced appends, then wakes every waiter whose record the fsync
+// covered.
+func (j *FileJournal) committer() {
+	defer close(j.doneCh)
+	ticker := time.NewTicker(j.opts.BatchMaxDelay)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.stopCh:
+			j.commitBatch()
+			return
+		case <-j.commitCh:
+			j.gather()
+			j.commitBatch()
+		case <-ticker.C:
+			j.commitBatch()
+		}
+	}
+}
+
+// gather lets the batch fill before the fsync: yield the processor
+// until no new append arrived between two looks (or the batch is
+// full). Without this the scheduler's channel handoff tends to run
+// the committer immediately after the first kick, ping-ponging with a
+// single writer while the other writers sit in the run queue — batches
+// stay near size one and group commit degenerates to sync-per-append.
+// A lone writer pays one Gosched (~µs) before its fsync.
+func (j *FileJournal) gather() {
+	prev := -1
+	for i := 0; i < 64; i++ {
+		j.mu.Lock()
+		n := j.sinceSync
+		full := n >= j.opts.BatchMaxRecords
+		j.mu.Unlock()
+		if full || n == prev {
+			return
+		}
+		prev = n
+		runtime.Gosched()
+	}
+}
+
+// commitBatch runs one group commit: flush the write buffer under the
+// lock, fsync OUTSIDE the lock so concurrent appends keep buffering
+// into the next batch, then release every waiter the fsync covered.
+// Holding the lock across the fsync would cap batches at roughly one
+// record — writers could not get their appends in while the disk was
+// busy, which is the whole throughput win of group commit.
+func (j *FileJournal) commitBatch() {
+	j.mu.Lock()
+	if j.closed {
+		// Close performed the final flush+sync; anything appended
+		// before closing is durable.
+		j.notifyWaitersLocked(nil)
+		j.mu.Unlock()
+		return
+	}
+	if j.sinceSync == 0 && len(j.waiters) == 0 {
+		j.mu.Unlock()
+		return
+	}
+	if j.active == nil {
+		j.mu.Unlock()
+		return
+	}
+	if err := j.activeBuf.Flush(); err != nil {
+		j.notifyWaitersLocked(err)
+		j.mu.Unlock()
+		return
+	}
+	f := j.active
+	upTo := j.nextIndex - 1
+	// These records are in the in-flight commit now; appends arriving
+	// during the fsync below restart the counter for the next batch.
+	pending := j.sinceSync
+	j.sinceSync = 0
+	j.mu.Unlock()
+
+	err := f.Sync()
+
+	j.mu.Lock()
+	if err != nil && j.active != f {
+		// The segment rolled while we were fsyncing: rollLocked
+		// flushed and fsynced the outgoing file before closing it, so
+		// everything up to upTo is durable despite the error from the
+		// closed handle.
+		err = nil
+	}
+	if err != nil {
+		// Genuine sync failure: fail every parked caller and put the
+		// batch back on the unsynced counter so the tick retries it.
+		j.sinceSync += pending
+		j.notifyWaitersLocked(err)
+		j.mu.Unlock()
+		return
+	}
+	if upTo > j.syncedIndex {
+		j.syncedIndex = upTo
+	}
+	// Release only the waiters this fsync covered; later arrivals
+	// already kicked the committer again and ride the next batch.
+	var done []commitWaiter
+	keep := j.waiters[:0]
+	for _, w := range j.waiters {
+		if w.index <= upTo {
+			done = append(done, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	j.waiters = keep
+	j.mu.Unlock()
+	for _, w := range done {
+		w.ch <- nil
+	}
+}
+
+// notifyWaitersLocked completes every parked AppendDurable call with
+// err. Waiter channels are buffered, so sending under the lock cannot
+// block.
+func (j *FileJournal) notifyWaitersLocked(err error) {
+	for _, w := range j.waiters {
+		w.ch <- err
+	}
+	j.waiters = nil
+}
+
+// appendLocked buffers one record and applies the sync policy. Called
+// under j.mu.
+func (j *FileJournal) appendLocked(payload []byte) (uint64, error) {
 	if j.closed {
 		return 0, ErrClosed
 	}
@@ -202,6 +401,13 @@ func (j *FileJournal) Append(payload []byte) (uint64, error) {
 				return 0, err
 			}
 		}
+	case SyncBatch:
+		// Bounded batch: a full batch wakes the committer even when no
+		// durability ack is pending; otherwise the max-latency tick
+		// picks the record up.
+		if j.sinceSync >= j.opts.BatchMaxRecords {
+			j.kickCommitter()
+		}
 	}
 	return index, nil
 }
@@ -222,6 +428,7 @@ func (j *FileJournal) rollLocked() error {
 			return err
 		}
 		j.sinceSync = 0
+		j.syncedIndex = j.nextIndex - 1
 	}
 	base := j.nextIndex
 	path := filepath.Join(j.dir, segmentName(base))
@@ -248,6 +455,7 @@ func (j *FileJournal) syncLocked() error {
 		return err
 	}
 	j.sinceSync = 0
+	j.syncedIndex = j.nextIndex - 1
 	return nil
 }
 
@@ -347,27 +555,53 @@ func (j *FileJournal) Sync() error {
 	if j.closed {
 		return ErrClosed
 	}
-	return j.syncLocked()
+	err := j.syncLocked()
+	if err == nil {
+		// Everything buffered is durable now, including records whose
+		// AppendDurable callers are parked on the committer.
+		j.notifyWaitersLocked(nil)
+	}
+	return err
 }
 
-// Close implements Journal.
+// SyncedIndex implements Journal.
+func (j *FileJournal) SyncedIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncedIndex
+}
+
+// Close implements Journal: the committer (when running) is drained
+// first so parked AppendDurable calls complete, then the active
+// segment is flushed, fsynced, and closed.
 func (j *FileJournal) Close() error {
+	if j.stopCh != nil {
+		j.stopOnce.Do(func() { close(j.stopCh) })
+		<-j.doneCh
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
 	}
 	j.closed = true
+	var err error
 	if j.active != nil {
-		if err := j.activeBuf.Flush(); err != nil {
-			return err
+		if e := j.activeBuf.Flush(); e != nil {
+			err = e
+		} else if e := j.active.Sync(); e != nil {
+			err = e
+		} else {
+			j.syncedIndex = j.nextIndex - 1
 		}
-		if err := j.active.Sync(); err != nil {
-			return err
+		if e := j.active.Close(); e != nil && err == nil {
+			err = e
 		}
-		return j.active.Close()
 	}
-	return nil
+	// Any waiter that slipped in between the committer draining and
+	// the close is covered by the final sync above.
+	j.notifyWaitersLocked(err)
+	return err
 }
 
 // SegmentCount reports the number of live segment files (for tests and

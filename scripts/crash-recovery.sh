@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: prove that no acknowledged instance is lost
+# when bpmsd is SIGKILLed under the group-commit (-sync batch) policy.
+#
+#  1. start bpmsd -sync batch on a fresh data dir
+#  2. deploy a user-task definition and start N instances via bpmsctl
+#     (each `start` returns only after the durable WAL ack)
+#  3. SIGKILL the daemon — no drain, no final fsync
+#  4. restart on the same data dir and assert all N instances are
+#     recovered and active
+#  5. SIGTERM the second daemon and check the graceful-shutdown path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+N="${N:-5}"
+BIN="$(mktemp -d)"
+DATA="$(mktemp -d)"
+LOG="$BIN/bpmsd.log"
+cleanup() {
+  if [ -n "${PID:-}" ]; then kill -9 "$PID" 2>/dev/null || true; fi
+  rm -rf "$BIN" "$DATA"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/bpmsd" ./cmd/bpmsd
+go build -o "$BIN/bpmsctl" ./cmd/bpmsctl
+ctl() { "$BIN/bpmsctl" -server "http://$ADDR" "$@"; }
+
+wait_ready() {
+  for _ in $(seq 100); do
+    if curl -sf "http://$ADDR/api/stats" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "bpmsd did not become ready; log:" >&2
+  cat "$LOG" >&2
+  return 1
+}
+
+echo "== start bpmsd (-sync batch) on $DATA"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -user alice=clerk >"$LOG" 2>&1 &
+PID=$!
+wait_ready
+
+echo "== deploy definition and start $N instances (durable acks)"
+ctl deploy scripts/testdata/approval.json >/dev/null
+for i in $(seq "$N"); do
+  ctl start approval "amount=$i" >/dev/null
+done
+started=$(ctl ps | grep -c '"approval-' || true)
+[ "$started" -eq "$N" ] || { echo "started $started of $N" >&2; exit 1; }
+
+echo "== SIGKILL bpmsd (pid $PID)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "== restart on the same data dir"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -user alice=clerk >"$LOG" 2>&1 &
+PID=$!
+wait_ready
+
+recovered=$(ctl ps | grep -c '"approval-' || true)
+if [ "$recovered" -ne "$N" ]; then
+  echo "FAIL: recovered $recovered of $N acked instances" >&2
+  ctl ps >&2 || true
+  cat "$LOG" >&2
+  exit 1
+fi
+# They must still be active (parked at the user task), not faulted.
+active=$(ctl stats | grep -o '"active": *[0-9]*' | grep -o '[0-9]*$' || echo 0)
+if [ "$active" -ne "$N" ]; then
+  echo "FAIL: $active of $N recovered instances active" >&2
+  ctl stats >&2 || true
+  exit 1
+fi
+echo "OK: all $N acked instances recovered and active after SIGKILL"
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$PID"
+for _ in $(seq 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+  echo "FAIL: bpmsd did not exit within 10s of SIGTERM" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+wait "$PID" 2>/dev/null || true
+grep -q "shutdown complete" "$LOG" || {
+  echo "FAIL: no shutdown summary in log" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+echo "OK: graceful shutdown with summary:"
+grep "shutdown complete" "$LOG"

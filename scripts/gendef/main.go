@@ -1,0 +1,29 @@
+// gendef regenerates scripts/testdata/approval.json, the definition
+// the crash-recovery CI gate deploys through bpmsctl: a minimal
+// user-task process whose instances park at the task, so they are
+// still active (and must be recovered) after a SIGKILL.
+//
+//	go run ./scripts/gendef > scripts/testdata/approval.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bpms"
+)
+
+func main() {
+	proc := bpms.NewProcess("approval").
+		Start("received").
+		UserTask("approve", bpms.Name("Approve request"), bpms.Role("clerk")).
+		End("done").
+		Seq("received", "approve", "done").
+		MustBuild()
+	data, err := bpms.EncodeJSON(proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stdout, string(data))
+}
