@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"bpms"
 	"bpms/internal/bench"
 	"bpms/internal/engine"
 	"bpms/internal/expr"
@@ -224,6 +225,45 @@ func BenchmarkT10_AppendSyncAlways(b *testing.B) {
 func BenchmarkT10_AppendSyncEvery256(b *testing.B) {
 	benchAppend(b, storage.Options{Policy: storage.SyncEvery, SyncInterval: 256}, false)
 }
+
+// T11: sharded runtime. Durable StartInstance throughput under
+// parallel clients against the shard count: every start blocks on its
+// owner shard's group-commit ack, so N shards commit through N
+// independent WAL pipelines.
+
+func benchShardedStart(b *testing.B, shards int) {
+	sys, err := bpms.Open(bpms.Options{
+		DataDir:    b.TempDir(),
+		Shards:     shards,
+		SyncPolicy: bpms.SyncBatch,
+		Durable:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	proc := model.Sequence(3)
+	if err := sys.Engine.Deploy(proc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sys.Engine.StartInstance(proc.ID, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkT11_DurableStart1Shard(b *testing.B) { benchShardedStart(b, 1) }
+func BenchmarkT11_DurableStart2Shard(b *testing.B) { benchShardedStart(b, 2) }
+func BenchmarkT11_DurableStart4Shard(b *testing.B) { benchShardedStart(b, 4) }
 
 // F2: allocation-policy simulation (one 100-case run per iteration).
 

@@ -36,6 +36,7 @@ import (
 	"bpms/internal/model"
 	"bpms/internal/resource"
 	"bpms/internal/rules"
+	"bpms/internal/shard"
 	"bpms/internal/sim"
 	"bpms/internal/storage"
 	"bpms/internal/task"
@@ -46,8 +47,16 @@ import (
 type (
 	// BPMS is the assembled system (engine + worklist + history + timers).
 	BPMS = core.BPMS
-	// Options configures Open.
+	// Options configures Open. Options.Shards partitions instances
+	// across independent engine shards (see the README's Scaling
+	// section); the default is one shard.
 	Options = core.Options
+	// Router is the sharded enactment runtime behind BPMS.Engine: it
+	// presents the single-engine surface while routing each instance
+	// to the shard its ID hashes to.
+	Router = shard.Router
+	// ShardStat reports one shard's load (BPMS.ShardStats).
+	ShardStat = core.ShardStat
 	// SyncPolicy selects when the file journals force records to disk
 	// (see Options.SyncPolicy and the README's Durability section).
 	SyncPolicy = storage.SyncPolicy
@@ -115,7 +124,8 @@ var (
 
 // Execution.
 type (
-	// Engine is the enactment service.
+	// Engine is one enactment shard; BPMS.Engine is a Router over one
+	// or more of these.
 	Engine = engine.Engine
 	// InstanceView is a snapshot of a process instance.
 	InstanceView = engine.InstanceView

@@ -19,7 +19,8 @@
 //	complete <itemId> <user> [k=v ...]   complete with outcome
 //	fail <itemId> <user> <reason>        fail a work item
 //	publish <message> <key> [k=v ...]    publish a correlated message
-//	stats                                engine statistics
+//	stats                                engine statistics (incl. per-shard instance counts)
+//	snapshot                             write a state snapshot on every shard
 //	xes                                  export history as XES to stdout
 //
 // Values in k=v pairs parse as JSON when possible ("true", "42",
@@ -134,6 +135,8 @@ func run(cmd string, args []string) error {
 			map[string]any{"name": args[0], "key": args[1], "vars": parseVars(args[2:])})
 	case "stats":
 		return get("/api/stats")
+	case "snapshot":
+		return postJSON("/api/admin/snapshot", map[string]any{})
 	case "xes":
 		return get("/api/history/xes")
 	}

@@ -66,6 +66,8 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /api/history/xes", s.exportXES)
 	s.mux.HandleFunc("GET /api/stats", s.stats)
+
+	s.mux.HandleFunc("POST /api/admin/snapshot", s.adminSnapshot)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -354,7 +356,19 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		"definitions": len(s.bpms.Engine.Definitions()),
 		"instances":   counts,
 		"events":      s.bpms.History.Count(),
+		"shards":      s.bpms.ShardStats(),
 	})
+}
+
+// adminSnapshot triggers a state snapshot on every shard (compacting
+// each shard's journal prefix) — the endpoint behind `bpmsctl
+// snapshot`. In-memory systems have no snapshot stores and fail.
+func (s *Server) adminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if err := s.bpms.Engine.Snapshot(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": s.bpms.Engine.Shards()})
 }
 
 // ListenAndServe runs the server on addr (convenience for cmd/bpmsd).

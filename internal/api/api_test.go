@@ -267,3 +267,52 @@ func TestAPIDeployXML(t *testing.T) {
 		t.Errorf("definitions = %v", defs)
 	}
 }
+
+// TestAPIShardedStatsAndSnapshot drives a 4-shard persistent system:
+// /api/stats must report per-shard instance counts and POST
+// /api/admin/snapshot must write a snapshot on every shard.
+func TestAPIShardedStatsAndSnapshot(t *testing.T) {
+	b, err := core.Open(core.Options{DataDir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	b.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	ts := httptest.NewServer(New(b).Handler())
+	t.Cleanup(ts.Close)
+
+	if err := b.Engine.Deploy(model.Sequence(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		doJSON(t, "POST", ts.URL+"/api/instances",
+			map[string]any{"processId": "seq-2"}, http.StatusCreated)
+	}
+
+	stats := doJSON(t, "GET", ts.URL+"/api/stats", nil, http.StatusOK)
+	shards, ok := stats["shards"].([]any)
+	if !ok || len(shards) != 4 {
+		t.Fatalf("stats shards = %v", stats["shards"])
+	}
+	total := 0
+	for _, s := range shards {
+		total += int(s.(map[string]any)["instances"].(float64))
+	}
+	if total != 20 {
+		t.Fatalf("per-shard instance counts sum to %d, want 20", total)
+	}
+
+	snap := doJSON(t, "POST", ts.URL+"/api/admin/snapshot", map[string]any{}, http.StatusOK)
+	if int(snap["shards"].(float64)) != 4 {
+		t.Fatalf("snapshot response = %v", snap)
+	}
+}
+
+// TestAPIAdminSnapshotInMemory: an in-memory system has no snapshot
+// stores, so the admin trigger reports an error.
+func TestAPIAdminSnapshotInMemory(t *testing.T) {
+	ts, _ := newServer(t)
+	doJSON(t, "POST", ts.URL+"/api/admin/snapshot", map[string]any{}, http.StatusInternalServerError)
+}

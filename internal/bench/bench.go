@@ -98,6 +98,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T8EndToEnd(scale) },
 		func() *Table { return T9CompileOnce(scale) },
 		func() *Table { return T10GroupCommit(scale) },
+		func() *Table { return T11ShardScaling(scale) },
 	}
 }
 
@@ -119,6 +120,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T8":  func() *Table { return T8EndToEnd(scale) },
 		"T9":  func() *Table { return T9CompileOnce(scale) },
 		"T10": func() *Table { return T10GroupCommit(scale) },
+		"T11": func() *Table { return T11ShardScaling(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

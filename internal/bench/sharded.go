@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpms/internal/core"
+	"bpms/internal/engine"
+	"bpms/internal/expr"
+	"bpms/internal/model"
+	"bpms/internal/storage"
+)
+
+// T11ShardScaling measures durable StartInstance throughput against
+// the shard count — the experiment behind the sharded engine runtime.
+// Every configuration runs the same workload (concurrent writers
+// starting a short service-task process with SyncBatch + durable
+// acknowledgements on a real data dir); with one shard all writers
+// serialize on a single engine lock and group-commit batcher, while N
+// shards commit through N independent WAL pipelines, so throughput
+// should scale near-linearly until the disk or the cores saturate.
+//
+// The workload is CPU-parallel by construction, so the headroom is
+// bounded by GOMAXPROCS (reported in the notes): on a single-core box
+// sharding cannot win — it only adds fsyncs — while on an N-core CI
+// runner the per-shard pipelines run truly concurrently.
+func T11ShardScaling(scale Scale) *Table {
+	shardCounts := []int{1, 2, 4}
+	if scale == Full {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	writers := 32
+	per := scale.pick(40, 250)
+	t := &Table{
+		ID:     "T11",
+		Title:  "sharded runtime: durable StartInstance throughput vs shard count (batch policy)",
+		Header: []string{"shards", "writers", "starts", "wall", "starts/s", "vs 1 shard"},
+	}
+	proc := model.Sequence(3)
+	t.Notes = append(t.Notes, fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d (shard pipelines parallelize across cores)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	var base float64
+	for _, shards := range shardCounts {
+		dir, err := os.MkdirTemp("", "bench-t11")
+		if err != nil {
+			panic(err)
+		}
+		sys, err := core.Open(core.Options{
+			DataDir:    dir,
+			Shards:     shards,
+			SyncPolicy: storage.SyncBatch,
+			Durable:    true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sys.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+			return nil, nil
+		})
+		if err := sys.Engine.Deploy(proc); err != nil {
+			panic(err)
+		}
+		total := writers * per
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := sys.Engine.StartInstance(proc.ID, nil); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		d := time.Since(start)
+		sys.Close()
+		os.RemoveAll(dir)
+		if err, _ := firstErr.Load().(error); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%d shards: %v", shards, err))
+			continue
+		}
+		r := float64(total) / d.Seconds()
+		speedup := "1.00x"
+		if shards == 1 {
+			base = r
+		} else if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", r/base)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(shards), fmt.Sprint(writers), fmt.Sprint(total),
+			secs(d), rate(total, d), speedup,
+		})
+		if shards == 4 && base > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"4 shards vs 1: %.2fx durable StartInstance throughput at %d writers", r/base, writers))
+		}
+	}
+	return t
+}

@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
-	"bpms/internal/engine"
 	"bpms/internal/history"
 	"bpms/internal/model"
 	"bpms/internal/resource"
+	"bpms/internal/shard"
 	"bpms/internal/storage"
 	"bpms/internal/task"
 	"bpms/internal/timer"
@@ -25,6 +27,13 @@ type Options struct {
 	// DataDir persists the state journal, history journal, and
 	// snapshots under this directory; empty runs fully in memory.
 	DataDir string
+	// Shards partitions process instances across this many independent
+	// engine shards, each with its own WAL, snapshot store, and
+	// group-commit batcher (default 1). With a DataDir and Shards > 1,
+	// shard state lives in per-shard subdirectories (shard-0000/…); a
+	// data dir must be reopened with the shard count it was created
+	// with.
+	Shards int
 	// SyncPolicy applies to the file journals (ignored in memory).
 	SyncPolicy storage.SyncPolicy
 	// SyncInterval is the append count between fsyncs for SyncEvery
@@ -64,23 +73,72 @@ type Options struct {
 
 // BPMS is a fully assembled business process management system.
 type BPMS struct {
-	// Engine is the enactment service.
-	Engine *engine.Engine
-	// Tasks is the worklist service.
+	// Engine is the enactment runtime: one or more engine shards
+	// behind an instance-hash router presenting the single-engine
+	// surface.
+	Engine *shard.Router
+	// Tasks is the worklist service (shared across shards).
 	Tasks *task.Service
 	// Directory is the organisational model.
 	Directory *resource.Directory
-	// History is the audit store.
+	// History is the audit store (shared across shards).
 	History *history.Store
 	// Timers is the deadline service.
 	Timers timer.Service
 
-	clock    timer.Clock
-	runner   *timer.Runner
-	journals []storage.Journal
+	clock  timer.Clock
+	runner *timer.Runner
+	state  []storage.Journal // one per shard
+	hist   storage.Journal
 }
 
-// Open assembles and (when DataDir is set) recovers a BPMS.
+// shardDir returns the on-disk home of one shard's state. A single
+// shard keeps the pre-sharding layout (state/, snapshots/ directly
+// under DataDir) so existing data dirs reopen unchanged.
+func shardDir(dataDir string, shards, i int) string {
+	if shards <= 1 {
+		return dataDir
+	}
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", i))
+}
+
+// checkShardLayout rejects reopening a data dir under a different
+// shard count: instances would silently vanish from queries (or new
+// shards would start with empty journals holding no definitions)
+// because the layout no longer matches the journals on disk.
+func checkShardLayout(dataDir string, shards int) error {
+	existing := 0
+	if entries, err := os.ReadDir(dataDir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() && len(name) == len("shard-0000") && strings.HasPrefix(name, "shard-") {
+				if _, err := strconv.Atoi(name[len("shard-"):]); err == nil {
+					existing++
+				}
+			}
+		}
+	}
+	legacy := false
+	if _, err := os.Stat(filepath.Join(dataDir, "state")); err == nil {
+		legacy = true
+	}
+	if shards <= 1 {
+		if existing > 0 {
+			return fmt.Errorf("core: data dir %s holds %d-shard state; reopen it with the shard count it was created with", dataDir, existing)
+		}
+		return nil
+	}
+	if legacy {
+		return fmt.Errorf("core: data dir %s holds single-shard state; resharding an existing data dir is not supported", dataDir)
+	}
+	if existing > 0 && existing != shards {
+		return fmt.Errorf("core: data dir %s was created with %d shards, not %d; reopen it with the shard count it was created with", dataDir, existing, shards)
+	}
+	return nil
+}
+
+// Open assembles and (when DataDir is set) recovers a BPMS. With
+// Shards > 1 every shard's journal is opened and replayed in parallel.
 func Open(opts Options) (*BPMS, error) {
 	if opts.Clock == nil {
 		opts.Clock = timer.RealClock{}
@@ -91,12 +149,30 @@ func Open(opts Options) (*BPMS, error) {
 	if opts.TimerTick <= 0 {
 		opts.TimerTick = 10 * time.Millisecond
 	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
 
-	var stateJournal, histJournal storage.Journal
-	var snaps *storage.SnapshotStore
+	stateJournals := make([]storage.Journal, shards)
+	snaps := make([]*storage.SnapshotStore, shards)
+	var histJournal storage.Journal
+	closeAll := func() {
+		for _, j := range stateJournals {
+			if j != nil {
+				j.Close()
+			}
+		}
+		if histJournal != nil {
+			histJournal.Close()
+		}
+	}
 	if opts.DataDir != "" {
 		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: create data dir: %w", err)
+		}
+		if err := checkShardLayout(opts.DataDir, shards); err != nil {
+			return nil, err
 		}
 		jopts := storage.Options{
 			Policy:          opts.SyncPolicy,
@@ -104,31 +180,37 @@ func Open(opts Options) (*BPMS, error) {
 			BatchMaxDelay:   opts.BatchMaxDelay,
 			BatchMaxRecords: opts.BatchMaxRecords,
 		}
-		sj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "state"), jopts)
-		if err != nil {
-			return nil, err
+		for i := 0; i < shards; i++ {
+			dir := shardDir(opts.DataDir, shards, i)
+			sj, err := storage.OpenFileJournal(filepath.Join(dir, "state"), jopts)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			stateJournals[i] = sj
+			sn, err := storage.OpenSnapshotStore(filepath.Join(dir, "snapshots"), 2)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			snaps[i] = sn
 		}
 		hj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "history"), jopts)
 		if err != nil {
-			sj.Close()
+			closeAll()
 			return nil, err
 		}
-		stateJournal, histJournal = sj, hj
-		if opts.SnapshotEvery > 0 {
-			snaps, err = storage.OpenSnapshotStore(filepath.Join(opts.DataDir, "snapshots"), 2)
-			if err != nil {
-				sj.Close()
-				hj.Close()
-				return nil, err
-			}
-		}
+		histJournal = hj
 	} else {
-		stateJournal = storage.NewMemJournal()
+		for i := range stateJournals {
+			stateJournals[i] = storage.NewMemJournal()
+		}
 		histJournal = storage.NewMemJournal()
 	}
 
 	hist, err := history.NewStore(histJournal)
 	if err != nil {
+		closeAll()
 		return nil, err
 	}
 	dir := resource.NewDirectory()
@@ -142,27 +224,29 @@ func Open(opts Options) (*BPMS, error) {
 		Now:          opts.Clock.Now,
 	})
 	wheel := timer.NewWheelService(opts.TimerTick, 512)
-	eng, err := engine.New(engine.Config{
-		Journal:       stateJournal,
+	router, err := shard.New(shard.Config{
+		Journals:      stateJournals,
 		Snapshots:     snaps,
 		SnapshotEvery: opts.SnapshotEvery,
+		Durable:       opts.Durable,
 		Tasks:         tasks,
 		Timers:        wheel,
 		Clock:         opts.Clock,
 		History:       hist,
-		Durable:       opts.Durable,
 	})
 	if err != nil {
+		closeAll()
 		return nil, err
 	}
 	b := &BPMS{
-		Engine:    eng,
+		Engine:    router,
 		Tasks:     tasks,
 		Directory: dir,
 		History:   hist,
 		Timers:    wheel,
 		clock:     opts.Clock,
-		journals:  []storage.Journal{stateJournal, histJournal},
+		state:     stateJournals,
+		hist:      histJournal,
 	}
 	if opts.RunTimers {
 		b.runner = timer.NewRunner(wheel, opts.Clock, opts.TimerTick)
@@ -171,15 +255,16 @@ func Open(opts Options) (*BPMS, error) {
 	return b, nil
 }
 
-// Close stops the timer runner and syncs/closes the journals. Under
-// SyncBatch journals this drains in-flight commit batches: every
-// acknowledged append is on stable storage when Close returns.
+// Close stops the timer runner and syncs/closes every journal (all
+// shard WALs plus the history journal). Under SyncBatch journals this
+// drains in-flight commit batches: every acknowledged append is on
+// stable storage when Close returns.
 func (b *BPMS) Close() error {
 	if b.runner != nil {
 		b.runner.Stop()
 	}
 	var first error
-	for _, j := range b.journals {
+	for _, j := range append(append([]storage.Journal{}, b.state...), b.hist) {
 		if err := j.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -187,11 +272,11 @@ func (b *BPMS) Close() error {
 	return first
 }
 
-// SyncJournals forces both journals to stable storage (without
+// SyncJournals forces every journal to stable storage (without
 // closing them).
 func (b *BPMS) SyncJournals() error {
 	var first error
-	for _, j := range b.journals {
+	for _, j := range append(append([]storage.Journal{}, b.state...), b.hist) {
 		if err := j.Sync(); err != nil && first == nil {
 			first = err
 		}
@@ -199,11 +284,43 @@ func (b *BPMS) SyncJournals() error {
 	return first
 }
 
-// JournalIndexes reports the state journal's last appended and last
-// synced record indices (for shutdown summaries and monitoring). Both
-// remain readable after Close.
+// JournalIndexes reports the state journals' last appended and last
+// synced record indices, summed across shards (for shutdown summaries
+// and monitoring; with one shard these are the state journal's
+// indices). Both remain readable after Close.
 func (b *BPMS) JournalIndexes() (last, synced uint64) {
-	return b.journals[0].LastIndex(), b.journals[0].SyncedIndex()
+	for _, j := range b.state {
+		last += j.LastIndex()
+		synced += j.SyncedIndex()
+	}
+	return last, synced
+}
+
+// ShardStat describes one shard's load plus its journal position.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Instances is the number of process instances on the shard.
+	Instances int `json:"instances"`
+	// JournalLast is the shard WAL's last appended record index.
+	JournalLast uint64 `json:"journalLast"`
+	// JournalSynced is the shard WAL's last durably synced index.
+	JournalSynced uint64 `json:"journalSynced"`
+}
+
+// ShardStats reports per-shard instance counts and journal positions.
+func (b *BPMS) ShardStats() []ShardStat {
+	stats := b.Engine.Stats()
+	out := make([]ShardStat, len(stats))
+	for i, s := range stats {
+		out[i] = ShardStat{
+			Shard:         s.Shard,
+			Instances:     s.Instances,
+			JournalLast:   b.state[i].LastIndex(),
+			JournalSynced: b.state[i].SyncedIndex(),
+		}
+	}
+	return out
 }
 
 // DeployFile loads a definition from a .json or .xml file, validates

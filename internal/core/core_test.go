@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -218,4 +219,79 @@ func TestTimerRunnerIntegration(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("timer never fired under the background runner")
+}
+
+// TestShardedOpenReopen exercises the per-shard data layout: instances
+// started on a 4-shard system land in shard-0000…shard-0003 WALs and
+// all recover (in parallel) on reopen with the same shard count.
+func TestShardedOpenReopen(t *testing.T) {
+	dir := t.TempDir()
+	users := []resource.User{{ID: "alice", Roles: []string{"clerk"}}}
+	b, err := Open(Options{DataDir: dir, Shards: 4, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.New("held").
+		Start("s").UserTask("work", model.Role("clerk")).End("e").
+		Seq("s", "work", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := b.Engine.StartInstance("held", map[string]any{"i": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if got := len(b.ShardStats()); got != 4 {
+		t.Fatalf("shard stats = %d entries", got)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%04d", i), "state")); err != nil {
+			t.Fatalf("missing shard %d state dir: %v", i, err)
+		}
+	}
+
+	// Reopening with a different shard count — fewer OR more — is
+	// refused outright.
+	if _, err := Open(Options{DataDir: dir, Users: users}); err == nil {
+		t.Fatal("reopen with 1 shard should fail on a 4-shard data dir")
+	}
+	if _, err := Open(Options{DataDir: dir, Shards: 2, Users: users}); err == nil {
+		t.Fatal("reopen with 2 shards should fail on a 4-shard data dir")
+	}
+	if _, err := Open(Options{DataDir: dir, Shards: 8, Users: users}); err == nil {
+		t.Fatal("reopen with 8 shards should fail on a 4-shard data dir")
+	}
+
+	b2, err := Open(Options{DataDir: dir, Shards: 4, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	for _, id := range ids {
+		v, err := b2.Engine.Instance(id)
+		if err != nil {
+			t.Fatalf("instance %s lost: %v", id, err)
+		}
+		if v.Status != engine.StatusActive {
+			t.Fatalf("instance %s = %s", id, v.Status)
+		}
+	}
+	// And a single-shard dir refuses a sharded reopen.
+	sdir := t.TempDir()
+	b3, err := Open(Options{DataDir: sdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3.Close()
+	if _, err := Open(Options{DataDir: sdir, Shards: 4}); err == nil {
+		t.Fatal("resharding a single-shard data dir should fail")
+	}
 }

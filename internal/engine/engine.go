@@ -88,6 +88,17 @@ type Config struct {
 	// Under a SyncBatch journal, concurrent transitions share one
 	// group-commit fsync.
 	Durable bool
+	// Publisher, when set, replaces local message publication: Publish
+	// calls and messages thrown by send tasks are routed through it
+	// instead of this engine's own registry. The shard router installs
+	// itself here so a message thrown on one shard reaches waiting
+	// instances on every shard.
+	Publisher func(name, key string, vars map[string]any) (int, bool, error)
+	// BufferedMessages, when set, replaces the local early-message
+	// buffer lookup performed when a token parks at a receive point.
+	// The shard router installs a lookup against the key-hashed owner
+	// shard's buffer, making early messages visible across shards.
+	BufferedMessages func(name, key string) (map[string]expr.Value, bool)
 }
 
 // Engine is the enactment service. All exported methods are safe for
@@ -110,6 +121,8 @@ type Engine struct {
 	hist   *history.Store
 
 	subs          *subscriptions
+	publisher     func(name, key string, vars map[string]any) (int, bool, error)
+	buffered      func(name, key string) (map[string]expr.Value, bool)
 	upstreamCache sync.Map // upstreamKey -> map[string]bool
 
 	idSeq        atomic.Uint64
@@ -146,6 +159,8 @@ func New(cfg Config) (*Engine, error) {
 		clock:         cfg.Clock,
 		hist:          cfg.History,
 		subs:          newSubscriptions(),
+		publisher:     cfg.Publisher,
+		buffered:      cfg.BufferedMessages,
 	}
 	e.tasks.Subscribe(e.onTaskTransition)
 	if cfg.Journal.LastIndex() > 0 || cfg.Snapshots != nil {
@@ -178,6 +193,18 @@ func (e *Engine) handler(name string) (Handler, bool) {
 // conditions, correlation keys — is compiled once here; runtime
 // evaluation reuses the retained programs.
 func (e *Engine) Deploy(p *model.Process) error {
+	return e.deploy(p, true)
+}
+
+// DeployReplica deploys without emitting the deployment audit event.
+// The shard router fans a deployment out to every shard with it, so
+// the shared history records the deployment exactly once while each
+// shard still persists the definition in its own journal.
+func (e *Engine) DeployReplica(p *model.Process) error {
+	return e.deploy(p, false)
+}
+
+func (e *Engine) deploy(p *model.Process, audit bool) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -189,7 +216,9 @@ func (e *Engine) Deploy(p *model.Process) error {
 	e.mu.Lock()
 	e.definitions[cp.ID] = cp
 	e.mu.Unlock()
-	e.audit(&history.Event{Type: history.ProcessDeployed, Time: e.clock.Now(), ProcessID: cp.ID})
+	if audit {
+		e.audit(&history.Event{Type: history.ProcessDeployed, Time: e.clock.Now(), ProcessID: cp.ID})
+	}
 	return e.persistDeploy(cp)
 }
 
@@ -223,6 +252,21 @@ func (e *Engine) Now() time.Time { return e.clock.Now() }
 // process with the given initial variables (Go values are converted to
 // expression values).
 func (e *Engine) StartInstance(processID string, vars map[string]any) (*InstanceView, error) {
+	return e.start(processID, "", vars)
+}
+
+// StartInstanceID starts an instance under a caller-assigned ID. The
+// shard router allocates IDs from one sequence and routes each to the
+// shard its hash selects, so IDs stay unique and routable across
+// shards. The ID must not collide with an existing instance.
+func (e *Engine) StartInstanceID(processID, id string, vars map[string]any) (*InstanceView, error) {
+	if id == "" {
+		return nil, fmt.Errorf("engine: empty instance id")
+	}
+	return e.start(processID, id, vars)
+}
+
+func (e *Engine) start(processID, id string, vars map[string]any) (*InstanceView, error) {
 	e.mu.RLock()
 	def, ok := e.definitions[processID]
 	e.mu.RUnlock()
@@ -237,9 +281,15 @@ func (e *Engine) StartInstance(processID string, vars map[string]any) (*Instance
 		}
 		converted[k] = ev
 	}
-	id := fmt.Sprintf("%s-%d", processID, e.idSeq.Add(1))
+	if id == "" {
+		id = fmt.Sprintf("%s-%d", processID, e.idSeq.Add(1))
+	}
 	inst := newInstance(id, def, converted)
 	e.mu.Lock()
+	if _, exists := e.instances[id]; exists {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: duplicate instance id %q", id)
+	}
 	e.instances[id] = inst
 	e.mu.Unlock()
 
@@ -268,6 +318,23 @@ func (e *Engine) StartInstance(processID string, vars map[string]any) (*Instance
 		return nil, perr
 	}
 	return v, nil
+}
+
+// Has reports whether an instance with the given ID is registered on
+// this engine (the shard router uses it to locate an instance's owner
+// shard).
+func (e *Engine) Has(id string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.instances[id]
+	return ok
+}
+
+// InstanceCount returns the number of instances on this engine.
+func (e *Engine) InstanceCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.instances)
 }
 
 // Instance returns a point-in-time view of an instance.
@@ -367,6 +434,11 @@ func (e *Engine) audit(ev *history.Event) {
 // their work items close.
 func (e *Engine) onTaskTransition(it *task.Item, from, to task.State) {
 	if e.closing.Load() {
+		return
+	}
+	// Under the shard router several engines share one worklist
+	// service; only the instance's owner shard audits and resumes.
+	if !e.Has(it.InstanceID) {
 		return
 	}
 	var evType history.EventType

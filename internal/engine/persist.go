@@ -182,7 +182,15 @@ func (e *Engine) Snapshot() error {
 // recover rebuilds engine state from the latest snapshot (when
 // present) plus the journal suffix, then re-arms all volatile wait
 // machinery.
+// recover builds the definition and instance maps locally and
+// publishes them into the engine under its lock in one step: under the
+// shard router, sibling shards recover concurrently and their
+// task-transition listeners call Has on this engine while it is still
+// replaying (holding the lock across the whole replay instead would
+// deadlock — rearmInstance's work-item re-issue notifies this engine's
+// own listener, which takes a read lock).
 func (e *Engine) recover() error {
+	defs := map[string]*model.Process{}
 	states := map[string]*instState{}
 	var fromIndex uint64 = 1
 
@@ -201,7 +209,7 @@ func (e *Engine) recover() error {
 				if err := def.Compile(); err != nil {
 					return fmt.Errorf("engine: compile snapshot definition %q: %w", def.ID, err)
 				}
-				e.definitions[def.ID] = def
+				defs[def.ID] = def
 			}
 			for _, raw := range img.Instances {
 				var st instState
@@ -225,7 +233,7 @@ func (e *Engine) recover() error {
 			if err := rec.Process.Compile(); err != nil {
 				return fmt.Errorf("engine: compile recovered definition %q: %w", rec.Process.ID, err)
 			}
-			e.definitions[rec.Process.ID] = rec.Process
+			defs[rec.Process.ID] = rec.Process
 		case "instance":
 			var st instState
 			if err := json.Unmarshal(rec.State, &st); err != nil {
@@ -241,15 +249,16 @@ func (e *Engine) recover() error {
 		return err
 	}
 
-	var maxInst, maxTok uint64
+	var maxTok uint64
 	ids := make([]string, 0, len(states))
 	for id := range states {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	insts := map[string]*Instance{}
 	for _, id := range ids {
 		st := states[id]
-		def := e.definitions[st.ProcessID]
+		def := defs[st.ProcessID]
 		if def == nil {
 			return fmt.Errorf("engine: instance %s references unknown process %q", id, st.ProcessID)
 		}
@@ -266,19 +275,22 @@ func (e *Engine) recover() error {
 				maxTok = tok.ID
 			}
 		}
-		e.instances[st.ID] = inst
-		if i := strings.LastIndex(id, "-"); i >= 0 {
-			if n, err := strconv.ParseUint(id[i+1:], 10, 64); err == nil && n > maxInst {
-				maxInst = n
-			}
-		}
+		insts[st.ID] = inst
 	}
-	e.idSeq.Store(maxInst)
+	e.mu.Lock()
+	for id, def := range defs {
+		e.definitions[id] = def
+	}
+	for id, inst := range insts {
+		e.instances[id] = inst
+	}
+	e.mu.Unlock()
+	e.idSeq.Store(MaxInstanceSeq(ids))
 	e.tokSeq.Store(maxTok)
 
 	// Re-arm volatile machinery for active instances.
 	for _, id := range ids {
-		inst := e.instances[id]
+		inst := insts[id]
 		if inst.Status != StatusActive {
 			continue
 		}
@@ -287,6 +299,21 @@ func (e *Engine) recover() error {
 		inst.mu.Unlock()
 	}
 	return nil
+}
+
+// MaxInstanceSeq returns the highest trailing "-<n>" sequence number
+// among the given instance IDs (0 when none parses). Engine recovery
+// and the shard router both re-seed their ID sequences with it.
+func MaxInstanceSeq(ids []string) uint64 {
+	var max uint64
+	for _, id := range ids {
+		if i := strings.LastIndex(id, "-"); i >= 0 {
+			if n, err := strconv.ParseUint(id[i+1:], 10, 64); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max
 }
 
 // rearmInstance restores timers, message subscriptions, and work items

@@ -91,10 +91,18 @@ type Reservoir struct {
 // NewReservoir creates a reservoir with the given capacity (default
 // 100000 when cap <= 0) and a deterministic seed.
 func NewReservoir(cap int, seed int64) *Reservoir {
+	return NewReservoirFrom(cap, rand.New(rand.NewSource(seed)))
+}
+
+// NewReservoirFrom creates a reservoir drawing replacement slots from
+// an injected source, for callers that manage their own deterministic
+// streams (each concurrent consumer — one simulation per shard, say —
+// must supply its own source; the reservoir itself is single-writer).
+func NewReservoirFrom(cap int, r *rand.Rand) *Reservoir {
 	if cap <= 0 {
 		cap = 100000
 	}
-	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}
+	return &Reservoir{cap: cap, rng: r}
 }
 
 // Add records one observation.

@@ -164,3 +164,20 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReservoirFromInjectedSource(t *testing.T) {
+	r1 := NewReservoirFrom(10, rand.New(rand.NewSource(9)))
+	r2 := NewReservoirFrom(10, rand.New(rand.NewSource(9)))
+	for i := 0; i < 1000; i++ {
+		r1.Add(float64(i))
+		r2.Add(float64(i))
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if r1.Percentile(p) != r2.Percentile(p) {
+			t.Fatalf("p%.0f diverged: %v vs %v", p*100, r1.Percentile(p), r2.Percentile(p))
+		}
+	}
+	if NewReservoirFrom(0, rand.New(rand.NewSource(1))).cap != 100000 {
+		t.Error("default capacity not applied")
+	}
+}

@@ -149,7 +149,16 @@ type RandomPolicy struct {
 
 // NewRandomPolicy returns a random policy with the given seed.
 func NewRandomPolicy(seed int64) *RandomPolicy {
-	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+	return NewRandomPolicyFrom(rand.New(rand.NewSource(seed)))
+}
+
+// NewRandomPolicyFrom returns a random policy drawing from an injected
+// source. The policy serializes access to the source internally, so it
+// stays race-free when several shards route work through it — but
+// callers wanting reproducibility across runs should not share one
+// source between unrelated consumers.
+func NewRandomPolicyFrom(r *rand.Rand) *RandomPolicy {
+	return &RandomPolicy{rng: r}
 }
 
 // Name implements Policy.

@@ -1,6 +1,7 @@
 package resource
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -170,5 +171,20 @@ func TestQuickRoundRobinFair(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRandomPolicyFromInjectedSource(t *testing.T) {
+	users := []*User{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	// Two policies over identical injected sources draw identical
+	// sequences; a reseeded source reproduces them.
+	p1 := NewRandomPolicyFrom(rand.New(rand.NewSource(42)))
+	p2 := NewRandomPolicyFrom(rand.New(rand.NewSource(42)))
+	for i := 0; i < 50; i++ {
+		u1 := p1.Pick(users, nil)
+		u2 := p2.Pick(users, nil)
+		if u1.ID != u2.ID {
+			t.Fatalf("draw %d diverged: %s vs %s", i, u1.ID, u2.ID)
+		}
 	}
 }

@@ -39,6 +39,12 @@ type Config struct {
 	Vars func(caseIdx int, r *rand.Rand) map[string]any
 	// Seed makes the run reproducible.
 	Seed int64
+	// Rand, when set, is the injected random source for the run
+	// (overrides Seed). Every simulation owns its source — nothing
+	// draws from the global math/rand stream — so concurrent
+	// simulations (one per shard, say) stay deterministic and
+	// race-free as long as each gets its own *rand.Rand.
+	Rand *rand.Rand
 	// Start is the virtual wall-clock origin.
 	Start time.Time
 	// Handlers are extra service-task handlers (noop is built in).
@@ -128,9 +134,13 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 10 * 365 * 24 * time.Hour
 	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	s := &Simulator{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       rng,
 		clock:     timer.NewVirtualClock(cfg.Start),
 		busyUntil: map[string]time.Time{},
 	}

@@ -204,7 +204,13 @@ func (s *Service) Subscribe(l Listener) {
 }
 
 func (s *Service) notify(item *Item, from, to State) {
-	for _, l := range s.listeners {
+	// Snapshot under the lock: the sharded runtime subscribes several
+	// engines concurrently (parallel shard recovery) while transitions
+	// already flow.
+	s.mu.Lock()
+	ls := append([]Listener(nil), s.listeners...)
+	s.mu.Unlock()
+	for _, l := range ls {
 		l(item, from, to)
 	}
 }

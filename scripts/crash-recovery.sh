@@ -2,18 +2,23 @@
 # Crash-recovery gate: prove that no acknowledged instance is lost
 # when bpmsd is SIGKILLed under the group-commit (-sync batch) policy.
 #
-#  1. start bpmsd -sync batch on a fresh data dir
+#  1. start bpmsd -sync batch (SHARDS engine shards) on a fresh data dir
 #  2. deploy a user-task definition and start N instances via bpmsctl
-#     (each `start` returns only after the durable WAL ack)
+#     (each `start` returns only after the durable WAL ack of the
+#     instance's owner shard)
 #  3. SIGKILL the daemon — no drain, no final fsync
 #  4. restart on the same data dir and assert all N instances are
-#     recovered and active
+#     recovered and active (with SHARDS > 1 this exercises the
+#     parallel per-shard recovery path and the instance-hash routing)
 #  5. SIGTERM the second daemon and check the graceful-shutdown path
+#
+# SHARDS=4 N=16 ./scripts/crash-recovery.sh runs the sharded variant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${ADDR:-127.0.0.1:18080}"
 N="${N:-5}"
+SHARDS="${SHARDS:-1}"
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
 LOG="$BIN/bpmsd.log"
@@ -37,8 +42,8 @@ wait_ready() {
   return 1
 }
 
-echo "== start bpmsd (-sync batch) on $DATA"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -user alice=clerk >"$LOG" 2>&1 &
+echo "== start bpmsd (-sync batch, $SHARDS shard(s)) on $DATA"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -55,7 +60,7 @@ kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 
 echo "== restart on the same data dir"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -user alice=clerk >"$LOG" 2>&1 &
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
