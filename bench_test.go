@@ -6,6 +6,7 @@
 package bpms_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"bpms/internal/bench"
 	"bpms/internal/engine"
 	"bpms/internal/expr"
+	"bpms/internal/history"
 	"bpms/internal/mine"
 	"bpms/internal/model"
 	"bpms/internal/resource"
@@ -264,6 +266,123 @@ func benchShardedStart(b *testing.B, shards int) {
 func BenchmarkT11_DurableStart1Shard(b *testing.B) { benchShardedStart(b, 1) }
 func BenchmarkT11_DurableStart2Shard(b *testing.B) { benchShardedStart(b, 2) }
 func BenchmarkT11_DurableStart4Shard(b *testing.B) { benchShardedStart(b, 4) }
+
+// T12: audit/history pipeline. Transition cost with history recording
+// on vs off: the async striped store turns the per-transition audit
+// work (JSON encode + journal append under a global lock) into a
+// channel hand-off drained by per-stripe committers, so AuditOn should
+// approach AuditOff. AuditOnSync is the seed-style write-through path
+// kept as the baseline. History journals are real files; the state
+// journal is in-memory so the audit path is the only difference.
+
+func benchAudit(b *testing.B, mkHist func(b *testing.B) *history.Store) {
+	var hist *history.Store
+	if mkHist != nil {
+		hist = mkHist(b)
+		defer hist.Close()
+	}
+	e, err := engine.New(engine.Config{History: hist})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	proc := model.Sequence(10)
+	if err := e.Deploy(proc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := e.StartInstance(proc.ID, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Status != engine.StatusCompleted {
+			b.Fatalf("status %s", v.Status)
+		}
+	}
+	if hist != nil {
+		// Drain the pipeline inside the measured window so the async
+		// variant cannot hide unfinished work.
+		if err := hist.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+func histStore(b *testing.B, stripes int, sync bool) *history.Store {
+	b.Helper()
+	dir := b.TempDir()
+	js := make([]storage.Journal, stripes)
+	for i := range js {
+		j, err := storage.OpenFileJournal(fmt.Sprintf("%s/stripe-%04d", dir, i), storage.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		js[i] = j
+	}
+	// The bounded window is the production default (bpmsd ships with
+	// -history-window 100000); it also keeps the benchmark's live set
+	// flat so GC cost reflects steady state, not unbounded growth.
+	s, err := history.NewStriped(js, history.StoreOptions{Sync: sync, Window: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkT12_AuditOff(b *testing.B) { benchAudit(b, nil) }
+
+func BenchmarkT12_AuditOnSync(b *testing.B) {
+	benchAudit(b, func(b *testing.B) *history.Store { return histStore(b, 1, true) })
+}
+
+func BenchmarkT12_AuditOn(b *testing.B) {
+	benchAudit(b, func(b *testing.B) *history.Store { return histStore(b, 1, false) })
+}
+
+func BenchmarkT12_AuditOn4Stripes(b *testing.B) {
+	benchAudit(b, func(b *testing.B) *history.Store { return histStore(b, 4, false) })
+}
+
+// BenchmarkT12_EventEncode isolates the audit-path encoding: the
+// append-style encoder into a reused buffer vs json.Marshal per event.
+
+func BenchmarkT12_EventEncode(b *testing.B) {
+	e := &history.Event{
+		Type: history.ElementCompleted, Time: time.Now(),
+		ProcessID: "order", InstanceID: "order-12345", ElementID: "approve",
+		Element: "Approve order", Actor: "alice",
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := history.AppendEncode(buf[:0], e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+func BenchmarkT12_EventEncodeJSON(b *testing.B) {
+	e := &history.Event{
+		Type: history.ElementCompleted, Time: time.Now(),
+		ProcessID: "order", InstanceID: "order-12345", ElementID: "approve",
+		Element: "Approve order", Actor: "alice",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // F2: allocation-policy simulation (one 100-case run per iteration).
 

@@ -234,7 +234,18 @@ var (
 	TokenReplay = mine.TokenReplay
 	Performance = mine.Performance
 	EncodeXES   = history.EncodeXES
-	DecodeXES   = history.DecodeXES
+	// WriteXES streams a log as XES to an io.Writer, one trace at a
+	// time (large exports never materialise in memory).
+	WriteXES  = history.WriteXES
+	DecodeXES = history.DecodeXES
+)
+
+// History store surface (BPMS.History).
+type (
+	// History is the striped audit-event store.
+	History = history.Store
+	// HistoryStats reports the audit pipeline's shape and load.
+	HistoryStats = history.StoreStats
 )
 
 // Business rules.

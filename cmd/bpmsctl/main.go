@@ -14,6 +14,7 @@
 //	show <instanceId>                    inspect an instance
 //	cancel <instanceId>                  cancel an instance
 //	history <instanceId>                 audit trail of an instance
+//	history export <file>                stream the full history as XES to a file
 //	tasks <user>                         worklist + offers of a user
 //	claim|begin <itemId> <user>          claim / start a work item
 //	complete <itemId> <user> [k=v ...]   complete with outcome
@@ -100,10 +101,13 @@ func run(cmd string, args []string) error {
 		}
 		return del("/api/instances/" + args[0])
 	case "history":
-		if len(args) != 1 {
-			return fmt.Errorf("history <instanceId>")
+		switch {
+		case len(args) == 1 && args[0] != "export":
+			return get("/api/instances/" + args[0] + "/history")
+		case len(args) == 2 && args[0] == "export":
+			return exportHistory(args[1])
 		}
-		return get("/api/instances/" + args[0] + "/history")
+		return fmt.Errorf("history <instanceId> | history export <file>")
 	case "tasks":
 		if len(args) != 1 {
 			return fmt.Errorf("tasks <user>")
@@ -141,6 +145,33 @@ func run(cmd string, args []string) error {
 		return get("/api/history/xes")
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// exportHistory streams the server's XES export straight into a file:
+// the response body is copied through, so neither the client nor the
+// server holds the whole document in memory.
+func exportHistory(path string) error {
+	resp, err := http.Get(server + "/api/history/xes")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %s", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bpmsctl: wrote %d bytes to %s\n", n, path)
+	return nil
 }
 
 // parseVars turns k=v pairs into a map, JSON-decoding values when

@@ -21,6 +21,13 @@
 // acknowledged state. On SIGINT/SIGTERM the daemon drains in-flight
 // HTTP requests and commit batches, syncs the WAL, and closes cleanly.
 //
+// The audit trail is recorded through an asynchronous striped history
+// pipeline: -history-stripes partitions audit events by instance ID
+// across independent journals and committers, and -history-window
+// bounds the events each stripe keeps resident in RAM (older events
+// are served by journal replay). On shutdown the pipeline is drained,
+// so every enqueued audit event reaches its journal.
+//
 // Definitions are deployed and instances driven through the REST API
 // (see internal/api); bpmsctl is the companion client.
 package main
@@ -49,6 +56,8 @@ func main() {
 	syncEvery := flag.Int("sync-every", 256, "appends between fsyncs (every policy)")
 	syncInterval := flag.Duration("sync-interval", 2*time.Millisecond, "max delay before batched appends are fsynced (batch policy)")
 	snapshotEvery := flag.Int("snapshot-every", 1000, "journal appends between snapshots (0 = never)")
+	historyStripes := flag.Int("history-stripes", 1, "history store stripes, each with its own journal and commit pipeline (data dirs must be reopened with the stripe count they were created with)")
+	historyWindow := flag.Int("history-window", 100000, "audit events each history stripe keeps resident in RAM (0 = unbounded; older events are served from the journal)")
 	autoAllocate := flag.Bool("auto-allocate", false, "push tasks to users instead of offering")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	var users []resource.User
@@ -72,15 +81,17 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := bpms.Options{
-		DataDir:       *data,
-		Shards:        *shards,
-		SyncPolicy:    policy,
-		SyncInterval:  *syncEvery,
-		BatchMaxDelay: *syncInterval,
-		Durable:       *durable && policy != bpms.SyncNever,
-		AutoAllocate:  *autoAllocate,
-		RunTimers:     true,
-		Users:         users,
+		DataDir:        *data,
+		Shards:         *shards,
+		SyncPolicy:     policy,
+		SyncInterval:   *syncEvery,
+		BatchMaxDelay:  *syncInterval,
+		Durable:        *durable && policy != bpms.SyncNever,
+		HistoryStripes: *historyStripes,
+		HistoryWindow:  *historyWindow,
+		AutoAllocate:   *autoAllocate,
+		RunTimers:      true,
+		Users:          users,
 	}
 	if *data != "" {
 		opts.SnapshotEvery = *snapshotEvery
@@ -101,7 +112,8 @@ func main() {
 		case bpms.SyncBatch:
 			fmt.Printf(" interval=%s", *syncInterval)
 		}
-		fmt.Printf(", durable=%v, shards=%d\n", opts.Durable, sys.Engine.Shards())
+		fmt.Printf(", durable=%v, shards=%d, history-stripes=%d, history-window=%d\n",
+			opts.Durable, sys.Engine.Shards(), *historyStripes, *historyWindow)
 	}
 	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered across %d shard(s), %d user(s)\n",
 		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Engine.Shards(), sys.Directory.Count())

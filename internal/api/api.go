@@ -334,13 +334,12 @@ func (s *Server) taskAction(act taskAct) http.HandlerFunc {
 }
 
 func (s *Server) exportXES(w http.ResponseWriter, _ *http.Request) {
-	data, err := history.EncodeXES(s.bpms.Log())
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
+	// Stream the document: traces are built from the store one
+	// instance at a time and encoded directly onto the response, so a
+	// large audit trail never materialises in server memory (neither
+	// as a Log nor as an XML blob).
 	w.Header().Set("Content-Type", "application/xml")
-	_, _ = w.Write(data)
+	_ = history.StreamXES(w, s.bpms.History, false)
 }
 
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
@@ -352,11 +351,16 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		}
 		counts[v.Status.String()]++
 	}
+	// Stats() snapshots the history pipeline without barriering on it:
+	// a monitoring poll must not block behind a busy committer (its
+	// Events equals Count() once the pipeline drains).
+	hist := s.bpms.History.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"definitions": len(s.bpms.Engine.Definitions()),
 		"instances":   counts,
-		"events":      s.bpms.History.Count(),
+		"events":      hist.Events,
 		"shards":      s.bpms.ShardStats(),
+		"history":     hist,
 	})
 }
 

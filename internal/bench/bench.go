@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness of the repository:
 // one function per table/figure of the evaluation suite described in
-// DESIGN.md (T1–T8, F1–F5). Each experiment builds its own workload,
+// DESIGN.md (T1–T12, F1–F5). Each experiment builds its own workload,
 // runs the system under test, and returns a printable table; the
 // cmd/bpmsbench binary renders them and EXPERIMENTS.md records the
 // measurements. The root-level bench_test.go exposes the same
@@ -99,6 +99,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T9CompileOnce(scale) },
 		func() *Table { return T10GroupCommit(scale) },
 		func() *Table { return T11ShardScaling(scale) },
+		func() *Table { return T12AuditPipeline(scale) },
 	}
 }
 
@@ -121,6 +122,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T9":  func() *Table { return T9CompileOnce(scale) },
 		"T10": func() *Table { return T10GroupCommit(scale) },
 		"T11": func() *Table { return T11ShardScaling(scale) },
+		"T12": func() *Table { return T12AuditPipeline(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

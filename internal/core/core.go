@@ -52,6 +52,17 @@ type Options struct {
 	// SnapshotEvery writes a state snapshot after this many journal
 	// appends (0 disables snapshots; requires DataDir).
 	SnapshotEvery int
+	// HistoryStripes partitions the audit/history store into this many
+	// stripes (default 1), each with its own journal, committer, and
+	// locks; events hash by instance ID. With a DataDir and more than
+	// one stripe, history journals live under history/stripe-0000/…; a
+	// data dir must be reopened with the stripe count it was created
+	// with.
+	HistoryStripes int
+	// HistoryWindow bounds the number of audit events each history
+	// stripe keeps resident in RAM (0 = unbounded). Older events stay
+	// queryable through journal replay.
+	HistoryWindow int
 	// AutoAllocate pushes role-routed tasks to users via Policy
 	// instead of offering them for claiming.
 	AutoAllocate bool
@@ -89,7 +100,6 @@ type BPMS struct {
 	clock  timer.Clock
 	runner *timer.Runner
 	state  []storage.Journal // one per shard
-	hist   storage.Journal
 }
 
 // shardDir returns the on-disk home of one shard's state. A single
@@ -102,39 +112,75 @@ func shardDir(dataDir string, shards, i int) string {
 	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", i))
 }
 
-// checkShardLayout rejects reopening a data dir under a different
-// shard count: instances would silently vanish from queries (or new
-// shards would start with empty journals holding no definitions)
-// because the layout no longer matches the journals on disk.
-func checkShardLayout(dataDir string, shards int) error {
+// checkPartitionLayout rejects reopening partitioned on-disk state
+// under a different partition count: data would silently vanish from
+// queries (or new partitions would start empty) because the layout no
+// longer matches the journals on disk. scanDir holds the partition
+// subdirectories (<prefix>NNNN), legacy reports whether the
+// unpartitioned layout is present, and noun/action name the subsystem
+// in errors ("shard"/"resharding", "history stripe"/"re-striping").
+func checkPartitionLayout(dataDir, scanDir, prefix string, want int, legacy bool, noun, action string) error {
 	existing := 0
-	if entries, err := os.ReadDir(dataDir); err == nil {
+	if entries, err := os.ReadDir(scanDir); err == nil {
 		for _, e := range entries {
 			name := e.Name()
-			if e.IsDir() && len(name) == len("shard-0000") && strings.HasPrefix(name, "shard-") {
-				if _, err := strconv.Atoi(name[len("shard-"):]); err == nil {
+			if e.IsDir() && len(name) == len(prefix)+4 && strings.HasPrefix(name, prefix) {
+				if _, err := strconv.Atoi(name[len(prefix):]); err == nil {
 					existing++
 				}
 			}
 		}
 	}
-	legacy := false
-	if _, err := os.Stat(filepath.Join(dataDir, "state")); err == nil {
-		legacy = true
-	}
-	if shards <= 1 {
+	if want <= 1 {
 		if existing > 0 {
-			return fmt.Errorf("core: data dir %s holds %d-shard state; reopen it with the shard count it was created with", dataDir, existing)
+			return fmt.Errorf("core: data dir %s holds %d-%s state; reopen it with the %s count it was created with", dataDir, existing, noun, noun)
 		}
 		return nil
 	}
 	if legacy {
-		return fmt.Errorf("core: data dir %s holds single-shard state; resharding an existing data dir is not supported", dataDir)
+		return fmt.Errorf("core: data dir %s holds single-%s state; %s an existing data dir is not supported", dataDir, noun, action)
 	}
-	if existing > 0 && existing != shards {
-		return fmt.Errorf("core: data dir %s was created with %d shards, not %d; reopen it with the shard count it was created with", dataDir, existing, shards)
+	if existing > 0 && existing != want {
+		return fmt.Errorf("core: data dir %s was created with %d %ss, not %d; reopen it with the %s count it was created with", dataDir, existing, noun, want, noun)
 	}
 	return nil
+}
+
+// checkShardLayout guards the engine-shard layout (shard-NNNN dirs vs
+// the legacy state/ dir directly under DataDir).
+func checkShardLayout(dataDir string, shards int) error {
+	legacy := false
+	if _, err := os.Stat(filepath.Join(dataDir, "state")); err == nil {
+		legacy = true
+	}
+	return checkPartitionLayout(dataDir, dataDir, "shard-", shards, legacy, "shard", "resharding")
+}
+
+// historyDir returns the on-disk home of one history stripe's journal.
+// A single stripe keeps the pre-striping layout (history/ directly
+// under DataDir) so existing data dirs reopen unchanged.
+func historyDir(dataDir string, stripes, i int) string {
+	if stripes <= 1 {
+		return filepath.Join(dataDir, "history")
+	}
+	return filepath.Join(dataDir, "history", fmt.Sprintf("stripe-%04d", i))
+}
+
+// checkHistoryLayout guards the history-stripe layout (stripe-NNNN
+// dirs vs legacy wal files directly under history/): stripes hash
+// events by instance ID, so a different count would scatter an
+// instance's history across journals that no longer match the layout.
+func checkHistoryLayout(dataDir string, stripes int) error {
+	histDir := filepath.Join(dataDir, "history")
+	legacy := false
+	if entries, err := os.ReadDir(histDir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") {
+				legacy = true
+			}
+		}
+	}
+	return checkPartitionLayout(dataDir, histDir, "stripe-", stripes, legacy, "history stripe", "re-striping")
 }
 
 // Open assembles and (when DataDir is set) recovers a BPMS. With
@@ -153,18 +199,24 @@ func Open(opts Options) (*BPMS, error) {
 	if shards <= 0 {
 		shards = 1
 	}
+	histStripes := opts.HistoryStripes
+	if histStripes <= 0 {
+		histStripes = 1
+	}
 
 	stateJournals := make([]storage.Journal, shards)
 	snaps := make([]*storage.SnapshotStore, shards)
-	var histJournal storage.Journal
+	histJournals := make([]storage.Journal, histStripes)
 	closeAll := func() {
 		for _, j := range stateJournals {
 			if j != nil {
 				j.Close()
 			}
 		}
-		if histJournal != nil {
-			histJournal.Close()
+		for _, j := range histJournals {
+			if j != nil {
+				j.Close()
+			}
 		}
 	}
 	if opts.DataDir != "" {
@@ -172,6 +224,9 @@ func Open(opts Options) (*BPMS, error) {
 			return nil, fmt.Errorf("core: create data dir: %w", err)
 		}
 		if err := checkShardLayout(opts.DataDir, shards); err != nil {
+			return nil, err
+		}
+		if err := checkHistoryLayout(opts.DataDir, histStripes); err != nil {
 			return nil, err
 		}
 		jopts := storage.Options{
@@ -195,23 +250,40 @@ func Open(opts Options) (*BPMS, error) {
 			}
 			snaps[i] = sn
 		}
-		hj, err := storage.OpenFileJournal(filepath.Join(opts.DataDir, "history"), jopts)
-		if err != nil {
-			closeAll()
-			return nil, err
+		for i := 0; i < histStripes; i++ {
+			hj, err := storage.OpenFileJournal(historyDir(opts.DataDir, histStripes, i), jopts)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			histJournals[i] = hj
 		}
-		histJournal = hj
 	} else {
 		for i := range stateJournals {
 			stateJournals[i] = storage.NewMemJournal()
 		}
-		histJournal = storage.NewMemJournal()
+		for i := range histJournals {
+			histJournals[i] = storage.NewMemJournal()
+		}
 	}
 
-	hist, err := history.NewStore(histJournal)
+	hist, err := history.NewStriped(histJournals, history.StoreOptions{
+		Window: opts.HistoryWindow,
+	})
 	if err != nil {
 		closeAll()
 		return nil, err
+	}
+	// Past this point the store owns the history journals: failures
+	// must stop its committer goroutines and close the journals
+	// through it, not out from under it.
+	closeAll = func() {
+		for _, j := range stateJournals {
+			if j != nil {
+				j.Close()
+			}
+		}
+		hist.Close()
 	}
 	dir := resource.NewDirectory()
 	for i := range opts.Users {
@@ -246,7 +318,6 @@ func Open(opts Options) (*BPMS, error) {
 		Timers:    wheel,
 		clock:     opts.Clock,
 		state:     stateJournals,
-		hist:      histJournal,
 	}
 	if opts.RunTimers {
 		b.runner = timer.NewRunner(wheel, opts.Clock, opts.TimerTick)
@@ -255,31 +326,39 @@ func Open(opts Options) (*BPMS, error) {
 	return b, nil
 }
 
-// Close stops the timer runner and syncs/closes every journal (all
-// shard WALs plus the history journal). Under SyncBatch journals this
-// drains in-flight commit batches: every acknowledged append is on
-// stable storage when Close returns.
+// Close stops the timer runner, drains the history pipeline, and
+// syncs/closes every journal (all shard WALs plus the history stripe
+// journals). Under SyncBatch journals this drains in-flight commit
+// batches: every acknowledged append is on stable storage when Close
+// returns.
 func (b *BPMS) Close() error {
 	if b.runner != nil {
 		b.runner.Stop()
 	}
 	var first error
-	for _, j := range append(append([]storage.Journal{}, b.state...), b.hist) {
+	for _, j := range b.state {
 		if err := j.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := b.History.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
 
 // SyncJournals forces every journal to stable storage (without
-// closing them).
+// closing them). The history store drains its async pipeline first,
+// so every audit event enqueued before the call is durable on return.
 func (b *BPMS) SyncJournals() error {
 	var first error
-	for _, j := range append(append([]storage.Journal{}, b.state...), b.hist) {
+	for _, j := range b.state {
 		if err := j.Sync(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := b.History.Flush(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }

@@ -295,3 +295,105 @@ func TestShardedOpenReopen(t *testing.T) {
 		t.Fatal("resharding a single-shard data dir should fail")
 	}
 }
+
+// TestStripedHistoryOpenReopen covers the striped audit pipeline at
+// the system level: events recorded across stripes survive a reopen
+// with per-instance order intact, the on-disk layout matches the
+// stripe count, and a stripe-count mismatch is refused like a shard
+// mismatch.
+func TestStripedHistoryOpenReopen(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(Options{DataDir: dir, HistoryStripes: 2, HistoryWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	if err := b.Engine.Deploy(model.Sequence(3)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := b.Engine.StartInstance("seq-3", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	total := b.History.Count()
+	if total == 0 {
+		t.Fatal("no audit events recorded")
+	}
+	if st := b.History.Stats(); st.Stripes != 2 || st.Window != 16 {
+		t.Fatalf("history stats = %+v", st)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "history", fmt.Sprintf("stripe-%04d", i))); err != nil {
+			t.Fatalf("missing history stripe %d: %v", i, err)
+		}
+	}
+
+	// Stripe-count mismatches are refused.
+	if _, err := Open(Options{DataDir: dir}); err == nil {
+		t.Fatal("reopen with 1 stripe should fail on a 2-stripe data dir")
+	}
+	if _, err := Open(Options{DataDir: dir, HistoryStripes: 4}); err == nil {
+		t.Fatal("reopen with 4 stripes should fail on a 2-stripe data dir")
+	}
+
+	b2, err := Open(Options{DataDir: dir, HistoryStripes: 2, HistoryWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if got := b2.History.Count(); got != total {
+		t.Fatalf("recovered %d events, want %d", got, total)
+	}
+	// Every instance's trail replays in order: started first, then the
+	// element lifecycle, completed last — even though the 16-event
+	// window forces most of it through journal replay.
+	for _, id := range ids {
+		evs := b2.History.EventsOf(id)
+		if len(evs) == 0 {
+			t.Fatalf("instance %s: history lost", id)
+		}
+		if evs[0].Type != "instance.started" {
+			t.Errorf("instance %s: first event %s", id, evs[0].Type)
+		}
+		if last := evs[len(evs)-1].Type; last != "instance.completed" {
+			t.Errorf("instance %s: last event %s", id, last)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Index <= evs[i-1].Index {
+				t.Errorf("instance %s: event order broken at %d", id, i)
+			}
+		}
+	}
+
+	// A single-stripe (legacy layout) dir refuses a striped reopen.
+	sdir := t.TempDir()
+	b3, err := Open(Options{DataDir: sdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3.Engine.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) {
+		return nil, nil
+	})
+	if err := b3.Engine.Deploy(model.Sequence(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b3.Engine.StartInstance("seq-3", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{DataDir: sdir, HistoryStripes: 2}); err == nil {
+		t.Fatal("re-striping a single-stripe data dir should fail")
+	}
+}

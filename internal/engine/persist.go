@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"bpms/internal/expr"
@@ -74,6 +75,34 @@ func (e *Engine) appendRecord(rec []byte) (uint64, error) {
 	return e.journal.Append(rec)
 }
 
+// recordBufPool recycles record-envelope buffers: every transition
+// persists the instance state, so the envelope is assembled in a
+// pooled buffer instead of allocating one per append (journals copy
+// the payload before returning, so the buffer is free to reuse).
+var recordBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// encodeRecord wraps an already-encoded JSON payload in the journal
+// record envelope {"kind":<kind>,<field>:<payload>} without
+// re-marshalling the payload the way json.Marshal(record{...}) did
+// (which walked every byte of the state twice). The caller must
+// return the buffer via recordBufPool.Put once the append returns.
+func encodeRecord(kind, field string, payload []byte) *[]byte {
+	bp := recordBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, `{"kind":"`...)
+	buf = append(buf, kind...)
+	buf = append(buf, `","`...)
+	buf = append(buf, field...)
+	buf = append(buf, `":`...)
+	buf = append(buf, payload...)
+	buf = append(buf, '}')
+	*bp = buf
+	return bp
+}
+
 // persistInstance appends the instance's current state to the journal.
 // Called under the instance lock. The returned error matters in
 // durable mode: it is the failed durability acknowledgement, and API
@@ -85,11 +114,10 @@ func (e *Engine) persistInstance(inst *Instance) error {
 	if err != nil {
 		return fmt.Errorf("engine: encode instance %s: %w", inst.ID, err)
 	}
-	rec, err := json.Marshal(record{Kind: "instance", State: data})
+	bp := encodeRecord("instance", "state", data)
+	_, err = e.appendRecord(*bp)
+	recordBufPool.Put(bp)
 	if err != nil {
-		return fmt.Errorf("engine: encode record for %s: %w", inst.ID, err)
-	}
-	if _, err := e.appendRecord(rec); err != nil {
 		return fmt.Errorf("engine: persist instance %s: %w", inst.ID, err)
 	}
 	e.maybeSnapshot()
@@ -97,11 +125,14 @@ func (e *Engine) persistInstance(inst *Instance) error {
 }
 
 func (e *Engine) persistDeploy(p *model.Process) error {
-	rec, err := json.Marshal(record{Kind: "deploy", Process: p})
+	data, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	if _, err := e.appendRecord(rec); err != nil {
+	bp := encodeRecord("deploy", "process", data)
+	_, err = e.appendRecord(*bp)
+	recordBufPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	e.maybeSnapshot()

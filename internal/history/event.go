@@ -69,9 +69,10 @@ type Event struct {
 	Data       map[string]any `json:"data,omitempty"`
 }
 
-// Encode serialises the event for journal storage.
+// Encode serialises the event for journal storage (the append-style
+// encoder the store's committers use, starting from a fresh buffer).
 func (e *Event) Encode() ([]byte, error) {
-	return json.Marshal(e)
+	return AppendEncode(nil, e)
 }
 
 // DecodeEvent parses an event from its journal payload.

@@ -1,9 +1,11 @@
 package history
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/xml"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 )
@@ -68,34 +70,38 @@ type LogVariant struct {
 	Count      int
 }
 
+// traceOf builds one instance's mining trace from its audit events:
+// one entry per completed element, ordered by event index. Pure
+// routing nodes (gateways) are included only when includeAll is set.
+func traceOf(s *Store, id string, includeAll bool) Trace {
+	trace := Trace{CaseID: id}
+	for _, e := range s.EventsOf(id) {
+		if e.Type != ElementCompleted {
+			continue
+		}
+		if !includeAll && e.Data != nil && e.Data["routing"] == true {
+			continue
+		}
+		name := e.Element
+		if name == "" {
+			name = e.ElementID
+		}
+		trace.Entries = append(trace.Entries, Entry{
+			Activity:  name,
+			Resource:  e.Actor,
+			Time:      e.Time,
+			Lifecycle: "complete",
+		})
+	}
+	return trace
+}
+
 // FromEvents builds a mining log from a history store: one trace per
-// instance, one entry per completed element, ordered by event index.
-// Pure routing nodes (gateways) are included only when includeAll is
-// set; by default only task/event completions carrying a display name
-// or element ID appear.
+// instance with at least one qualifying completion (see traceOf).
 func FromEvents(s *Store, includeAll bool) *Log {
 	log := &Log{Name: "bpms-history"}
 	for _, id := range s.InstanceIDs() {
-		trace := Trace{CaseID: id}
-		for _, e := range s.EventsOf(id) {
-			if e.Type != ElementCompleted {
-				continue
-			}
-			if !includeAll && e.Data != nil && e.Data["routing"] == true {
-				continue
-			}
-			name := e.Element
-			if name == "" {
-				name = e.ElementID
-			}
-			trace.Entries = append(trace.Entries, Entry{
-				Activity:  name,
-				Resource:  e.Actor,
-				Time:      e.Time,
-				Lifecycle: "complete",
-			})
-		}
-		if len(trace.Entries) > 0 {
+		if trace := traceOf(s, id, includeAll); len(trace.Entries) > 0 {
 			log.Traces = append(log.Traces, trace)
 		}
 	}
@@ -136,44 +142,113 @@ func attr(attrs []xesAttr, key string) string {
 	return ""
 }
 
-// EncodeXES serialises the log as XES XML.
-func EncodeXES(l *Log) ([]byte, error) {
-	x := xesLog{Version: "1.0"}
-	if l.Name != "" {
-		x.Strings = append(x.Strings, xesAttr{Key: "concept:name", Value: l.Name})
-	}
-	for _, t := range l.Traces {
-		xt := xesTrace{Strings: []xesAttr{{Key: "concept:name", Value: t.CaseID}}}
-		for _, e := range t.Entries {
-			xe := xesEvent{
-				Strings: []xesAttr{{Key: "concept:name", Value: e.Activity}},
-			}
-			lc := e.Lifecycle
-			if lc == "" {
-				lc = "complete"
-			}
-			xe.Strings = append(xe.Strings, xesAttr{Key: "lifecycle:transition", Value: lc})
-			if e.Resource != "" {
-				xe.Strings = append(xe.Strings, xesAttr{Key: "org:resource", Value: e.Resource})
-			}
-			if !e.Time.IsZero() {
-				xe.Dates = append(xe.Dates, xesAttr{Key: "time:timestamp", Value: e.Time.Format(time.RFC3339Nano)})
-			}
-			xt.Events = append(xt.Events, xe)
+// xesTraceOf converts one trace to its XES form (the per-trace unit
+// the streaming writer encodes).
+func xesTraceOf(t *Trace) xesTrace {
+	xt := xesTrace{Strings: []xesAttr{{Key: "concept:name", Value: t.CaseID}}}
+	for _, e := range t.Entries {
+		xe := xesEvent{
+			Strings: []xesAttr{{Key: "concept:name", Value: e.Activity}},
 		}
-		x.Traces = append(x.Traces, xt)
+		lc := e.Lifecycle
+		if lc == "" {
+			lc = "complete"
+		}
+		xe.Strings = append(xe.Strings, xesAttr{Key: "lifecycle:transition", Value: lc})
+		if e.Resource != "" {
+			xe.Strings = append(xe.Strings, xesAttr{Key: "org:resource", Value: e.Resource})
+		}
+		if !e.Time.IsZero() {
+			xe.Dates = append(xe.Dates, xesAttr{Key: "time:timestamp", Value: e.Time.Format(time.RFC3339Nano)})
+		}
+		xt.Events = append(xt.Events, xe)
 	}
-	var buf bytes.Buffer
-	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	return xt
+}
+
+// writeXESDoc streams an XES document to w: header, log element, the
+// name attribute, then every trace the source yields through emit —
+// one trace is in memory at a time.
+func writeXESDoc(w io.Writer, name string, traces func(emit func(*Trace) error) error) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(bw)
 	enc.Indent("", "  ")
-	if err := enc.Encode(x); err != nil {
-		return nil, fmt.Errorf("history: encode xes: %w", err)
+	logStart := xml.StartElement{
+		Name: xml.Name{Local: "log"},
+		Attr: []xml.Attr{{Name: xml.Name{Local: "xes.version"}, Value: "1.0"}},
+	}
+	if err := enc.EncodeToken(logStart); err != nil {
+		return fmt.Errorf("history: encode xes: %w", err)
+	}
+	if name != "" {
+		attr := xesAttr{Key: "concept:name", Value: name}
+		if err := enc.EncodeElement(attr, xml.StartElement{Name: xml.Name{Local: "string"}}); err != nil {
+			return fmt.Errorf("history: encode xes: %w", err)
+		}
+	}
+	err := traces(func(t *Trace) error {
+		if err := enc.EncodeElement(xesTraceOf(t), xml.StartElement{Name: xml.Name{Local: "trace"}}); err != nil {
+			return fmt.Errorf("history: encode xes: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(logStart.End()); err != nil {
+		return fmt.Errorf("history: encode xes: %w", err)
 	}
 	if err := enc.Flush(); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteXES streams an in-memory log as XES XML to w, encoding one
+// trace at a time.
+func WriteXES(w io.Writer, l *Log) error {
+	return writeXESDoc(w, l.Name, func(emit func(*Trace) error) error {
+		for i := range l.Traces {
+			if err := emit(&l.Traces[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// StreamXES exports a history store as XES XML without ever holding
+// the whole log in memory: traces are built instance by instance
+// (evicted ranges replay from the stripe journals) and encoded
+// straight onto w. This is the export path behind /api/history/xes.
+func StreamXES(w io.Writer, s *Store, includeAll bool) error {
+	return writeXESDoc(w, "bpms-history", func(emit func(*Trace) error) error {
+		for _, id := range s.InstanceIDs() {
+			trace := traceOf(s, id, includeAll)
+			if len(trace.Entries) == 0 {
+				continue
+			}
+			if err := emit(&trace); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// EncodeXES serialises the log as XES XML in memory (WriteXES is the
+// streaming form).
+func EncodeXES(l *Log) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, l); err != nil {
 		return nil, err
 	}
-	buf.WriteByte('\n')
 	return buf.Bytes(), nil
 }
 

@@ -179,7 +179,9 @@ func (r *Router) owner(id string) *engine.Engine {
 
 func (r *Router) audit(ev *history.Event) {
 	if r.hist != nil {
-		_ = r.hist.Append(ev)
+		// Non-blocking hand-off to the striped history pipeline (same
+		// path as the per-shard engine audit).
+		r.hist.Enqueue(ev)
 	}
 }
 

@@ -164,7 +164,13 @@ func New(cfg Config) (*Simulator, error) {
 		AutoAllocate: true,
 		Now:          s.clock.Now,
 	})
-	hist, err := history.NewStore(storage.NewMemJournal())
+	// Sync mode: the simulator drives virtual time deterministically
+	// and its stores are short-lived, so the audit trail writes through
+	// on the caller's goroutine instead of spawning a committer per run.
+	hist, err := history.NewStriped(
+		[]storage.Journal{storage.NewMemJournal()},
+		history.StoreOptions{Sync: true},
+	)
 	if err != nil {
 		return nil, err
 	}

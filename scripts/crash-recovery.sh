@@ -2,23 +2,29 @@
 # Crash-recovery gate: prove that no acknowledged instance is lost
 # when bpmsd is SIGKILLed under the group-commit (-sync batch) policy.
 #
-#  1. start bpmsd -sync batch (SHARDS engine shards) on a fresh data dir
+#  1. start bpmsd -sync batch (SHARDS engine shards, HIST_STRIPES
+#     history stripes) on a fresh data dir
 #  2. deploy a user-task definition and start N instances via bpmsctl
 #     (each `start` returns only after the durable WAL ack of the
 #     instance's owner shard)
 #  3. SIGKILL the daemon — no drain, no final fsync
 #  4. restart on the same data dir and assert all N instances are
 #     recovered and active (with SHARDS > 1 this exercises the
-#     parallel per-shard recovery path and the instance-hash routing)
+#     parallel per-shard recovery path and the instance-hash routing),
+#     and that the history journal recovered alongside the engine
+#     journal: each instance's audit trail replays with its
+#     instance.started event in first position
 #  5. SIGTERM the second daemon and check the graceful-shutdown path
 #
-# SHARDS=4 N=16 ./scripts/crash-recovery.sh runs the sharded variant.
+# SHARDS=4 N=16 HIST_STRIPES=2 ./scripts/crash-recovery.sh runs the
+# sharded + striped variant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${ADDR:-127.0.0.1:18080}"
 N="${N:-5}"
 SHARDS="${SHARDS:-1}"
+HIST_STRIPES="${HIST_STRIPES:-1}"
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
 LOG="$BIN/bpmsd.log"
@@ -42,8 +48,8 @@ wait_ready() {
   return 1
 }
 
-echo "== start bpmsd (-sync batch, $SHARDS shard(s)) on $DATA"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -user alice=clerk >"$LOG" 2>&1 &
+echo "== start bpmsd (-sync batch, $SHARDS shard(s), $HIST_STRIPES history stripe(s)) on $DATA"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -54,13 +60,17 @@ for i in $(seq "$N"); do
 done
 started=$(ctl ps | grep -c '"approval-' || true)
 [ "$started" -eq "$N" ] || { echo "started $started of $N" >&2; exit 1; }
+# History is recorded through the async pipeline; the state acks do
+# not cover it. Give the stripe committers and the WAL's batch tick a
+# moment to put the audit tail on disk before we pull the plug.
+sleep 0.5
 
 echo "== SIGKILL bpmsd (pid $PID)"
 kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 
 echo "== restart on the same data dir"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -user alice=clerk >"$LOG" 2>&1 &
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -79,6 +89,29 @@ if [ "$active" -ne "$N" ]; then
   exit 1
 fi
 echo "OK: all $N acked instances recovered and active after SIGKILL"
+
+# History-journal recovery: every instance's audit trail must replay
+# from the striped history journals, ordered per instance (the
+# instance.started event comes first).
+hist_ok=0
+for id in $(ctl ps | grep -o '"approval-[0-9]*"' | tr -d '"'); do
+  trail=$(ctl history "$id")
+  first_type=$(echo "$trail" | grep -o '"type": *"[^"]*"' | head -1 | sed 's/.*"type": *"//;s/"//')
+  if [ "$first_type" != "instance.started" ]; then
+    echo "FAIL: history of $id does not start with instance.started (got '$first_type')" >&2
+    echo "$trail" >&2
+    exit 1
+  fi
+  hist_ok=$((hist_ok + 1))
+done
+[ "$hist_ok" -eq "$N" ] || { echo "FAIL: history recovered for $hist_ok of $N instances" >&2; exit 1; }
+events=$(ctl stats | grep -o '"events": *[0-9]*' | head -1 | grep -o '[0-9]*$' || echo 0)
+if [ "$events" -lt "$N" ]; then
+  echo "FAIL: only $events audit events recovered for $N instances" >&2
+  ctl stats >&2 || true
+  exit 1
+fi
+echo "OK: history journal recovered ($events events, per-instance order intact)"
 
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$PID"
