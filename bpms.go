@@ -173,6 +173,9 @@ var (
 type (
 	// WorkItem is a human task on a worklist.
 	WorkItem = task.Item
+	// WorklistStats reports the striped task service's shape and load
+	// (BPMS.Tasks.Stats; see Options.WorklistStripes).
+	WorklistStats = task.Stats
 	// User is one organisational resource.
 	User = resource.User
 	// Policy allocates work to resources.

@@ -5,7 +5,8 @@
 //
 //	bpmsbench            # run everything at full scale
 //	bpmsbench -quick     # smaller workloads (CI-sized)
-//	bpmsbench -run T3    # a single experiment (T1..T11, F1..F5)
+//	bpmsbench -run T3    # a single experiment (T1..T13, F1..F5)
+//	bpmsbench -run T13   # the worklist workload (poll/claim vs writers)
 //	bpmsbench -json      # emit tables as JSON (for CI artifacts)
 package main
 
@@ -49,7 +50,7 @@ func main() {
 	if *run != "" {
 		fn, ok := bench.ByID(*run, scale)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use T1..T11, F1..F5)\n", *run)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use T1..T13, F1..F5)\n", *run)
 			os.Exit(2)
 		}
 		start := time.Now()

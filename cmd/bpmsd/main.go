@@ -28,6 +28,12 @@
 // are served by journal replay). On shutdown the pipeline is drained,
 // so every enqueued audit event reaches its journal.
 //
+// The human-task worklist is likewise lock-striped: -worklist-stripes N
+// partitions work items across N independently locked stripes with
+// per-user, per-state, and due-time indexes (experiment T13). The
+// worklist is in-memory — work items are reissued from the engine
+// journals on recovery — so the flag composes freely with any data dir.
+//
 // Definitions are deployed and instances driven through the REST API
 // (see internal/api); bpmsctl is the companion client.
 package main
@@ -58,6 +64,7 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 1000, "journal appends between snapshots (0 = never)")
 	historyStripes := flag.Int("history-stripes", 1, "history store stripes, each with its own journal and commit pipeline (data dirs must be reopened with the stripe count they were created with)")
 	historyWindow := flag.Int("history-window", 100000, "audit events each history stripe keeps resident in RAM (0 = unbounded; older events are served from the journal)")
+	worklistStripes := flag.Int("worklist-stripes", 1, "worklist lock stripes, each with its own item map and secondary indexes (in-memory; any value reopens any data dir)")
 	autoAllocate := flag.Bool("auto-allocate", false, "push tasks to users instead of offering")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	var users []resource.User
@@ -81,17 +88,18 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := bpms.Options{
-		DataDir:        *data,
-		Shards:         *shards,
-		SyncPolicy:     policy,
-		SyncInterval:   *syncEvery,
-		BatchMaxDelay:  *syncInterval,
-		Durable:        *durable && policy != bpms.SyncNever,
-		HistoryStripes: *historyStripes,
-		HistoryWindow:  *historyWindow,
-		AutoAllocate:   *autoAllocate,
-		RunTimers:      true,
-		Users:          users,
+		DataDir:         *data,
+		Shards:          *shards,
+		SyncPolicy:      policy,
+		SyncInterval:    *syncEvery,
+		BatchMaxDelay:   *syncInterval,
+		Durable:         *durable && policy != bpms.SyncNever,
+		HistoryStripes:  *historyStripes,
+		HistoryWindow:   *historyWindow,
+		WorklistStripes: *worklistStripes,
+		AutoAllocate:    *autoAllocate,
+		RunTimers:       true,
+		Users:           users,
 	}
 	if *data != "" {
 		opts.SnapshotEvery = *snapshotEvery
@@ -112,8 +120,8 @@ func main() {
 		case bpms.SyncBatch:
 			fmt.Printf(" interval=%s", *syncInterval)
 		}
-		fmt.Printf(", durable=%v, shards=%d, history-stripes=%d, history-window=%d\n",
-			opts.Durable, sys.Engine.Shards(), *historyStripes, *historyWindow)
+		fmt.Printf(", durable=%v, shards=%d, history-stripes=%d, history-window=%d, worklist-stripes=%d\n",
+			opts.Durable, sys.Engine.Shards(), *historyStripes, *historyWindow, sys.Tasks.Stripes())
 	}
 	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered across %d shard(s), %d user(s)\n",
 		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Engine.Shards(), sys.Directory.Count())

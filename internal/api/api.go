@@ -5,12 +5,14 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -70,10 +72,36 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/admin/snapshot", s.adminSnapshot)
 }
 
+// jsonBufs pools the encode buffers behind writeJSON. Buffers that
+// grew past 1MiB (a huge instance list, say) are dropped instead of
+// pinned in the pool forever.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const jsonBufMax = 1 << 20
+
+// writeJSON encodes into a pooled buffer before touching the response:
+// an encoder error surfaces as a 500 instead of a 200 with a truncated
+// body (the header can't be rewritten once written), and the known
+// length gives the response a Content-Length header instead of chunked
+// encoding.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= jsonBufMax {
+			buf.Reset()
+			jsonBufs.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "api: encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 type apiError struct {
@@ -270,17 +298,111 @@ func (s *Server) publishMessage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"delivered": delivered, "buffered": buffered})
 }
 
+func filterState(items []*task.Item, state task.State) []*task.Item {
+	var out []*task.Item
+	for _, it := range items {
+		if it.State == state {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func pageSlice(items []*task.Item, offset, limit int) []*task.Item {
+	if offset >= len(items) {
+		return nil
+	}
+	items = items[offset:]
+	if limit >= 0 && len(items) > limit {
+		items = items[:limit]
+	}
+	return items
+}
+
+// pageParams parses limit/offset query parameters (limit defaults to
+// -1 = everything, offset to 0).
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	offset, limit = 0, -1
+	if v := r.URL.Query().Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("api: bad offset %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("api: bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+// listTasks serves GET /api/tasks with user/state filters and
+// limit/offset pagination, pushed down to the worklist's secondary
+// indexes (no full-map scan on any path):
+//
+//   - ?user=u            → {"worklist": [...], "offered": [...]} (each
+//     list paginated independently — the pre-pagination shape)
+//   - ?state=s           → {"items": [...], ...} from the state index
+//   - ?user=u&state=s    → {"items": [...], ...} from the user indexes,
+//     filtered to the state
 func (s *Server) listTasks(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
-	if user == "" {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing user parameter"})
+	stateName := r.URL.Query().Get("state")
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	out := map[string][]*task.Item{
-		"worklist": s.bpms.Tasks.Worklist(user),
-		"offered":  s.bpms.Tasks.OfferedItems(user),
+	if user == "" && stateName == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing user or state parameter"})
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	if stateName == "" {
+		writeJSON(w, http.StatusOK, map[string][]*task.Item{
+			"worklist": s.bpms.Tasks.WorklistPage(user, offset, limit),
+			"offered":  s.bpms.Tasks.OfferedPage(user, offset, limit),
+		})
+		return
+	}
+	state, err := task.ParseState(stateName)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	var items []*task.Item
+	switch {
+	case user == "":
+		items = s.bpms.Tasks.ByStatePage(state, offset, limit)
+	case state == task.Offered:
+		items = s.bpms.Tasks.OfferedPage(user, offset, limit)
+	case state == task.Allocated || state == task.Started:
+		// A user's queue is small by construction: filter it by state,
+		// then page.
+		items = pageSlice(filterState(s.bpms.Tasks.Worklist(user), state), offset, limit)
+	default:
+		// Created and terminal items are not on any user queue; the
+		// per-state index is the answer-sized source, filtered by the
+		// assignee recorded on the item (the closer, for terminal
+		// states).
+		var all []*task.Item
+		for _, it := range s.bpms.Tasks.ByState(state) {
+			if it.Assignee == user {
+				all = append(all, it)
+			}
+		}
+		items = pageSlice(all, offset, limit)
+	}
+	if items == nil {
+		items = []*task.Item{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"items":  items,
+		"count":  len(items),
+		"offset": offset,
+		"limit":  limit,
+	})
 }
 
 type taskRequest struct {
@@ -361,6 +483,7 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		"events":      hist.Events,
 		"shards":      s.bpms.ShardStats(),
 		"history":     hist,
+		"worklist":    s.bpms.Tasks.Stats(),
 	})
 }
 

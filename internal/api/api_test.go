@@ -316,3 +316,123 @@ func TestAPIAdminSnapshotInMemory(t *testing.T) {
 	ts, _ := newServer(t)
 	doJSON(t, "POST", ts.URL+"/api/admin/snapshot", map[string]any{}, http.StatusInternalServerError)
 }
+
+// TestWriteJSONEncodesBeforeHeader: an unencodable value must produce
+// a 500 with a JSON error body — not a 200 with a truncated body —
+// and successful responses carry Content-Length (no chunked encoding).
+func TestWriteJSONEncodesBeforeHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": func() {}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var e apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body = %q (%v)", rec.Body.String(), err)
+	}
+
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"ok": true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Length"); got != fmt.Sprint(rec.Body.Len()) {
+		t.Errorf("Content-Length = %q, body %d bytes", got, rec.Body.Len())
+	}
+}
+
+// TestAPITaskPaginationAndFilters drives GET /api/tasks' limit/offset
+// and state/user filters against a striped worklist.
+func TestAPITaskPaginationAndFilters(t *testing.T) {
+	b, err := core.Open(core.Options{WorklistStripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	b.AddUser("alice", "clerk")
+	ts := httptest.NewServer(New(b).Handler())
+	t.Cleanup(ts.Close)
+
+	p := model.New("page-proc").
+		Start("s").
+		UserTask("review", model.Role("clerk")).
+		End("e").
+		Seq("s", "review", "e").
+		MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		doJSON(t, "POST", ts.URL+"/api/instances",
+			map[string]any{"processId": "page-proc"}, http.StatusCreated)
+	}
+
+	getPage := func(query string) map[string]any {
+		t.Helper()
+		return doJSON(t, "GET", ts.URL+"/api/tasks?"+query, nil, http.StatusOK)
+	}
+	// State filter reads the per-state index.
+	page := getPage("state=offered")
+	if int(page["count"].(float64)) != 10 {
+		t.Fatalf("state=offered count = %v", page["count"])
+	}
+	// Pagination.
+	page = getPage("state=offered&limit=3&offset=8")
+	if int(page["count"].(float64)) != 2 {
+		t.Fatalf("offset past tail count = %v", page["count"])
+	}
+	// user + state goes through the user indexes.
+	page = getPage("user=alice&state=offered&limit=4")
+	if int(page["count"].(float64)) != 4 {
+		t.Fatalf("user+state count = %v", page["count"])
+	}
+	// Claim two; the allocated filter sees only them.
+	items := page["items"].([]any)
+	for _, raw := range items[:2] {
+		id := raw.(map[string]any)["id"].(string)
+		doJSON(t, "POST", ts.URL+"/api/tasks/"+id+"/claim", map[string]any{"user": "alice"}, http.StatusOK)
+	}
+	page = getPage("user=alice&state=allocated")
+	if int(page["count"].(float64)) != 2 {
+		t.Fatalf("allocated count = %v", page["count"])
+	}
+	// Complete one; user+terminal-state reads the state index filtered
+	// by the closing assignee.
+	claimedID := items[0].(map[string]any)["id"].(string)
+	doJSON(t, "POST", ts.URL+"/api/tasks/"+claimedID+"/start", map[string]any{"user": "alice"}, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/api/tasks/"+claimedID+"/complete", map[string]any{"user": "alice"}, http.StatusOK)
+	page = getPage("user=alice&state=completed")
+	if int(page["count"].(float64)) != 1 {
+		t.Fatalf("user+completed count = %v", page["count"])
+	}
+	page = getPage("user=bob&state=completed")
+	if int(page["count"].(float64)) != 0 {
+		t.Fatalf("other user's completed count = %v", page["count"])
+	}
+	// Legacy user-only shape, paginated per list.
+	req, _ := http.NewRequest("GET", ts.URL+"/api/tasks?user=alice&limit=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lists map[string][]map[string]any
+	json.NewDecoder(resp.Body).Decode(&lists)
+	resp.Body.Close()
+	if len(lists["worklist"]) != 1 || len(lists["offered"]) != 1 {
+		t.Fatalf("paginated lists = %d/%d", len(lists["worklist"]), len(lists["offered"]))
+	}
+	// Bad parameters.
+	doJSON(t, "GET", ts.URL+"/api/tasks?state=bogus", nil, http.StatusBadRequest)
+	doJSON(t, "GET", ts.URL+"/api/tasks?user=alice&limit=-1", nil, http.StatusBadRequest)
+	doJSON(t, "GET", ts.URL+"/api/tasks?user=alice&offset=x", nil, http.StatusBadRequest)
+
+	// /api/stats reports the striped worklist.
+	stats := doJSON(t, "GET", ts.URL+"/api/stats", nil, http.StatusOK)
+	wl, ok := stats["worklist"].(map[string]any)
+	if !ok || int(wl["stripes"].(float64)) != 4 {
+		t.Fatalf("stats worklist = %v", stats["worklist"])
+	}
+	if int(wl["items"].(float64)) != 10 {
+		t.Errorf("stats worklist items = %v", wl["items"])
+	}
+}

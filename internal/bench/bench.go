@@ -100,6 +100,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T10GroupCommit(scale) },
 		func() *Table { return T11ShardScaling(scale) },
 		func() *Table { return T12AuditPipeline(scale) },
+		func() *Table { return T13Worklist(scale) },
 	}
 }
 
@@ -123,6 +124,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T10": func() *Table { return T10GroupCommit(scale) },
 		"T11": func() *Table { return T11ShardScaling(scale) },
 		"T12": func() *Table { return T12AuditPipeline(scale) },
+		"T13": func() *Table { return T13Worklist(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpms/internal/resource"
+	"bpms/internal/task"
+)
+
+// T13Worklist measures concurrent mixed read/write worklist throughput
+// against the stripe count — the experiment behind the striped task
+// service. Every configuration runs the same workload: M writer
+// goroutines drive full work-item lifecycles (create with
+// auto-allocation, start, complete) while K poller goroutines hammer
+// the read side (per-user Worklist plus the deadline query Overdue)
+// against a standing pool of open overdue items. With one stripe every
+// operation serializes on a single mutex — the seed behaviour — while
+// N stripes let claims and completions on different items proceed in
+// parallel and queries read per-stripe secondary indexes.
+//
+// Like T11/T12, the headroom is bounded by GOMAXPROCS (reported in the
+// notes): on a single-core box striping only buys shorter critical
+// sections, while on a multi-core CI runner the stripes run truly
+// concurrently.
+func T13Worklist(scale Scale) *Table {
+	stripeCounts := []int{1, 2, 4}
+	if scale == Full {
+		stripeCounts = []int{1, 2, 4, 8}
+	}
+	const (
+		writers = 8
+		pollers = 4
+		users   = 16
+		overdue = 200
+	)
+	per := scale.pick(300, 3000)
+	t := &Table{
+		ID:     "T13",
+		Title:  "striped worklist: mixed lifecycle writers vs concurrent Worklist/Overdue readers",
+		Header: []string{"stripes", "writers", "pollers", "lifecycles", "wall", "lifecycles/s", "polls", "vs 1 stripe"},
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d (stripes parallelize across cores)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%d users, one lifecycle = auto-allocated create + start + complete; %d standing overdue items per run", users, overdue))
+
+	var base float64
+	for _, stripes := range stripeCounts {
+		dir := resource.NewDirectory()
+		for i := 0; i < users; i++ {
+			dir.AddUser(&resource.User{ID: fmt.Sprintf("u%02d", i), Roles: []string{"crew"}})
+		}
+		svc := task.NewService(task.Config{
+			Directory:    dir,
+			AutoAllocate: true,
+			Stripes:      stripes,
+		})
+		// A standing pool of open overdue items keeps the deadline
+		// query non-trivial: every Overdue call walks the due-time
+		// index, never the full item map.
+		for i := 0; i < overdue; i++ {
+			if _, err := svc.Create(task.Spec{
+				InstanceID: "seed", ElementID: "late",
+				Assignee: fmt.Sprintf("late%02d", i%8), Due: time.Nanosecond,
+			}); err != nil {
+				panic(err)
+			}
+		}
+
+		total := writers * per
+		var firstErr atomic.Value
+		var done atomic.Bool
+		var polls atomic.Int64
+		var wg, rg sync.WaitGroup
+		for p := 0; p < pollers; p++ {
+			rg.Add(1)
+			go func(p int) {
+				defer rg.Done()
+				user := fmt.Sprintf("u%02d", p%users)
+				for !done.Load() {
+					svc.Worklist(user)
+					svc.Overdue(time.Now())
+					polls.Add(1)
+					// Paced like a real worklist client; an unthrottled
+					// poll loop would measure the scheduler, not the
+					// service.
+					time.Sleep(200 * time.Microsecond)
+				}
+			}(p)
+		}
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					it, err := svc.Create(task.Spec{InstanceID: "i", ElementID: "e", Role: "crew"})
+					if err == nil && it.Assignee != "" {
+						if _, err2 := svc.Start(it.ID, it.Assignee); err2 == nil {
+							_, err = svc.Complete(it.ID, it.Assignee, nil)
+						} else {
+							err = err2
+						}
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		d := time.Since(start)
+		done.Store(true)
+		rg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%d stripes: %v", stripes, err))
+			continue
+		}
+		r := float64(total) / d.Seconds()
+		speedup := "1.00x"
+		if stripes == 1 {
+			base = r
+		} else if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", r/base)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(stripes), fmt.Sprint(writers), fmt.Sprint(pollers), fmt.Sprint(total),
+			secs(d), rate(total, d), fmt.Sprint(polls.Load()), speedup,
+		})
+		if stripes == 4 && base > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"4 stripes vs 1: %.2fx mixed read/write lifecycle throughput at %d writers + %d pollers",
+				r/base, writers, pollers))
+		}
+	}
+	return t
+}

@@ -63,6 +63,13 @@ type Options struct {
 	// stripe keeps resident in RAM (0 = unbounded). Older events stay
 	// queryable through journal replay.
 	HistoryWindow int
+	// WorklistStripes partitions the task service across this many
+	// independently locked item stripes (default 1), each with its own
+	// secondary indexes, so claims and completions on different items
+	// proceed in parallel. The worklist is in-memory (work items are
+	// reissued from the engine journals on recovery), so any stripe
+	// count reopens any data dir.
+	WorklistStripes int
 	// AutoAllocate pushes role-routed tasks to users via Policy
 	// instead of offering them for claiming.
 	AutoAllocate bool
@@ -294,6 +301,7 @@ func Open(opts Options) (*BPMS, error) {
 		Policy:       opts.Policy,
 		AutoAllocate: opts.AutoAllocate,
 		Now:          opts.Clock.Now,
+		Stripes:      opts.WorklistStripes,
 	})
 	wheel := timer.NewWheelService(opts.TimerTick, 512)
 	router, err := shard.New(shard.Config{

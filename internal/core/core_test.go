@@ -397,3 +397,69 @@ func TestStripedHistoryOpenReopen(t *testing.T) {
 		t.Fatal("re-striping a single-stripe data dir should fail")
 	}
 }
+
+// TestWorklistStripesThreading: Options.WorklistStripes reaches the
+// task service, the striped worklist answers queries identically, and
+// recovery re-issues parked work items into it regardless of the
+// stripe count (the worklist is in-memory — no on-disk layout to
+// match).
+func TestWorklistStripesThreading(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(Options{DataDir: dir, WorklistStripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Tasks.Stripes() != 4 {
+		t.Fatalf("stripes = %d", b.Tasks.Stripes())
+	}
+	b.AddUser("alice", "clerk")
+	p := model.New("striped-wl").
+		Start("s").UserTask("work", model.Role("clerk")).End("e").
+		Seq("s", "work", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := b.Engine.StartInstance("striped-wl", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(b.Tasks.OfferedItems("alice")); got != n {
+		t.Fatalf("offered = %d, want %d", got, n)
+	}
+	st := b.Tasks.Stats()
+	if st.Stripes != 4 || st.Items != n || st.Open != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT stripe count: the reissued items must
+	// land in the new striped worklist.
+	b2, err := Open(Options{DataDir: dir, WorklistStripes: 8,
+		Users: []resource.User{{ID: "alice", Roles: []string{"clerk"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	items := b2.Tasks.OfferedItems("alice")
+	if len(items) != n {
+		t.Fatalf("offered after recovery = %d, want %d", len(items), n)
+	}
+	// The recovered worklist still drives instances to completion.
+	it := items[0]
+	b2.Tasks.Claim(it.ID, "alice")
+	b2.Tasks.Start(it.ID, "alice")
+	if _, err := b2.Tasks.Complete(it.ID, "alice", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Engine.Instance(it.InstanceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != engine.StatusCompleted {
+		t.Fatalf("status after resume = %s", got.Status)
+	}
+}

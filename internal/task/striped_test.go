@@ -1,0 +1,525 @@
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"bpms/internal/resource"
+)
+
+// checkConsistency verifies every secondary index against a
+// ground-truth scan of the stripe item maps: the per-user
+// allocated/started and offered sets, the per-state sets, the
+// due-time heaps, and the cross-stripe load counters must all agree
+// with the items themselves.
+func checkConsistency(t *testing.T, svc *Service) {
+	t.Helper()
+	type flat struct {
+		it     *Item
+		stripe int
+	}
+	all := map[string]flat{}
+	wantLoads := map[string]int{}
+	for si, st := range svc.stripes {
+		st.mu.Lock()
+		for id, it := range st.items {
+			all[id] = flat{it.clone(), si}
+			if (it.State == Allocated || it.State == Started) && it.Assignee != "" {
+				wantLoads[it.Assignee]++
+			}
+		}
+		// byUser: exactly the allocated/started items of each user.
+		seen := map[string]string{} // item -> user
+		for user, set := range st.byUser {
+			if len(set) == 0 {
+				t.Errorf("stripe %d: empty byUser entry for %s", si, user)
+			}
+			for id := range set {
+				it, ok := st.items[id]
+				if !ok {
+					t.Errorf("stripe %d: byUser[%s] holds unknown item %s", si, user, id)
+					continue
+				}
+				if it.Assignee != user || (it.State != Allocated && it.State != Started) {
+					t.Errorf("stripe %d: byUser[%s] holds %s (state %s, assignee %q)", si, user, id, it.State, it.Assignee)
+				}
+				seen[id] = user
+			}
+		}
+		for id, it := range st.items {
+			if (it.State == Allocated || it.State == Started) && it.Assignee != "" {
+				if seen[id] != it.Assignee {
+					t.Errorf("stripe %d: item %s (assignee %s) missing from byUser", si, id, it.Assignee)
+				}
+			}
+		}
+		// offered: exactly the Offered items, per OfferedTo user.
+		offeredSeen := map[string]int{}
+		for user, set := range st.offered {
+			if len(set) == 0 {
+				t.Errorf("stripe %d: empty offered entry for %s", si, user)
+			}
+			for id := range set {
+				it, ok := st.items[id]
+				if !ok || it.State != Offered {
+					t.Errorf("stripe %d: offered[%s] holds non-offered item %s", si, user, id)
+					continue
+				}
+				found := false
+				for _, uid := range it.OfferedTo {
+					if uid == user {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("stripe %d: offered[%s] holds %s not offered to them", si, user, id)
+				}
+				offeredSeen[id]++
+			}
+		}
+		for id, it := range st.items {
+			if it.State == Offered && offeredSeen[id] != len(it.OfferedTo) {
+				t.Errorf("stripe %d: offered index has %d entries for %s, want %d", si, offeredSeen[id], id, len(it.OfferedTo))
+			}
+		}
+		// byState: an exact partition of the stripe's items.
+		total := 0
+		for state, set := range st.byState {
+			total += len(set)
+			for id := range set {
+				it, ok := st.items[id]
+				if !ok || it.State != State(state) {
+					t.Errorf("stripe %d: byState[%s] holds %s (actual %v)", si, State(state), id, it)
+				}
+			}
+		}
+		if total != len(st.items) {
+			t.Errorf("stripe %d: byState indexes %d items, stripe holds %d", si, total, len(st.items))
+		}
+		// due heap: entries reference live items with that deadline, at
+		// most one entry per item, and every OPEN item with a deadline
+		// is present (closed items may linger until lazily popped).
+		dueIDs := map[string]bool{}
+		for _, e := range st.due {
+			it, ok := st.items[e.id]
+			if !ok || !it.DueAt.Equal(e.at) {
+				t.Errorf("stripe %d: due entry %s@%v does not match its item", si, e.id, e.at)
+			}
+			if dueIDs[e.id] {
+				t.Errorf("stripe %d: duplicate due entry for %s", si, e.id)
+			}
+			dueIDs[e.id] = true
+		}
+		for id, it := range st.items {
+			if !it.State.Terminal() && !it.DueAt.IsZero() && !dueIDs[id] {
+				t.Errorf("stripe %d: open item %s with deadline missing from due heap", si, id)
+			}
+		}
+		st.mu.Unlock()
+	}
+	// Load counters match the ground truth exactly.
+	svc.loadMu.RLock()
+	for user, n := range svc.loads {
+		if wantLoads[user] != n {
+			t.Errorf("loads[%s] = %d, ground truth %d", user, n, wantLoads[user])
+		}
+	}
+	for user, n := range wantLoads {
+		if svc.loads[user] != n {
+			t.Errorf("loads[%s] missing (ground truth %d)", user, n)
+		}
+	}
+	svc.loadMu.RUnlock()
+
+	// Query answers match brute-force scans over the ground truth.
+	bruteOverdue := func(now time.Time) map[string]bool {
+		out := map[string]bool{}
+		for id, f := range all {
+			if !f.it.State.Terminal() && !f.it.DueAt.IsZero() && f.it.DueAt.Before(now) {
+				out[id] = true
+			}
+		}
+		return out
+	}
+	for _, now := range []time.Time{base, base.Add(30 * time.Minute), base.Add(24 * time.Hour)} {
+		want := bruteOverdue(now)
+		got := svc.Overdue(now)
+		if len(got) != len(want) {
+			t.Errorf("Overdue(%v) = %d items, brute force %d", now, len(got), len(want))
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				t.Errorf("Overdue(%v) returned %s, not overdue", now, it.ID)
+			}
+		}
+	}
+	for state := Created; state <= Cancelled; state++ {
+		want := 0
+		for _, f := range all {
+			if f.it.State == state {
+				want++
+			}
+		}
+		if got := svc.ByState(state); len(got) != want {
+			t.Errorf("ByState(%s) = %d, brute force %d", state, len(got), want)
+		}
+	}
+}
+
+// TestIndexConsistencyRandomOps drives a long randomized op sequence
+// against an 8-stripe service and then checks every secondary index
+// against a ground-truth scan.
+func TestIndexConsistencyRandomOps(t *testing.T) {
+	users := []string{"alice", "bob", "carol", "dave", "erin"}
+	d := resource.NewDirectory()
+	for _, u := range users {
+		d.AddUser(&resource.User{ID: u, Roles: []string{"clerk"}})
+	}
+	now := base
+	svc := NewService(Config{
+		Directory: d,
+		Stripes:   8,
+		Now:       func() time.Time { return now },
+	})
+	rng := rand.New(rand.NewSource(13))
+	var ids []string
+	pick := func() string { return ids[rng.Intn(len(ids))] }
+	user := func() string { return users[rng.Intn(len(users))] }
+	for op := 0; op < 5000; op++ {
+		now = now.Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
+		if len(ids) == 0 || rng.Intn(10) < 3 {
+			spec := Spec{InstanceID: "i", ElementID: fmt.Sprintf("e%d", op), Priority: rng.Intn(5)}
+			switch rng.Intn(3) {
+			case 0:
+				spec.Assignee = user()
+			case 1:
+				spec.Role = "clerk"
+			}
+			if rng.Intn(2) == 0 {
+				spec.Due = time.Duration(1+rng.Intn(120)) * time.Minute
+			}
+			it, err := svc.Create(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, it.ID)
+			continue
+		}
+		id := pick()
+		switch rng.Intn(8) {
+		case 0:
+			svc.Claim(id, user())
+		case 1:
+			if it, err := svc.Get(id); err == nil {
+				svc.Start(id, it.Assignee)
+			}
+		case 2:
+			if it, err := svc.Get(id); err == nil {
+				svc.Complete(id, it.Assignee, nil)
+			}
+		case 3:
+			if it, err := svc.Get(id); err == nil {
+				svc.Fail(id, it.Assignee, "nope")
+			}
+		case 4:
+			svc.Skip(id, "skipped")
+		case 5:
+			svc.Cancel(id, "cancelled")
+		case 6:
+			if it, err := svc.Get(id); err == nil {
+				svc.Delegate(id, it.Assignee, user())
+			}
+		case 7:
+			if it, err := svc.Get(id); err == nil {
+				svc.Release(id, it.Assignee)
+			}
+		}
+	}
+	checkConsistency(t, svc)
+}
+
+// TestStripedConcurrent hammers an 8-stripe service with parallel
+// writers (full lifecycles, delegations, releases) and readers
+// (Worklist, OfferedItems, ByState, Overdue, Load, Stats) under
+// -race, then checks index consistency and final counts.
+func TestStripedConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		per     = 200
+	)
+	d := resource.NewDirectory()
+	for w := 0; w < workers; w++ {
+		d.AddUser(&resource.User{ID: fmt.Sprintf("w%d", w), Roles: []string{"crew"}})
+	}
+	svc := NewService(Config{Directory: d, Stripes: 8})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers poll every surface concurrently with the writers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			user := fmt.Sprintf("w%d", r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.Worklist(user)
+				svc.OfferedItems(user)
+				svc.ByState(Started)
+				svc.Overdue(time.Now())
+				svc.Load(user)
+				svc.Stats()
+			}
+		}(r)
+	}
+	errc := make(chan error, workers)
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			me := fmt.Sprintf("w%d", w)
+			peer := fmt.Sprintf("w%d", (w+1)%workers)
+			for i := 0; i < per; i++ {
+				it, err := svc.Create(Spec{
+					InstanceID: "i", ElementID: "e", Assignee: me,
+					Priority: i % 5, Due: time.Hour,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				switch i % 4 {
+				case 0: // plain lifecycle
+					_, err = svc.Start(it.ID, me)
+					if err == nil {
+						_, err = svc.Complete(it.ID, me, nil)
+					}
+				case 1: // delegate, peer completes
+					_, err = svc.Delegate(it.ID, me, peer)
+					if err == nil {
+						if _, err2 := svc.Start(it.ID, peer); err2 == nil {
+							svc.Complete(it.ID, peer, nil)
+						}
+					}
+				case 2: // cancel
+					_, err = svc.Cancel(it.ID, "test")
+				case 3: // fail
+					_, err = svc.Start(it.ID, me)
+					if err == nil {
+						_, err = svc.Fail(it.ID, me, "test")
+					}
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	checkConsistency(t, svc)
+	st := svc.Stats()
+	if st.Items != workers*per {
+		t.Errorf("Stats.Items = %d, want %d", st.Items, workers*per)
+	}
+	// Delegated items may still be open when their delegator raced the
+	// peer's completion; everything else is terminal.
+	if st.Open > workers*per/4 {
+		t.Errorf("Stats.Open = %d, too many open items", st.Open)
+	}
+	if st.Stripes != 8 || len(st.PerStripe) != 8 {
+		t.Errorf("Stats stripes = %d/%d", st.Stripes, len(st.PerStripe))
+	}
+}
+
+// TestDelegateReleaseCrossUser verifies the per-user indexes and load
+// counters move with the item on delegation and release.
+func TestDelegateReleaseCrossUser(t *testing.T) {
+	svc, _, _ := newService(t, false)
+	it, err := svc.Create(Spec{InstanceID: "i1", ElementID: "t", Role: "clerk", Due: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Claim(it.ID, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Load("alice") != 1 || len(svc.Worklist("alice")) != 1 {
+		t.Fatalf("alice queue = %d/%d", svc.Load("alice"), len(svc.Worklist("alice")))
+	}
+	// Delegate a started item: index entries move alice -> bob.
+	if _, err := svc.Start(it.ID, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	del, err := svc.Delegate(it.ID, "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.State != Allocated || del.Assignee != "bob" {
+		t.Fatalf("delegated = %+v", del)
+	}
+	if svc.Load("alice") != 0 || svc.Load("bob") != 1 {
+		t.Errorf("loads after delegate = %d/%d", svc.Load("alice"), svc.Load("bob"))
+	}
+	if len(svc.Worklist("alice")) != 0 || len(svc.Worklist("bob")) != 1 {
+		t.Errorf("worklists after delegate = %d/%d", len(svc.Worklist("alice")), len(svc.Worklist("bob")))
+	}
+	// Release from bob: the item returns to both clerks' offered
+	// lists, and bob's allocated index entry is gone.
+	rel, err := svc.Release(it.ID, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.State != Offered || len(rel.OfferedTo) != 2 {
+		t.Fatalf("released = %+v", rel)
+	}
+	if svc.Load("bob") != 0 || len(svc.Worklist("bob")) != 0 {
+		t.Errorf("bob queue after release = %d/%d", svc.Load("bob"), len(svc.Worklist("bob")))
+	}
+	if len(svc.OfferedItems("alice")) != 1 || len(svc.OfferedItems("bob")) != 1 {
+		t.Errorf("offers after release = %d/%d", len(svc.OfferedItems("alice")), len(svc.OfferedItems("bob")))
+	}
+	// Still overdue-indexed across the moves.
+	if got := svc.Overdue(base.Add(2 * time.Hour)); len(got) != 1 {
+		t.Errorf("overdue after delegate+release = %d", len(got))
+	}
+	checkConsistency(t, svc)
+}
+
+// TestClaimStarted: only the assignee may claim a started item back
+// to Allocated (a self-reset); another user's claim is rejected, so
+// in-progress work cannot be seized through Claim.
+func TestClaimStarted(t *testing.T) {
+	svc, _, _ := newService(t, false)
+	it, _ := svc.Create(Spec{InstanceID: "i1", ElementID: "t", Assignee: "alice"})
+	svc.Start(it.ID, "alice")
+	if _, err := svc.Claim(it.ID, "bob"); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("foreign claim of started item: %v", err)
+	}
+	got, err := svc.Claim(it.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assignee != "alice" || got.State != Allocated {
+		t.Fatalf("self-claim = %+v", got)
+	}
+	if svc.Load("alice") != 1 || svc.Load("bob") != 0 {
+		t.Errorf("loads = %d/%d", svc.Load("alice"), svc.Load("bob"))
+	}
+	checkConsistency(t, svc)
+}
+
+// TestPagination exercises the limit/offset variants against the
+// merged per-stripe order.
+func TestPagination(t *testing.T) {
+	svc, _, nowPtr := newService(t, false)
+	var want []string
+	for i := 0; i < 10; i++ {
+		it, err := svc.Create(Spec{
+			InstanceID: "i", ElementID: fmt.Sprintf("e%d", i),
+			Assignee: "alice", Priority: 9 - i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, it.ID) // descending priority = worklist order
+		*nowPtr = nowPtr.Add(time.Second)
+	}
+	full := svc.WorklistPage("alice", 0, -1)
+	if len(full) != 10 {
+		t.Fatalf("full page = %d", len(full))
+	}
+	for i, it := range full {
+		if it.ID != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, it.ID, want[i])
+		}
+	}
+	page := svc.WorklistPage("alice", 3, 4)
+	if len(page) != 4 || page[0].ID != want[3] || page[3].ID != want[6] {
+		t.Errorf("page(3,4) = %v", page)
+	}
+	if got := svc.WorklistPage("alice", 8, 5); len(got) != 2 {
+		t.Errorf("tail page = %d", len(got))
+	}
+	if got := svc.WorklistPage("alice", 20, 5); len(got) != 0 {
+		t.Errorf("past-end page = %d", len(got))
+	}
+	if got := svc.ByStatePage(Allocated, 0, 3); len(got) != 3 || got[0].ID != want[0] {
+		t.Errorf("ByStatePage = %v", got)
+	}
+	if got := svc.ByStatePage(Allocated, 0, 0); len(got) != 0 {
+		t.Errorf("zero limit = %d", len(got))
+	}
+}
+
+// TestAsyncNotify: the bounded async notifier delivers every
+// transition, in per-item order, by Close.
+func TestAsyncNotify(t *testing.T) {
+	d := resource.NewDirectory()
+	d.AddUser(&resource.User{ID: "alice", Roles: []string{"clerk"}})
+	svc := NewService(Config{Directory: d, Stripes: 4, AsyncNotify: true, NotifyQueue: 8})
+	var mu sync.Mutex
+	got := map[string][]State{}
+	svc.Subscribe(func(it *Item, from, to State) {
+		// A deliberately slow listener: transitions must not block on
+		// it beyond queue backpressure.
+		time.Sleep(100 * time.Microsecond)
+		mu.Lock()
+		got[it.ID] = append(got[it.ID], to)
+		mu.Unlock()
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		it, err := svc.Create(Spec{InstanceID: "i", ElementID: "e", Role: "clerk"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Claim(it.ID, "alice")
+		svc.Start(it.ID, "alice")
+		svc.Complete(it.ID, "alice", nil)
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("notified for %d items, want %d", len(got), n)
+	}
+	want := []State{Created, Offered, Allocated, Started, Completed}
+	for id, seq := range got {
+		if len(seq) != len(want) {
+			t.Fatalf("item %s transitions = %v", id, seq)
+		}
+		for i := range want {
+			if seq[i] != want[i] {
+				t.Fatalf("item %s transitions = %v, want %v", id, seq, want)
+			}
+		}
+	}
+}
+
+// TestStateRoundTrip covers ParseState against every name.
+func TestStateRoundTrip(t *testing.T) {
+	for s := Created; s <= Cancelled; s++ {
+		got, err := ParseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseState(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Error("ParseState(bogus) should fail")
+	}
+}

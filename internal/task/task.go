@@ -4,14 +4,27 @@
 // delegation, deadlines, and pluggable allocation via the resource
 // package. The engine creates an item when a user task is activated
 // and resumes the process instance from the completion callback.
+//
+// The service is a striped concurrent store: items are partitioned
+// across N stripes by FNV-1a on the item ID (the same hash family the
+// shard router and the history stripes use), each stripe guarded by
+// its own mutex and carrying its own secondary indexes — per-user
+// allocated/offered sets, a per-state set, and a due-time min-heap —
+// so claims and completions on different items proceed in parallel
+// and queries (Worklist, ByState, Overdue) read indexes instead of
+// scanning the item map. Per-user load counters live outside the item
+// stripes, so allocation policies (resource.ShortestQueuePolicy) read
+// them without touching any stripe lock.
 package task
 
 import (
+	"container/heap"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpms/internal/resource"
@@ -45,6 +58,16 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
+// ParseState resolves a lower-case state name.
+func ParseState(name string) (State, error) {
+	for i, n := range stateNames {
+		if n == name {
+			return State(i), nil
+		}
+	}
+	return 0, fmt.Errorf("task: unknown state %q", name)
+}
+
 // MarshalJSON encodes the state as its name.
 func (s State) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
@@ -56,13 +79,12 @@ func (s *State) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for i, n := range stateNames {
-		if n == name {
-			*s = State(i)
-			return nil
-		}
+	st, err := ParseState(name)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("task: unknown state %q", name)
+	*s = st
+	return nil
 }
 
 // Terminal reports whether no further transitions are allowed.
@@ -143,21 +165,91 @@ type Spec struct {
 }
 
 // Listener observes lifecycle transitions. from==to==Created for the
-// initial creation event. Listeners run synchronously under no lock.
+// initial creation event. Listeners run under no lock: on the
+// transitioning goroutine by default, or on the notifier goroutine
+// with Config.AsyncNotify.
 type Listener func(item *Item, from, to State)
+
+// notification is one queued listener dispatch.
+type notification struct {
+	item     *Item
+	from, to State
+}
+
+// dueEntry is one deadline-index record. Entries are removed lazily:
+// a surfaced entry whose item has closed is dropped instead of
+// re-pushed (mirroring timer.HeapService's lazy cancellation).
+type dueEntry struct {
+	at time.Time
+	id string
+}
+
+type dueHeap []dueEntry
+
+func (h dueHeap) Len() int { return len(h) }
+func (h dueHeap) Less(a, b int) bool {
+	if !h[a].at.Equal(h[b].at) {
+		return h[a].at.Before(h[b].at)
+	}
+	return h[a].id < h[b].id
+}
+func (h dueHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *dueHeap) Push(x any)   { *h = append(*h, x.(dueEntry)) }
+func (h *dueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// stripe is one lock-striped partition of the item store with its own
+// secondary indexes. All fields are guarded by mu.
+type stripe struct {
+	mu      sync.Mutex
+	items   map[string]*Item
+	byUser  map[string]map[string]bool       // user -> item IDs allocated/started
+	offered map[string]map[string]bool       // user -> item IDs offered
+	byState [len(stateNames)]map[string]bool // state -> item IDs
+	due     dueHeap                          // open items with deadlines
+}
+
+func newStripe() *stripe {
+	st := &stripe{
+		items:   map[string]*Item{},
+		byUser:  map[string]map[string]bool{},
+		offered: map[string]map[string]bool{},
+	}
+	for i := range st.byState {
+		st.byState[i] = map[string]bool{}
+	}
+	return st
+}
 
 // Service is the worklist manager.
 type Service struct {
-	mu        sync.Mutex
-	items     map[string]*Item
-	byUser    map[string]map[string]bool // user -> item IDs allocated/started
-	offered   map[string]map[string]bool // user -> item IDs offered
-	nextID    uint64
+	stripes []*stripe
+	nextID  atomic.Uint64
+
 	directory *resource.Directory
 	policy    resource.Policy
 	autoAlloc bool
 	now       func() time.Time
-	listeners []Listener
+
+	// listeners is copy-on-write: Subscribe (rare) copies under subMu,
+	// notify (hot) loads the pointer with no lock and no allocation.
+	subMu     sync.Mutex
+	listeners atomic.Pointer[[]Listener]
+
+	// loads counts allocated+started items per user across all
+	// stripes. It has its own (leaf) lock so Load — and through it the
+	// allocation policies — never touches an item-stripe lock.
+	loadMu sync.RWMutex
+	loads  map[string]int
+
+	notifyCh   chan notification
+	notifyDone chan struct{}
+	closed     atomic.Bool
 }
 
 // Config configures a Service.
@@ -172,6 +264,20 @@ type Config struct {
 	AutoAllocate bool
 	// Now supplies timestamps (default time.Now).
 	Now func() time.Time
+	// Stripes partitions items across this many independently locked
+	// stripes (default 1). Queries merge per-stripe results, so any
+	// stripe count answers identically; more stripes admit more
+	// concurrent claims/completions on multi-core hosts.
+	Stripes int
+	// AsyncNotify dispatches lifecycle listeners from a dedicated
+	// notifier goroutine through a bounded queue, so transitions never
+	// block on a slow subscriber (a full queue applies backpressure —
+	// events are never dropped). Callers owning an async service must
+	// Close it. Default synchronous: listeners run on the
+	// transitioning goroutine before the operation returns.
+	AsyncNotify bool
+	// NotifyQueue bounds the async notifier queue (default 1024).
+	NotifyQueue int
 }
 
 // NewService creates a worklist service.
@@ -185,55 +291,170 @@ func NewService(cfg Config) *Service {
 	if cfg.Directory == nil {
 		cfg.Directory = resource.NewDirectory()
 	}
-	return &Service{
-		items:     map[string]*Item{},
-		byUser:    map[string]map[string]bool{},
-		offered:   map[string]map[string]bool{},
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 1
+	}
+	s := &Service{
+		stripes:   make([]*stripe, cfg.Stripes),
 		directory: cfg.Directory,
 		policy:    cfg.Policy,
 		autoAlloc: cfg.AutoAllocate,
 		now:       cfg.Now,
+		loads:     map[string]int{},
 	}
+	for i := range s.stripes {
+		s.stripes[i] = newStripe()
+	}
+	if cfg.AsyncNotify {
+		if cfg.NotifyQueue <= 0 {
+			cfg.NotifyQueue = 1024
+		}
+		s.notifyCh = make(chan notification, cfg.NotifyQueue)
+		s.notifyDone = make(chan struct{})
+		go s.dispatch()
+	}
+	return s
 }
 
-// Subscribe registers a lifecycle listener.
+// stripeFor hashes an item ID to its stripe (inlined FNV-1a: the hot
+// paths must not allocate a hasher per operation).
+func (s *Service) stripeFor(id string) *stripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return s.stripes[h%uint32(len(s.stripes))]
+}
+
+// Stripes returns the stripe count.
+func (s *Service) Stripes() int { return len(s.stripes) }
+
+// Subscribe registers a lifecycle listener (copy-on-write: concurrent
+// transitions keep dispatching the previous set unblocked).
 func (s *Service) Subscribe(l Listener) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.listeners = append(s.listeners, l)
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	var old []Listener
+	if p := s.listeners.Load(); p != nil {
+		old = *p
+	}
+	next := make([]Listener, len(old)+1)
+	copy(next, old)
+	next[len(old)] = l
+	s.listeners.Store(&next)
 }
 
 func (s *Service) notify(item *Item, from, to State) {
-	// Snapshot under the lock: the sharded runtime subscribes several
-	// engines concurrently (parallel shard recovery) while transitions
-	// already flow.
-	s.mu.Lock()
-	ls := append([]Listener(nil), s.listeners...)
-	s.mu.Unlock()
-	for _, l := range ls {
+	if s.notifyCh != nil {
+		s.notifyCh <- notification{item, from, to}
+		return
+	}
+	s.deliver(item, from, to)
+}
+
+func (s *Service) deliver(item *Item, from, to State) {
+	p := s.listeners.Load()
+	if p == nil {
+		return
+	}
+	for _, l := range *p {
 		l(item, from, to)
 	}
 }
 
-// Load returns the queue length (allocated + started) of a user.
-func (s *Service) Load(userID string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byUser[userID])
+// dispatch drains the async notifier queue.
+func (s *Service) dispatch() {
+	for n := range s.notifyCh {
+		s.deliver(n.item, n.from, n.to)
+	}
+	close(s.notifyDone)
 }
 
-func (s *Service) loadLocked(userID string) int { return len(s.byUser[userID]) }
+// Close drains and stops the async notifier: every notification
+// enqueued before the call is delivered on return. A no-op for
+// synchronous services; callers must not issue operations after (or
+// concurrently with) Close.
+func (s *Service) Close() {
+	if s.notifyCh == nil || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.notifyCh)
+	<-s.notifyDone
+}
+
+// NotifyBacklog reports the queued async notifications (0 when
+// synchronous).
+func (s *Service) NotifyBacklog() int { return len(s.notifyCh) }
+
+// Load returns the queue length (allocated + started) of a user. It
+// reads the dedicated load index — no item-stripe lock is taken, so
+// allocation policies may call it from inside Create.
+func (s *Service) Load(userID string) int {
+	s.loadMu.RLock()
+	defer s.loadMu.RUnlock()
+	return s.loads[userID]
+}
+
+func (s *Service) addLoad(userID string, delta int) {
+	s.loadMu.Lock()
+	n := s.loads[userID] + delta
+	if n <= 0 {
+		delete(s.loads, userID)
+	} else {
+		s.loads[userID] = n
+	}
+	s.loadMu.Unlock()
+}
+
+// userAddLocked inserts an item into a user's allocated/started index
+// and bumps the load counter on first insertion.
+func (s *Service) userAddLocked(st *stripe, userID, itemID string) {
+	set := st.byUser[userID]
+	if set == nil {
+		set = map[string]bool{}
+		st.byUser[userID] = set
+	}
+	if !set[itemID] {
+		set[itemID] = true
+		s.addLoad(userID, 1)
+	}
+}
+
+// userRemoveLocked is the inverse of userAddLocked.
+func (s *Service) userRemoveLocked(st *stripe, userID, itemID string) {
+	set := st.byUser[userID]
+	if set != nil && set[itemID] {
+		delete(set, itemID)
+		if len(set) == 0 {
+			delete(st.byUser, userID)
+		}
+		s.addLoad(userID, -1)
+	}
+}
+
+// setStateLocked moves an item between per-state index sets.
+func (st *stripe) setStateLocked(it *Item, to State) {
+	delete(st.byState[it.State], it.ID)
+	it.State = to
+	st.byState[to][it.ID] = true
+}
 
 // Create registers a new work item and routes it: direct assignees are
 // allocated immediately; role-routed items are offered to the role's
 // members (or auto-allocated when configured); unrouted items stay
 // Created for explicit allocation.
 func (s *Service) Create(spec Spec) (*Item, error) {
-	s.mu.Lock()
-	s.nextID++
+	id := fmt.Sprintf("wi-%d", s.nextID.Add(1))
+	st := s.stripeFor(id)
+	st.mu.Lock()
 	now := s.now()
 	it := &Item{
-		ID:         fmt.Sprintf("wi-%d", s.nextID),
+		ID:         id,
 		ProcessID:  spec.ProcessID,
 		InstanceID: spec.InstanceID,
 		ElementID:  spec.ElementID,
@@ -247,36 +468,39 @@ func (s *Service) Create(spec Spec) (*Item, error) {
 	}
 	if spec.Due > 0 {
 		it.DueAt = now.Add(spec.Due)
+		heap.Push(&st.due, dueEntry{at: it.DueAt, id: id})
 	}
-	s.items[it.ID] = it
-	created := it.clone()
+	st.items[id] = it
+	st.byState[Created][id] = true
 
-	var events []func()
-	events = append(events, func() { s.notify(created, Created, Created) })
-
+	events := []notification{{it.clone(), Created, Created}}
 	switch {
 	case spec.Assignee != "":
-		s.allocateLocked(it, spec.Assignee, &events)
+		s.allocateLocked(st, it, spec.Assignee, &events)
 	case spec.Role != "":
-		candidates := s.candidatesLocked(it)
+		candidates := s.candidates(it)
 		if s.autoAlloc {
-			if u := s.policy.Pick(candidates, s.loadLocked); u != nil {
-				s.allocateLocked(it, u.ID, &events)
+			// Load reads the dedicated counters, not the stripe locks,
+			// so the policy runs safely inside this critical section.
+			if u := s.policy.Pick(candidates, s.Load); u != nil {
+				s.allocateLocked(st, it, u.ID, &events)
 			} else {
-				s.offerLocked(it, candidates, &events)
+				s.offerLocked(st, it, candidates, &events)
 			}
 		} else {
-			s.offerLocked(it, candidates, &events)
+			s.offerLocked(st, it, candidates, &events)
 		}
 	}
-	s.mu.Unlock()
-	for _, fn := range events {
-		fn()
+	st.mu.Unlock()
+	for _, n := range events {
+		s.notify(n.item, n.from, n.to)
 	}
-	return s.Get(it.ID)
+	return s.Get(id)
 }
 
-func (s *Service) candidatesLocked(it *Item) []*resource.User {
+// candidates resolves an item's role members, capability-filtered. The
+// directory has its own lock; no stripe lock is required.
+func (s *Service) candidates(it *Item) []*resource.User {
 	users := s.directory.UsersInRole(it.Role)
 	if it.Capability == "" {
 		return users
@@ -290,112 +514,116 @@ func (s *Service) candidatesLocked(it *Item) []*resource.User {
 	return out
 }
 
-func (s *Service) offerLocked(it *Item, candidates []*resource.User, events *[]func()) {
+func (s *Service) offerLocked(st *stripe, it *Item, candidates []*resource.User, events *[]notification) {
 	from := it.State
-	it.State = Offered
+	st.setStateLocked(it, Offered)
 	it.OfferedTo = it.OfferedTo[:0]
 	for _, u := range candidates {
 		it.OfferedTo = append(it.OfferedTo, u.ID)
-		if s.offered[u.ID] == nil {
-			s.offered[u.ID] = map[string]bool{}
+		if st.offered[u.ID] == nil {
+			st.offered[u.ID] = map[string]bool{}
 		}
-		s.offered[u.ID][it.ID] = true
+		st.offered[u.ID][it.ID] = true
 	}
-	snap := it.clone()
-	*events = append(*events, func() { s.notify(snap, from, Offered) })
+	*events = append(*events, notification{it.clone(), from, Offered})
 }
 
-func (s *Service) allocateLocked(it *Item, userID string, events *[]func()) {
+func (s *Service) allocateLocked(st *stripe, it *Item, userID string, events *[]notification) {
 	from := it.State
-	s.clearOffersLocked(it)
-	it.State = Allocated
+	clearOffersLocked(st, it)
+	st.setStateLocked(it, Allocated)
 	it.Assignee = userID
 	it.AllocatedAt = s.now()
-	if s.byUser[userID] == nil {
-		s.byUser[userID] = map[string]bool{}
-	}
-	s.byUser[userID][it.ID] = true
-	snap := it.clone()
-	*events = append(*events, func() { s.notify(snap, from, Allocated) })
+	s.userAddLocked(st, userID, it.ID)
+	*events = append(*events, notification{it.clone(), from, Allocated})
 }
 
-func (s *Service) clearOffersLocked(it *Item) {
+func clearOffersLocked(st *stripe, it *Item) {
 	for _, uid := range it.OfferedTo {
-		delete(s.offered[uid], it.ID)
+		if set := st.offered[uid]; set != nil {
+			delete(set, it.ID)
+			if len(set) == 0 {
+				delete(st.offered, uid)
+			}
+		}
 	}
 	it.OfferedTo = nil
 }
 
 // Get returns a copy of the work item.
 func (s *Service) Get(id string) (*Item, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return it.clone(), nil
 }
 
-// transition applies a guarded state change under the lock and then
-// notifies listeners.
+// transition applies a guarded state change under the item's stripe
+// lock and then notifies listeners.
 func (s *Service) transition(id string, to State, mutate func(*Item) error) (*Item, error) {
-	s.mu.Lock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	it, ok := st.items[id]
 	if !ok {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	from := it.State
 	if !canTransition(from, to) {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s -> %s (item %s)", ErrBadTransition, from, to, id)
 	}
+	prevAssignee := it.Assignee
 	if mutate != nil {
 		if err := mutate(it); err != nil {
-			s.mu.Unlock()
+			st.mu.Unlock()
 			return nil, err
 		}
 	}
-	// Bookkeeping common to every transition.
+	// Bookkeeping common to every transition. (The Allocated→Offered
+	// reoffer path lives in Release, which owns its index moves and
+	// the offer rebuild in one critical section.)
 	switch to {
 	case Allocated:
-		s.clearOffersLocked(it)
+		clearOffersLocked(st, it)
+		// A mutate hook may have changed the assignee: migrate the
+		// per-user index with it so the item never sits on two queues.
+		if prevAssignee != "" && prevAssignee != it.Assignee {
+			s.userRemoveLocked(st, prevAssignee, it.ID)
+		}
 		if it.Assignee != "" {
-			if s.byUser[it.Assignee] == nil {
-				s.byUser[it.Assignee] = map[string]bool{}
-			}
-			s.byUser[it.Assignee][it.ID] = true
+			s.userAddLocked(st, it.Assignee, it.ID)
 		}
 		it.AllocatedAt = s.now()
 	case Started:
 		it.StartedAt = s.now()
-	case Offered:
-		// Reoffer (e.g. release): drop from owner queue.
-		if it.Assignee != "" {
-			delete(s.byUser[it.Assignee], it.ID)
-			it.Assignee = ""
-		}
 	}
 	if to.Terminal() {
-		s.clearOffersLocked(it)
+		clearOffersLocked(st, it)
 		if it.Assignee != "" {
-			delete(s.byUser[it.Assignee], it.ID)
+			s.userRemoveLocked(st, it.Assignee, it.ID)
 		}
 		it.ClosedAt = s.now()
 	}
-	it.State = to
+	st.setStateLocked(it, to)
 	snap := it.clone()
-	s.mu.Unlock()
+	st.mu.Unlock()
 	s.notify(snap, from, to)
 	return snap, nil
 }
 
 // Claim allocates an offered (or created) item to user. Offered items
-// may only be claimed by a user they were offered to.
+// may only be claimed by a user they were offered to, and a started
+// item only by its own assignee (returning it to Allocated) — no user
+// can seize another's in-progress work through Claim.
 func (s *Service) Claim(id, userID string) (*Item, error) {
 	return s.transition(id, Allocated, func(it *Item) error {
-		if it.State == Offered {
+		switch it.State {
+		case Offered:
 			ok := false
 			for _, uid := range it.OfferedTo {
 				if uid == userID {
@@ -404,6 +632,10 @@ func (s *Service) Claim(id, userID string) (*Item, error) {
 			}
 			if !ok {
 				return fmt.Errorf("%w: %s not offered %s", ErrNotAuthorized, userID, id)
+			}
+		case Started:
+			if it.Assignee != userID {
+				return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
 			}
 		}
 		it.Assignee = userID
@@ -462,120 +694,315 @@ func (s *Service) Cancel(id, reason string) (*Item, error) {
 
 // Delegate moves an allocated item from its assignee to another user.
 func (s *Service) Delegate(id, fromUser, toUser string) (*Item, error) {
-	s.mu.Lock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	it, ok := st.items[id]
 	if !ok {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if it.State != Allocated && it.State != Started {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("%w: delegate from %s", ErrBadTransition, it.State)
 	}
 	if it.Assignee != fromUser {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, fromUser, id)
 	}
 	from := it.State
-	delete(s.byUser[fromUser], it.ID)
+	s.userRemoveLocked(st, fromUser, it.ID)
 	it.Assignee = toUser
-	if s.byUser[toUser] == nil {
-		s.byUser[toUser] = map[string]bool{}
-	}
-	s.byUser[toUser][it.ID] = true
+	s.userAddLocked(st, toUser, it.ID)
 	// Delegation returns a started item to Allocated for the new owner.
-	it.State = Allocated
+	st.setStateLocked(it, Allocated)
 	it.AllocatedAt = s.now()
 	snap := it.clone()
-	s.mu.Unlock()
+	st.mu.Unlock()
 	s.notify(snap, from, Allocated)
 	return snap, nil
 }
 
 // Release returns an allocated item to the offered state so another
-// role member can claim it.
+// role member can claim it. The worklist index, offered index, and
+// state change apply in one critical section.
 func (s *Service) Release(id, userID string) (*Item, error) {
-	it, err := s.transition(id, Offered, func(it *Item) error {
-		if it.Assignee != userID {
-			return fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	it, ok := st.items[id]
+	if !ok {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	// Rebuild offers for the role.
-	s.mu.Lock()
-	stored := s.items[id]
-	var events []func()
-	s.offerLocked(stored, s.candidatesLocked(stored), &events)
-	stored.State = Offered
-	s.mu.Unlock()
-	return it, nil
+	if !canTransition(it.State, Offered) {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s (item %s)", ErrBadTransition, it.State, Offered, id)
+	}
+	if it.Assignee != userID {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is not the assignee of %s", ErrNotAuthorized, userID, id)
+	}
+	s.userRemoveLocked(st, it.Assignee, it.ID)
+	it.Assignee = ""
+	var events []notification
+	s.offerLocked(st, it, s.candidates(it), &events)
+	snap := it.clone()
+	st.mu.Unlock()
+	for _, n := range events {
+		s.notify(n.item, n.from, n.to)
+	}
+	return snap, nil
+}
+
+// collectLocked clones and sorts the items behind an index set. With
+// max >= 0 only the first max items (in worklist order) are cloned —
+// the tail a paginated query would discard is never copied.
+func (st *stripe) collectLocked(ids map[string]bool, max int) []*Item {
+	if len(ids) == 0 {
+		return nil
+	}
+	live := make([]*Item, 0, len(ids))
+	for id := range ids {
+		live = append(live, st.items[id])
+	}
+	sortItems(live)
+	if max >= 0 && len(live) > max {
+		live = live[:max]
+	}
+	out := make([]*Item, len(live))
+	for i, it := range live {
+		out[i] = it.clone()
+	}
+	return out
+}
+
+// collect gathers one sorted, cloned slice per stripe for an index
+// selected by pick.
+func (s *Service) collect(pick func(st *stripe) map[string]bool, max int) [][]*Item {
+	lists := make([][]*Item, 0, len(s.stripes))
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		l := st.collectLocked(pick(st), max)
+		st.mu.Unlock()
+		if len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	return lists
 }
 
 // Worklist returns the items allocated to or started by user, sorted
 // by priority (desc) then creation time.
 func (s *Service) Worklist(userID string) []*Item {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []*Item
-	for id := range s.byUser[userID] {
-		out = append(out, s.items[id].clone())
-	}
-	sortItems(out)
-	return out
+	return s.WorklistPage(userID, 0, -1)
+}
+
+// WorklistPage is Worklist with pagination (limit < 0 = no limit).
+func (s *Service) WorklistPage(userID string, offset, limit int) []*Item {
+	max := pageMax(offset, limit)
+	return mergeSorted(s.collect(func(st *stripe) map[string]bool { return st.byUser[userID] }, max), offset, limit)
 }
 
 // OfferedItems returns the items offered to user.
 func (s *Service) OfferedItems(userID string) []*Item {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []*Item
-	for id := range s.offered[userID] {
-		out = append(out, s.items[id].clone())
-	}
-	sortItems(out)
-	return out
+	return s.OfferedPage(userID, 0, -1)
 }
 
-// ByState returns copies of all items in the given state.
+// OfferedPage is OfferedItems with pagination (limit < 0 = no limit).
+func (s *Service) OfferedPage(userID string, offset, limit int) []*Item {
+	max := pageMax(offset, limit)
+	return mergeSorted(s.collect(func(st *stripe) map[string]bool { return st.offered[userID] }, max), offset, limit)
+}
+
+// ByState returns copies of all items in the given state, read from
+// the per-state index (O(answer), not O(items ever created)).
 func (s *Service) ByState(state State) []*Item {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []*Item
-	for _, it := range s.items {
-		if it.State == state {
-			out = append(out, it.clone())
-		}
+	return s.ByStatePage(state, 0, -1)
+}
+
+// ByStatePage is ByState with pagination (limit < 0 = no limit).
+func (s *Service) ByStatePage(state State, offset, limit int) []*Item {
+	if int(state) >= len(stateNames) {
+		return nil
 	}
-	sortItems(out)
-	return out
+	max := pageMax(offset, limit)
+	return mergeSorted(s.collect(func(st *stripe) map[string]bool { return st.byState[state] }, max), offset, limit)
 }
 
 // Overdue returns open items whose deadline has passed at the given
-// time.
+// time. Each stripe consults its due-time min-heap: entries are
+// popped while due, stale ones (closed items) dropped, live ones
+// collected and re-pushed — O(overdue · log pending) per call instead
+// of a scan over every item ever created.
 func (s *Service) Overdue(now time.Time) []*Item {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*Item
-	for _, it := range s.items {
-		if !it.State.Terminal() && !it.DueAt.IsZero() && it.DueAt.Before(now) {
-			out = append(out, it.clone())
-		}
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		out = append(out, st.overdueLocked(now)...)
+		st.mu.Unlock()
 	}
 	sortItems(out)
 	return out
 }
 
+func (st *stripe) overdueLocked(now time.Time) []*Item {
+	var out []*Item
+	var keep []dueEntry
+	for len(st.due) > 0 {
+		top := st.due[0]
+		if !top.at.Before(now) {
+			break
+		}
+		heap.Pop(&st.due)
+		it, ok := st.items[top.id]
+		if !ok || it.State.Terminal() || !it.DueAt.Equal(top.at) {
+			continue // stale: closed (lazy removal) or superseded entry
+		}
+		out = append(out, it.clone())
+		keep = append(keep, top)
+	}
+	for _, e := range keep {
+		heap.Push(&st.due, e)
+	}
+	return out
+}
+
+// pageMax converts offset/limit into the per-stripe clone bound.
+func pageMax(offset, limit int) int {
+	if limit < 0 {
+		return -1
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	return offset + limit
+}
+
+func itemLess(a, b *Item) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.Before(b.CreatedAt)
+	}
+	return a.ID < b.ID
+}
+
 func sortItems(items []*Item) {
-	sort.Slice(items, func(a, b int) bool {
-		if items[a].Priority != items[b].Priority {
-			return items[a].Priority > items[b].Priority
+	sort.Slice(items, func(a, b int) bool { return itemLess(items[a], items[b]) })
+}
+
+// mergeSorted k-way-merges per-stripe pre-sorted slices, stopping at
+// offset+limit and slicing off the first offset items (limit < 0 =
+// everything). The stripe count is small, so a linear min scan beats
+// a heap here.
+func mergeSorted(lists [][]*Item, offset, limit int) []*Item {
+	if offset < 0 {
+		offset = 0
+	}
+	if len(lists) == 1 {
+		l := lists[0]
+		if offset >= len(l) {
+			return nil
 		}
-		if !items[a].CreatedAt.Equal(items[b].CreatedAt) {
-			return items[a].CreatedAt.Before(items[b].CreatedAt)
+		l = l[offset:]
+		if limit >= 0 && len(l) > limit {
+			l = l[:limit]
 		}
-		return items[a].ID < items[b].ID
-	})
+		return l
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 || offset >= total {
+		return nil
+	}
+	want := total
+	if limit >= 0 && offset+limit < want {
+		want = offset + limit
+	}
+	idx := make([]int, len(lists))
+	out := make([]*Item, 0, want)
+	for len(out) < want {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || itemLess(l[idx[i]], lists[best][idx[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	if offset >= len(out) {
+		return nil
+	}
+	return out[offset:]
+}
+
+// StripeStat reports one stripe's load.
+type StripeStat struct {
+	// Items is the number of items (any state) on the stripe.
+	Items int `json:"items"`
+	// Open is the number of non-terminal items on the stripe.
+	Open int `json:"open"`
+	// Due is the stripe's deadline-index size (may include entries for
+	// closed items pending lazy removal).
+	Due int `json:"due"`
+}
+
+// Stats reports the worklist's shape and load for monitoring.
+type Stats struct {
+	// Stripes is the stripe count.
+	Stripes int `json:"stripes"`
+	// Items is the total number of items tracked.
+	Items int `json:"items"`
+	// Open is the number of non-terminal items.
+	Open int `json:"open"`
+	// ByState counts items per lifecycle state.
+	ByState map[string]int `json:"byState"`
+	// Users is the number of users with a non-empty queue.
+	Users int `json:"users"`
+	// NotifyBacklog is the queued async notifications (0 when
+	// synchronous).
+	NotifyBacklog int `json:"notifyBacklog"`
+	// PerStripe is the per-stripe breakdown.
+	PerStripe []StripeStat `json:"perStripe"`
+}
+
+// Stats snapshots the service. Stripes are read one at a time, so a
+// monitoring poll never blocks the whole worklist.
+func (s *Service) Stats() Stats {
+	out := Stats{
+		Stripes:       len(s.stripes),
+		ByState:       map[string]int{},
+		NotifyBacklog: s.NotifyBacklog(),
+		PerStripe:     make([]StripeStat, len(s.stripes)),
+	}
+	for i, st := range s.stripes {
+		st.mu.Lock()
+		ss := StripeStat{Items: len(st.items), Due: len(st.due)}
+		for state, set := range st.byState {
+			if len(set) == 0 {
+				continue
+			}
+			out.ByState[State(state).String()] += len(set)
+			if !State(state).Terminal() {
+				ss.Open += len(set)
+			}
+		}
+		st.mu.Unlock()
+		out.Items += ss.Items
+		out.Open += ss.Open
+		out.PerStripe[i] = ss
+	}
+	s.loadMu.RLock()
+	out.Users = len(s.loads)
+	s.loadMu.RUnlock()
+	return out
 }

@@ -11,13 +11,15 @@
 #  4. restart on the same data dir and assert all N instances are
 #     recovered and active (with SHARDS > 1 this exercises the
 #     parallel per-shard recovery path and the instance-hash routing),
-#     and that the history journal recovered alongside the engine
-#     journal: each instance's audit trail replays with its
-#     instance.started event in first position
+#     that the history journal recovered alongside the engine
+#     journal (each instance's audit trail replays with its
+#     instance.started event in first position), and that the N
+#     reissued work items landed back in the (striped) worklist —
+#     offered to the clerk role's user
 #  5. SIGTERM the second daemon and check the graceful-shutdown path
 #
-# SHARDS=4 N=16 HIST_STRIPES=2 ./scripts/crash-recovery.sh runs the
-# sharded + striped variant.
+# SHARDS=4 N=16 HIST_STRIPES=2 WORKLIST_STRIPES=4
+# ./scripts/crash-recovery.sh runs the sharded + striped variant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +27,7 @@ ADDR="${ADDR:-127.0.0.1:18080}"
 N="${N:-5}"
 SHARDS="${SHARDS:-1}"
 HIST_STRIPES="${HIST_STRIPES:-1}"
+WORKLIST_STRIPES="${WORKLIST_STRIPES:-1}"
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
 LOG="$BIN/bpmsd.log"
@@ -48,8 +51,8 @@ wait_ready() {
   return 1
 }
 
-echo "== start bpmsd (-sync batch, $SHARDS shard(s), $HIST_STRIPES history stripe(s)) on $DATA"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
+echo "== start bpmsd (-sync batch, $SHARDS shard(s), $HIST_STRIPES history stripe(s), $WORKLIST_STRIPES worklist stripe(s)) on $DATA"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -70,7 +73,7 @@ kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 
 echo "== restart on the same data dir"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -89,6 +92,27 @@ if [ "$active" -ne "$N" ]; then
   exit 1
 fi
 echo "OK: all $N acked instances recovered and active after SIGKILL"
+
+# Worklist recovery: every recovered instance re-issues its parked
+# work item into the (striped) in-memory worklist, offered to alice
+# (the clerk). The striped variant routes the items across
+# WORKLIST_STRIPES stripes and must still answer per-user queries
+# identically.
+reissued=$(ctl tasks alice | grep -o '"id": *"wi-[0-9]*"' | sort -u | wc -l)
+if [ "$reissued" -ne "$N" ]; then
+  echo "FAIL: $reissued of $N reissued work items on alice's worklist" >&2
+  ctl tasks alice >&2 || true
+  exit 1
+fi
+# The worklist block sorts after the history block in the stats JSON,
+# so the last "stripes" key is the worklist's.
+wl_stripes=$(ctl stats | grep -o '"stripes": *[0-9]*' | tail -1 | grep -o '[0-9]*$' || echo 0)
+if [ "$wl_stripes" -ne "$WORKLIST_STRIPES" ]; then
+  echo "FAIL: stats report $wl_stripes worklist stripes, want $WORKLIST_STRIPES" >&2
+  ctl stats >&2 || true
+  exit 1
+fi
+echo "OK: $reissued reissued work item(s) across $wl_stripes worklist stripe(s)"
 
 # History-journal recovery: every instance's audit trail must replay
 # from the striped history journals, ordered per instance (the
