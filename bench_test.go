@@ -706,6 +706,113 @@ func BenchmarkF5_Recovery(b *testing.B) {
 	}
 }
 
+// T16: storage lifecycle — cold start from snapshot + journal suffix,
+// seed path (single-blob snapshot, serial replay) vs the streaming
+// chunked snapshot decoded by parallel workers, and the snapshot write
+// itself (blob marshals the whole image; streaming appends one bounded
+// record per definition/instance).
+
+func buildT16BenchFixture(b *testing.B, dir string, blob bool) {
+	b.Helper()
+	j, err := storage.OpenFileJournal(dir+"/state", storage.Options{SegmentSize: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn, err := storage.OpenSnapshotStore(dir+"/snapshots", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Journal: j, Snapshots: sn, BlobSnapshots: blob})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) { return nil, nil })
+	if err := e.Deploy(model.Sequence(3)); err != nil {
+		b.Fatal(err)
+	}
+	const inSnapshot, suffix = 2000, 500
+	for i := 0; i < inSnapshot; i++ {
+		if _, err := e.StartInstance("seq-3", map[string]any{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < suffix; i++ {
+		if _, err := e.StartInstance("seq-3", map[string]any{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+}
+
+func benchT16ColdStart(b *testing.B, blob bool, workers int) {
+	dir := b.TempDir()
+	buildT16BenchFixture(b, dir, blob)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := storage.OpenFileJournal(dir+"/state", storage.Options{SegmentSize: 64 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sn, err := storage.OpenSnapshotStore(dir+"/snapshots", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(engine.Config{
+			Journal: j, Snapshots: sn, RecoveryWorkers: workers, BlobSnapshots: blob,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(e.Instances()); got != 2500 {
+			b.Fatalf("recovered %d", got)
+		}
+		j.Close()
+	}
+}
+
+func BenchmarkT16_ColdStartBlobSerial(b *testing.B)        { benchT16ColdStart(b, true, 1) }
+func BenchmarkT16_ColdStartStreamingParallel(b *testing.B) { benchT16ColdStart(b, false, 0) }
+
+func benchT16Snapshot(b *testing.B, blob bool) {
+	dir := b.TempDir()
+	j, err := storage.OpenFileJournal(dir+"/state", storage.Options{SegmentSize: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	sn, err := storage.OpenSnapshotStore(dir+"/snapshots", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Journal: j, Snapshots: sn, BlobSnapshots: blob})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RegisterHandler(model.NoopHandler, func(engine.TaskContext) (map[string]expr.Value, error) { return nil, nil })
+	if err := e.Deploy(model.Sequence(3)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := e.StartInstance("seq-3", map[string]any{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT16_SnapshotBlob(b *testing.B)      { benchT16Snapshot(b, true) }
+func BenchmarkT16_SnapshotStreaming(b *testing.B) { benchT16Snapshot(b, false) }
+
 // T8: end-to-end simulated loan process (100 cases per iteration).
 
 func BenchmarkT8_LoanSimulation(b *testing.B) {

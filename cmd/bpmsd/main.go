@@ -62,6 +62,10 @@ func main() {
 	syncEvery := flag.Int("sync-every", 256, "appends between fsyncs (every policy)")
 	syncInterval := flag.Duration("sync-interval", 2*time.Millisecond, "max delay before batched appends are fsynced (batch policy)")
 	snapshotEvery := flag.Int("snapshot-every", 1000, "journal appends between snapshots (0 = never)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "wall-clock snapshot cadence for shards whose journal advanced (0 = append-count trigger only)")
+	segmentSize := flag.Int64("wal-segment-size", 0, "max bytes per WAL segment file before rollover (0 = default 4MiB)")
+	recoveryWorkers := flag.Int("recovery-workers", 0, "decode workers per shard for snapshot load and parallel segment replay (0 = GOMAXPROCS, 1 = serial)")
+	timerStripes := flag.Int("timer-stripes", 0, "independently locked timing-wheel stripes (0 = default 8, 1 = single wheel)")
 	historyStripes := flag.Int("history-stripes", 1, "history store stripes, each with its own journal and commit pipeline (data dirs must be reopened with the stripe count they were created with)")
 	historyWindow := flag.Int("history-window", 100000, "audit events each history stripe keeps resident in RAM (0 = unbounded; older events are served from the journal)")
 	worklistStripes := flag.Int("worklist-stripes", 1, "worklist lock stripes, each with its own item map and secondary indexes (in-memory; any value reopens any data dir)")
@@ -94,15 +98,19 @@ func main() {
 		SyncInterval:    *syncEvery,
 		BatchMaxDelay:   *syncInterval,
 		Durable:         *durable && policy != bpms.SyncNever,
+		SegmentSize:     *segmentSize,
+		RecoveryWorkers: *recoveryWorkers,
 		HistoryStripes:  *historyStripes,
 		HistoryWindow:   *historyWindow,
 		WorklistStripes: *worklistStripes,
+		TimerStripes:    *timerStripes,
 		AutoAllocate:    *autoAllocate,
 		RunTimers:       true,
 		Users:           users,
 	}
 	if *data != "" {
 		opts.SnapshotEvery = *snapshotEvery
+		opts.SnapshotInterval = *snapshotInterval
 	}
 	sys, err := bpms.Open(opts)
 	if err != nil {
@@ -125,6 +133,12 @@ func main() {
 	}
 	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered across %d shard(s), %d user(s)\n",
 		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Engine.Shards(), sys.Directory.Count())
+	if *data != "" {
+		for _, st := range sys.ShardStats() {
+			fmt.Printf("bpmsd: shard %d replayed in %.3fs (%d instance(s), journal index %d, %d byte(s) on disk)\n",
+				st.Shard, st.RecoverySeconds, st.Instances, st.JournalLast, st.DiskBytes)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -101,6 +101,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T11ShardScaling(scale) },
 		func() *Table { return T12AuditPipeline(scale) },
 		func() *Table { return T13Worklist(scale) },
+		func() *Table { return T16StorageLifecycle(scale) },
 	}
 }
 
@@ -125,6 +126,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T11": func() *Table { return T11ShardScaling(scale) },
 		"T12": func() *Table { return T12AuditPipeline(scale) },
 		"T13": func() *Table { return T13Worklist(scale) },
+		"T16": func() *Table { return T16StorageLifecycle(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"bpms/internal/history"
@@ -52,6 +53,20 @@ type Options struct {
 	// SnapshotEvery writes a state snapshot after this many journal
 	// appends (0 disables snapshots; requires DataDir).
 	SnapshotEvery int
+	// SnapshotInterval snapshots every shard whose journal advanced on
+	// a wall-clock cadence, complementing the append-count trigger:
+	// a shard trickling writes still gets its replay prefix bounded
+	// (0 disables the scheduler; requires DataDir).
+	SnapshotInterval time.Duration
+	// SegmentSize caps each WAL segment file before rollover (default
+	// 4MiB). Smaller segments tighten snapshot truncation granularity
+	// and widen parallel replay; the crash-recovery gate uses tiny
+	// segments to observe both.
+	SegmentSize int64
+	// RecoveryWorkers bounds each shard's recovery decode pool for
+	// streaming-snapshot decode and parallel segment replay
+	// (0 = GOMAXPROCS, 1 = serial).
+	RecoveryWorkers int
 	// HistoryStripes partitions the audit/history store into this many
 	// stripes (default 1), each with its own journal, committer, and
 	// locks; events hash by instance ID. With a DataDir and more than
@@ -80,6 +95,11 @@ type Options struct {
 	Clock timer.Clock
 	// TimerTick is the timing-wheel granularity (default 10ms).
 	TimerTick time.Duration
+	// TimerStripes shards the timing wheel across this many
+	// independently locked wheels (default 8; 1 restores the single
+	// global wheel). Timer IDs map to stripes by the same modulo
+	// placement family the other striped subsystems use.
+	TimerStripes int
 	// RunTimers starts a background runner driving the timer wheel
 	// from the clock (disable when driving time manually).
 	RunTimers bool
@@ -104,9 +124,12 @@ type BPMS struct {
 	// Timers is the deadline service.
 	Timers timer.Service
 
-	clock  timer.Clock
-	runner *timer.Runner
-	state  []storage.Journal // one per shard
+	clock    timer.Clock
+	runner   *timer.Runner
+	state    []storage.Journal // one per shard
+	dirs     []string          // per-shard data dirs (empty in memory)
+	snapStop chan struct{}     // stops the time-based snapshot scheduler
+	snapWG   sync.WaitGroup
 }
 
 // shardDir returns the on-disk home of one shard's state. A single
@@ -237,6 +260,7 @@ func Open(opts Options) (*BPMS, error) {
 			return nil, err
 		}
 		jopts := storage.Options{
+			SegmentSize:     opts.SegmentSize,
 			Policy:          opts.SyncPolicy,
 			SyncInterval:    opts.SyncInterval,
 			BatchMaxDelay:   opts.BatchMaxDelay,
@@ -303,20 +327,32 @@ func Open(opts Options) (*BPMS, error) {
 		Now:          opts.Clock.Now,
 		Stripes:      opts.WorklistStripes,
 	})
-	wheel := timer.NewWheelService(opts.TimerTick, 512)
+	var wheel timer.Service
+	if opts.TimerStripes == 1 {
+		wheel = timer.NewWheelService(opts.TimerTick, 512)
+	} else {
+		wheel = timer.NewStripedWheel(opts.TimerStripes, opts.TimerTick, 512)
+	}
 	router, err := shard.New(shard.Config{
-		Journals:      stateJournals,
-		Snapshots:     snaps,
-		SnapshotEvery: opts.SnapshotEvery,
-		Durable:       opts.Durable,
-		Tasks:         tasks,
-		Timers:        wheel,
-		Clock:         opts.Clock,
-		History:       hist,
+		Journals:        stateJournals,
+		Snapshots:       snaps,
+		SnapshotEvery:   opts.SnapshotEvery,
+		RecoveryWorkers: opts.RecoveryWorkers,
+		Durable:         opts.Durable,
+		Tasks:           tasks,
+		Timers:          wheel,
+		Clock:           opts.Clock,
+		History:         hist,
 	})
 	if err != nil {
 		closeAll()
 		return nil, err
+	}
+	shardDirs := make([]string, 0, shards)
+	if opts.DataDir != "" {
+		for i := 0; i < shards; i++ {
+			shardDirs = append(shardDirs, shardDir(opts.DataDir, shards, i))
+		}
 	}
 	b := &BPMS{
 		Engine:    router,
@@ -326,10 +362,30 @@ func Open(opts Options) (*BPMS, error) {
 		Timers:    wheel,
 		clock:     opts.Clock,
 		state:     stateJournals,
+		dirs:      shardDirs,
 	}
 	if opts.RunTimers {
 		b.runner = timer.NewRunner(wheel, opts.Clock, opts.TimerTick)
 		b.runner.Start()
+	}
+	if opts.SnapshotInterval > 0 && opts.DataDir != "" {
+		b.snapStop = make(chan struct{})
+		b.snapWG.Add(1)
+		go func() {
+			defer b.snapWG.Done()
+			t := time.NewTicker(opts.SnapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-b.snapStop:
+					return
+				case <-t.C:
+					// Shards whose journal is idle or already
+					// snapshotting skip the tick.
+					b.Engine.TrySnapshot()
+				}
+			}
+		}()
 	}
 	return b, nil
 }
@@ -340,6 +396,11 @@ func Open(opts Options) (*BPMS, error) {
 // batches: every acknowledged append is on stable storage when Close
 // returns.
 func (b *BPMS) Close() error {
+	if b.snapStop != nil {
+		close(b.snapStop)
+		b.snapWG.Wait()
+		b.snapStop = nil
+	}
 	if b.runner != nil {
 		b.runner.Stop()
 	}
@@ -383,7 +444,8 @@ func (b *BPMS) JournalIndexes() (last, synced uint64) {
 	return last, synced
 }
 
-// ShardStat describes one shard's load plus its journal position.
+// ShardStat describes one shard's load plus its journal position,
+// boot-time recovery cost, and on-disk footprint.
 type ShardStat struct {
 	// Shard is the shard index.
 	Shard int `json:"shard"`
@@ -393,18 +455,45 @@ type ShardStat struct {
 	JournalLast uint64 `json:"journalLast"`
 	// JournalSynced is the shard WAL's last durably synced index.
 	JournalSynced uint64 `json:"journalSynced"`
+	// RecoverySeconds is how long this shard's boot-time recovery
+	// (snapshot load + journal replay) took; 0 when it started fresh.
+	RecoverySeconds float64 `json:"recoverySeconds"`
+	// DiskBytes is the shard's on-disk footprint (WAL segments plus
+	// snapshots); 0 when running in memory.
+	DiskBytes int64 `json:"diskBytes"`
 }
 
-// ShardStats reports per-shard instance counts and journal positions.
+// dirSize sums the sizes of all regular files under root (0 when the
+// directory does not exist).
+func dirSize(root string) int64 {
+	var n int64
+	_ = filepath.WalkDir(root, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}
+
+// ShardStats reports per-shard instance counts, journal positions,
+// recovery durations, and on-disk footprints.
 func (b *BPMS) ShardStats() []ShardStat {
 	stats := b.Engine.Stats()
 	out := make([]ShardStat, len(stats))
 	for i, s := range stats {
 		out[i] = ShardStat{
-			Shard:         s.Shard,
-			Instances:     s.Instances,
-			JournalLast:   b.state[i].LastIndex(),
-			JournalSynced: b.state[i].SyncedIndex(),
+			Shard:           s.Shard,
+			Instances:       s.Instances,
+			JournalLast:     b.state[i].LastIndex(),
+			JournalSynced:   b.state[i].SyncedIndex(),
+			RecoverySeconds: b.Engine.RecoveryDuration(i).Seconds(),
+		}
+		if i < len(b.dirs) {
+			out[i].DiskBytes = dirSize(b.dirs[i])
 		}
 	}
 	return out

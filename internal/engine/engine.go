@@ -68,6 +68,15 @@ type Config struct {
 	// SnapshotEvery writes a snapshot after this many journal appends
 	// (0 = never).
 	SnapshotEvery int
+	// RecoveryWorkers bounds the decode worker pool used while
+	// recovering from a streaming snapshot and replaying sealed journal
+	// segments in parallel (0 = GOMAXPROCS, 1 = serial).
+	RecoveryWorkers int
+	// BlobSnapshots forces the legacy single-blob snapshot format that
+	// materializes the whole engine image in memory. Kept as the
+	// baseline for the T16 experiment; production paths use the
+	// streaming format.
+	BlobSnapshots bool
 	// Tasks is the worklist service for user/manual tasks (default: a
 	// fresh service with an empty directory).
 	Tasks *task.Service
@@ -109,11 +118,13 @@ type Engine struct {
 	instances   map[string]*Instance
 	handlers    map[string]Handler
 
-	journal       storage.Journal
-	snapshots     *storage.SnapshotStore
-	snapshotEvery int
-	appendsSince  int
-	durable       bool
+	journal        storage.Journal
+	snapshots      *storage.SnapshotStore
+	snapshotEvery  int
+	appendsSince   int
+	durable        bool
+	recoverWorkers int
+	blobSnapshots  bool
 
 	tasks  *task.Service
 	timers timer.Service
@@ -125,10 +136,13 @@ type Engine struct {
 	buffered      func(name, key string) (map[string]expr.Value, bool)
 	upstreamCache sync.Map // upstreamKey -> map[string]bool
 
-	idSeq        atomic.Uint64
-	tokSeq       atomic.Uint64
-	closing      atomic.Bool
-	snapshotting atomic.Bool
+	idSeq           atomic.Uint64
+	tokSeq          atomic.Uint64
+	closing         atomic.Bool
+	snapshotting    atomic.Bool
+	snapshotPending atomic.Bool
+	lastSnapIndex   atomic.Uint64
+	recoveryDur     atomic.Int64
 }
 
 // New creates an engine, recovering state from the journal when it is
@@ -147,28 +161,38 @@ func New(cfg Config) (*Engine, error) {
 		cfg.Tasks = task.NewService(task.Config{})
 	}
 	e := &Engine{
-		definitions:   map[string]*model.Process{},
-		instances:     map[string]*Instance{},
-		handlers:      map[string]Handler{},
-		journal:       cfg.Journal,
-		snapshots:     cfg.Snapshots,
-		snapshotEvery: cfg.SnapshotEvery,
-		durable:       cfg.Durable,
-		tasks:         cfg.Tasks,
-		timers:        cfg.Timers,
-		clock:         cfg.Clock,
-		hist:          cfg.History,
-		subs:          newSubscriptions(),
-		publisher:     cfg.Publisher,
-		buffered:      cfg.BufferedMessages,
+		definitions:    map[string]*model.Process{},
+		instances:      map[string]*Instance{},
+		handlers:       map[string]Handler{},
+		journal:        cfg.Journal,
+		snapshots:      cfg.Snapshots,
+		snapshotEvery:  cfg.SnapshotEvery,
+		durable:        cfg.Durable,
+		recoverWorkers: cfg.RecoveryWorkers,
+		blobSnapshots:  cfg.BlobSnapshots,
+		tasks:          cfg.Tasks,
+		timers:         cfg.Timers,
+		clock:          cfg.Clock,
+		hist:           cfg.History,
+		subs:           newSubscriptions(),
+		publisher:      cfg.Publisher,
+		buffered:       cfg.BufferedMessages,
 	}
 	e.tasks.Subscribe(e.onTaskTransition)
 	if cfg.Journal.LastIndex() > 0 || cfg.Snapshots != nil {
+		begin := time.Now()
 		if err := e.recover(); err != nil {
 			return nil, err
 		}
+		e.recoveryDur.Store(int64(time.Since(begin)))
 	}
 	return e, nil
+}
+
+// RecoveryDuration reports how long boot-time recovery (snapshot load
+// plus journal replay) took; zero when the engine started fresh.
+func (e *Engine) RecoveryDuration() time.Duration {
+	return time.Duration(e.recoveryDur.Load())
 }
 
 // RegisterHandler binds a service-task handler name to its function.

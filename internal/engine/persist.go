@@ -2,15 +2,19 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpms/internal/expr"
 	"bpms/internal/model"
+	"bpms/internal/storage"
 	"bpms/internal/task"
 )
 
@@ -154,21 +158,147 @@ func (e *Engine) maybeSnapshot() {
 		e.appendsSince = 0
 	}
 	e.mu.Unlock()
-	if due && e.snapshotting.CompareAndSwap(false, true) {
-		go func() {
-			defer e.snapshotting.Store(false)
-			_ = e.Snapshot()
-		}()
+	if due {
+		e.requestSnapshot()
 	}
 }
 
-// Snapshot writes a full engine image covering the journal's current
-// last index, then drops the covered journal prefix. Instances being
-// mutated concurrently are skipped (they persist themselves anyway).
+// requestSnapshot starts an asynchronous snapshot, or — when one is
+// already in flight — re-arms the trigger so it fires when the
+// in-flight snapshot completes. Without the re-arm the trigger would
+// be lost entirely: maybeSnapshot has already reset its append counter
+// by the time the CAS fails, so nothing would schedule the snapshot
+// those appends were owed.
+func (e *Engine) requestSnapshot() {
+	if e.snapshotting.CompareAndSwap(false, true) {
+		go e.snapshotLoop()
+		return
+	}
+	e.snapshotPending.Store(true)
+	// The in-flight snapshot may have finished between the failed CAS
+	// and the pending store, missing the flag; retry the claim so the
+	// trigger cannot fall into that gap.
+	if e.snapshotting.CompareAndSwap(false, true) {
+		go e.snapshotLoop()
+	}
+}
+
+// snapshotLoop runs snapshots while triggers keep arriving, releasing
+// the in-flight claim between rounds. The pending flag is cleared
+// before each snapshot so a trigger arriving mid-snapshot schedules
+// exactly one follow-up round.
+func (e *Engine) snapshotLoop() {
+	for {
+		e.snapshotPending.Store(false)
+		_ = e.Snapshot()
+		e.snapshotting.Store(false)
+		if !e.snapshotPending.Load() {
+			return
+		}
+		if !e.snapshotting.CompareAndSwap(false, true) {
+			return // a concurrent requestSnapshot claimed the follow-up
+		}
+	}
+}
+
+// TrySnapshot starts an asynchronous snapshot unless one is already in
+// flight or the journal has not advanced past the last snapshot. The
+// time-based scheduler calls this on every tick; an in-flight snapshot
+// or an idle journal satisfies the tick rather than queueing behind it.
+func (e *Engine) TrySnapshot() bool {
+	if e.snapshots == nil {
+		return false
+	}
+	if e.journal.LastIndex() == e.lastSnapIndex.Load() {
+		return false
+	}
+	if !e.snapshotting.CompareAndSwap(false, true) {
+		return false
+	}
+	go e.snapshotLoop()
+	return true
+}
+
+// Snapshot writes a point-in-time engine image covering the journal's
+// current last index, then drops the covered journal prefix. Each
+// instance is locked just long enough to encode it and the record is
+// streamed straight to the snapshot writer, so memory stays bounded by
+// one instance's state rather than the total image. Instances mutated
+// concurrently are still written — possibly with post-index state —
+// which is safe because replay applies the journal suffix on top with
+// last-write-wins semantics.
 func (e *Engine) Snapshot() error {
 	if e.snapshots == nil {
 		return fmt.Errorf("engine: no snapshot store configured")
 	}
+	if e.blobSnapshots {
+		return e.snapshotBlob()
+	}
+	e.mu.RLock()
+	defIDs := make([]string, 0, len(e.definitions))
+	for id := range e.definitions {
+		defIDs = append(defIDs, id)
+	}
+	sort.Strings(defIDs)
+	defs := make([]*model.Process, 0, len(defIDs))
+	for _, id := range defIDs {
+		defs = append(defs, e.definitions[id])
+	}
+	instIDs := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		instIDs = append(instIDs, id)
+	}
+	sort.Strings(instIDs)
+	insts := make([]*Instance, 0, len(instIDs))
+	for _, id := range instIDs {
+		insts = append(insts, e.instances[id])
+	}
+	e.mu.RUnlock()
+
+	index := e.journal.LastIndex()
+	w, err := e.snapshots.Writer(index)
+	if err != nil {
+		return err
+	}
+	appendRec := func(kind, field string, payload []byte) error {
+		bp := encodeRecord(kind, field, payload)
+		err := w.Append(*bp)
+		recordBufPool.Put(bp)
+		return err
+	}
+	for _, def := range defs {
+		data, err := json.Marshal(def)
+		if err == nil {
+			err = appendRec("deploy", "process", data)
+		}
+		if err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	for _, inst := range insts {
+		inst.mu.Lock()
+		data, err := e.encodeInstance(inst)
+		inst.mu.Unlock()
+		if err == nil {
+			err = appendRec("instance", "state", data)
+		}
+		if err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	e.lastSnapIndex.Store(index)
+	return e.journal.DropBefore(index + 1)
+}
+
+// snapshotBlob is the legacy single-blob snapshot path: the whole
+// engine image is marshalled in memory and written in one Write call.
+// Retained only as the seed baseline for experiment T16.
+func (e *Engine) snapshotBlob() error {
 	img := snapshotImage{}
 	e.mu.RLock()
 	defIDs := make([]string, 0, len(e.definitions))
@@ -207,12 +337,110 @@ func (e *Engine) Snapshot() error {
 	if err := e.snapshots.Write(index, data); err != nil {
 		return err
 	}
+	e.lastSnapIndex.Store(index)
 	return e.journal.DropBefore(index + 1)
+}
+
+// decodeRecoveryRecord decodes one record-envelope payload (from a
+// streaming snapshot or the journal) into its recovered form: a
+// compiled *model.Process or an *instState. Safe for concurrent use;
+// the payload is not retained past the call.
+func decodeRecoveryRecord(payload []byte) (any, error) {
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("engine: decode journal record: %w", err)
+	}
+	switch rec.Kind {
+	case "deploy":
+		rec.Process.Index()
+		if err := rec.Process.Compile(); err != nil {
+			return nil, fmt.Errorf("engine: compile recovered definition %q: %w", rec.Process.ID, err)
+		}
+		return rec.Process, nil
+	case "instance":
+		st := &instState{}
+		if err := json.Unmarshal(rec.State, st); err != nil {
+			return nil, fmt.Errorf("engine: decode instance state: %w", err)
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown journal record kind %q", rec.Kind)
+	}
+}
+
+// errSnapshotDecodeAborted stops Snapshot.Iterate early once a decode
+// worker has already failed; the worker's error is reported instead.
+var errSnapshotDecodeAborted = errors.New("engine: snapshot decode aborted")
+
+// loadSnapshotParallel streams the snapshot's records through a decode
+// worker pool, merging results into defs/states. Records are unique
+// per definition/instance, so merge order does not matter.
+func loadSnapshotParallel(sn *storage.Snapshot, workers int,
+	defs map[string]*model.Process, states map[string]*instState) error {
+	var (
+		mergeMu  sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	fail := func(err error) {
+		mergeMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mergeMu.Unlock()
+		failed.Store(true)
+	}
+	recCh := make(chan []byte, 4*workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range recCh {
+				if failed.Load() {
+					continue
+				}
+				v, err := decodeRecoveryRecord(p)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				mergeMu.Lock()
+				switch x := v.(type) {
+				case *model.Process:
+					defs[x.ID] = x
+				case *instState:
+					states[x.ID] = x
+				}
+				mergeMu.Unlock()
+			}
+		}()
+	}
+	iterErr := sn.Iterate(func(p []byte) error {
+		if failed.Load() {
+			return errSnapshotDecodeAborted
+		}
+		// The iterator reuses its payload buffer; copy before handing
+		// the record to a worker.
+		recCh <- append(make([]byte, 0, len(p)), p...)
+		return nil
+	})
+	close(recCh)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if iterErr != nil {
+		return fmt.Errorf("engine: read snapshot: %w", iterErr)
+	}
+	return nil
 }
 
 // recover rebuilds engine state from the latest snapshot (when
 // present) plus the journal suffix, then re-arms all volatile wait
-// machinery.
+// machinery. Streaming snapshots are decoded by a worker pool and the
+// journal's sealed segments replay in parallel when the journal
+// supports it (decode on workers, apply in index order).
 // recover builds the definition and instance maps locally and
 // publishes them into the engine under its lock in one step: under the
 // shard router, sibling shards recover concurrently and their
@@ -225,57 +453,89 @@ func (e *Engine) recover() error {
 	states := map[string]*instState{}
 	var fromIndex uint64 = 1
 
-	if e.snapshots != nil {
-		idx, data, ok, err := e.snapshots.Latest()
-		if err != nil {
-			return fmt.Errorf("engine: read snapshot: %w", err)
-		}
-		if ok {
-			var img snapshotImage
-			if err := json.Unmarshal(data, &img); err != nil {
-				return fmt.Errorf("engine: decode snapshot: %w", err)
-			}
-			for _, def := range img.Definitions {
-				def.Index()
-				if err := def.Compile(); err != nil {
-					return fmt.Errorf("engine: compile snapshot definition %q: %w", def.ID, err)
-				}
-				defs[def.ID] = def
-			}
-			for _, raw := range img.Instances {
-				var st instState
-				if err := json.Unmarshal(raw, &st); err != nil {
-					return fmt.Errorf("engine: decode snapshot instance: %w", err)
-				}
-				states[st.ID] = &st
-			}
-			fromIndex = idx + 1
+	workers := e.recoverWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	merge := func(v any) {
+		switch x := v.(type) {
+		case *model.Process:
+			defs[x.ID] = x
+		case *instState:
+			states[x.ID] = x
 		}
 	}
 
-	err := e.journal.Replay(fromIndex, func(_ uint64, payload []byte) error {
-		var rec record
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("engine: decode journal record: %w", err)
+	if e.snapshots != nil {
+		sn, err := e.snapshots.LatestSnapshot()
+		if err != nil {
+			return fmt.Errorf("engine: read snapshot: %w", err)
 		}
-		switch rec.Kind {
-		case "deploy":
-			rec.Process.Index()
-			if err := rec.Process.Compile(); err != nil {
-				return fmt.Errorf("engine: compile recovered definition %q: %w", rec.Process.ID, err)
+		if sn != nil {
+			switch {
+			case sn.Legacy:
+				// One record carrying the whole blob image.
+				err = sn.Iterate(func(data []byte) error {
+					var img snapshotImage
+					if err := json.Unmarshal(data, &img); err != nil {
+						return fmt.Errorf("engine: decode snapshot: %w", err)
+					}
+					for _, def := range img.Definitions {
+						def.Index()
+						if err := def.Compile(); err != nil {
+							return fmt.Errorf("engine: compile snapshot definition %q: %w", def.ID, err)
+						}
+						defs[def.ID] = def
+					}
+					for _, raw := range img.Instances {
+						var st instState
+						if err := json.Unmarshal(raw, &st); err != nil {
+							return fmt.Errorf("engine: decode snapshot instance: %w", err)
+						}
+						states[st.ID] = &st
+					}
+					return nil
+				})
+			case workers <= 1:
+				err = sn.Iterate(func(p []byte) error {
+					v, derr := decodeRecoveryRecord(p)
+					if derr != nil {
+						return derr
+					}
+					merge(v)
+					return nil
+				})
+			default:
+				err = loadSnapshotParallel(sn, workers, defs, states)
 			}
-			defs[rec.Process.ID] = rec.Process
-		case "instance":
-			var st instState
-			if err := json.Unmarshal(rec.State, &st); err != nil {
-				return fmt.Errorf("engine: decode instance state: %w", err)
+			if err != nil {
+				return err
 			}
-			states[st.ID] = &st
-		default:
-			return fmt.Errorf("engine: unknown journal record kind %q", rec.Kind)
+			fromIndex = sn.Index + 1
+			e.lastSnapIndex.Store(sn.Index)
 		}
-		return nil
-	})
+	}
+
+	var err error
+	if pr, ok := e.journal.(storage.ParallelReplayer); ok && workers > 1 {
+		err = pr.ReplayParallel(fromIndex, workers,
+			func(_ uint64, payload []byte) (any, error) {
+				return decodeRecoveryRecord(payload)
+			},
+			func(_ uint64, v any) error {
+				merge(v)
+				return nil
+			})
+	} else {
+		err = e.journal.Replay(fromIndex, func(_ uint64, payload []byte) error {
+			v, derr := decodeRecoveryRecord(payload)
+			if derr != nil {
+				return derr
+			}
+			merge(v)
+			return nil
+		})
+	}
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // User is one human resource.
@@ -48,39 +49,93 @@ func (u *User) clone() *User {
 	return &cp
 }
 
-// Directory is the thread-safe registry of users and roles.
+// Directory is the thread-safe registry of users and roles. Users are
+// striped by FNV-1a of their ID — the same hash family the shard
+// router, history pipeline, and worklist use for placement — so lookup
+// traffic from concurrent work allocation (every offered task resolves
+// its role's candidate set here) spreads over independent locks
+// instead of serializing on one directory-wide mutex.
 type Directory struct {
+	stripes []*dirStripe
+	seq     atomic.Uint64 // global registration order across stripes
+}
+
+type dirStripe struct {
 	mu     sync.RWMutex
-	users  map[string]*User
-	byRole map[string][]string // role -> user IDs, insertion order
+	users  map[string]*dirEntry
+	byRole map[string][]*dirEntry
 }
 
-// NewDirectory returns an empty directory.
+// dirEntry pins a user's global registration sequence so role listings
+// merged across stripes reproduce directory-wide registration order.
+type dirEntry struct {
+	user *User
+	seq  uint64
+}
+
+// DefaultDirectoryStripes is the stripe count NewDirectory uses.
+const DefaultDirectoryStripes = 8
+
+// NewDirectory returns an empty directory with the default striping.
 func NewDirectory() *Directory {
-	return &Directory{users: map[string]*User{}, byRole: map[string][]string{}}
+	return NewDirectoryStriped(DefaultDirectoryStripes)
 }
 
-// AddUser registers a user (replacing any same-ID user).
+// NewDirectoryStriped returns an empty directory with the given number
+// of lock stripes (values < 1 fall back to the default).
+func NewDirectoryStriped(stripes int) *Directory {
+	if stripes < 1 {
+		stripes = DefaultDirectoryStripes
+	}
+	d := &Directory{stripes: make([]*dirStripe, stripes)}
+	for i := range d.stripes {
+		d.stripes[i] = &dirStripe{users: map[string]*dirEntry{}, byRole: map[string][]*dirEntry{}}
+	}
+	return d
+}
+
+// Stripes returns the number of lock stripes.
+func (d *Directory) Stripes() int { return len(d.stripes) }
+
+// stripeOf hashes a user ID to its stripe with FNV-1a (the hash family
+// shared with shard.Router, history, and task striping).
+func (d *Directory) stripeOf(id string) *dirStripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return d.stripes[h%uint64(len(d.stripes))]
+}
+
+// AddUser registers a user (replacing any same-ID user; replacement
+// moves the user to the end of the registration order, as appending
+// to the role lists always did).
 func (d *Directory) AddUser(u *User) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if old, ok := d.users[u.ID]; ok {
-		for _, r := range old.Roles {
-			d.byRole[r] = removeString(d.byRole[r], u.ID)
+	s := d.stripeOf(u.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.users[u.ID]; ok {
+		for _, r := range old.user.Roles {
+			s.byRole[r] = removeEntry(s.byRole[r], u.ID)
 		}
 	}
-	cp := u.clone()
-	d.users[u.ID] = cp
-	for _, r := range cp.Roles {
-		d.byRole[r] = append(d.byRole[r], cp.ID)
+	e := &dirEntry{user: u.clone(), seq: d.seq.Add(1)}
+	s.users[u.ID] = e
+	for _, r := range e.user.Roles {
+		s.byRole[r] = append(s.byRole[r], e)
 	}
 }
 
-func removeString(s []string, x string) []string {
+func removeEntry(s []*dirEntry, id string) []*dirEntry {
 	out := s[:0]
-	for _, v := range s {
-		if v != x {
-			out = append(out, v)
+	for _, e := range s {
+		if e.user.ID != id {
+			out = append(out, e)
 		}
 	}
 	return out
@@ -88,35 +143,48 @@ func removeString(s []string, x string) []string {
 
 // UserByID returns a copy of the user, or nil.
 func (d *Directory) UserByID(id string) *User {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	u, ok := d.users[id]
+	s := d.stripeOf(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.users[id]
 	if !ok {
 		return nil
 	}
-	return u.clone()
+	return e.user.clone()
 }
 
 // UsersInRole returns copies of the users holding role, in
-// registration order.
+// registration order (merged across stripes by global sequence).
 func (d *Directory) UsersInRole(role string) []*User {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	ids := d.byRole[role]
-	out := make([]*User, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, d.users[id].clone())
+	type cand struct {
+		u   *User
+		seq uint64
+	}
+	var found []cand
+	for _, s := range d.stripes {
+		s.mu.RLock()
+		for _, e := range s.byRole[role] {
+			found = append(found, cand{u: e.user.clone(), seq: e.seq})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].seq < found[b].seq })
+	out := make([]*User, 0, len(found))
+	for _, c := range found {
+		out = append(out, c.u)
 	}
 	return out
 }
 
 // AllUsers returns copies of all users sorted by ID.
 func (d *Directory) AllUsers() []*User {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]*User, 0, len(d.users))
-	for _, u := range d.users {
-		out = append(out, u.clone())
+	var out []*User
+	for _, s := range d.stripes {
+		s.mu.RLock()
+		for _, e := range s.users {
+			out = append(out, e.user.clone())
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
@@ -124,9 +192,13 @@ func (d *Directory) AllUsers() []*User {
 
 // Count returns the number of registered users.
 func (d *Directory) Count() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.users)
+	n := 0
+	for _, s := range d.stripes {
+		s.mu.RLock()
+		n += len(s.users)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // LoadFunc reports the current queue length (allocated + started work

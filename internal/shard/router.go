@@ -58,6 +58,13 @@ type Config struct {
 	// SnapshotEvery writes a shard snapshot after this many appends to
 	// that shard's journal (0 = only on explicit Snapshot calls).
 	SnapshotEvery int
+	// RecoveryWorkers bounds each shard's recovery decode pool
+	// (streaming-snapshot decode and parallel segment replay;
+	// 0 = GOMAXPROCS, 1 = serial).
+	RecoveryWorkers int
+	// BlobSnapshots forces the legacy single-blob snapshot format
+	// (T16 baseline).
+	BlobSnapshots bool
 	// Durable makes API-visible transitions wait for the owning
 	// shard's WAL commit acknowledgement.
 	Durable bool
@@ -117,6 +124,8 @@ func New(cfg Config) (*Router, error) {
 				Journal:          cfg.Journals[i],
 				Snapshots:        snaps,
 				SnapshotEvery:    cfg.SnapshotEvery,
+				RecoveryWorkers:  cfg.RecoveryWorkers,
+				BlobSnapshots:    cfg.BlobSnapshots,
 				Durable:          cfg.Durable,
 				Tasks:            cfg.Tasks,
 				Timers:           cfg.Timers,
@@ -309,6 +318,26 @@ func (r *Router) Publish(name, key string, vars map[string]any) (int, bool, erro
 // on the shard the correlation key hashes to.
 func (r *Router) takeBuffered(name, key string) (map[string]expr.Value, bool) {
 	return r.shards[r.shardOf(key)].TakeBuffered(name, key)
+}
+
+// TrySnapshot asks every shard to start an asynchronous snapshot
+// unless one is already in flight or the shard's journal has not
+// advanced past its last snapshot. The time-based scheduler drives it;
+// it returns the number of shards that started a snapshot.
+func (r *Router) TrySnapshot() int {
+	n := 0
+	for _, s := range r.shards {
+		if s.TrySnapshot() {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryDuration reports how long one shard's boot-time recovery
+// took (zero when the shard started fresh).
+func (r *Router) RecoveryDuration(i int) time.Duration {
+	return r.shards[i].RecoveryDuration()
 }
 
 // Snapshot writes a state snapshot on every shard (and compacts each

@@ -1,0 +1,82 @@
+package timer
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StripedWheel shards timers across N independent timing wheels, each
+// guarded by its own mutex, removing the single global timer lock from
+// the hot path: every engine shard schedules and cancels deadlines on
+// every transition of a timed element, and with one wheel those
+// operations all serialize on one mutex regardless of how many shards
+// the engine runs. IDs come from one global sequence and a timer's
+// stripe is its ID modulo the stripe count — the same modulo placement
+// family the shard router, history pipeline, and worklist use — so
+// Cancel routes without a lookup table and consecutive timers spread
+// round-robin across stripes.
+type StripedWheel struct {
+	stripes  []*WheelService
+	nextID   atomic.Uint64
+	anchored atomic.Bool
+}
+
+// NewStripedWheel creates a striped wheel with the given stripe count
+// (default 8) whose stripes each have the given tick granularity and
+// slot count (defaults as in NewWheelService).
+func NewStripedWheel(stripes int, tick time.Duration, slots int) *StripedWheel {
+	if stripes <= 0 {
+		stripes = 8
+	}
+	s := &StripedWheel{stripes: make([]*WheelService, stripes)}
+	for i := range s.stripes {
+		s.stripes[i] = NewWheelService(tick, slots)
+	}
+	return s
+}
+
+// Stripes returns the number of independent wheels.
+func (s *StripedWheel) Stripes() int { return len(s.stripes) }
+
+func (s *StripedWheel) stripeOf(id ID) *WheelService {
+	return s.stripes[uint64(id)%uint64(len(s.stripes))]
+}
+
+// Schedule implements Service.
+func (s *StripedWheel) Schedule(at time.Time, fn func()) ID {
+	if !s.anchored.Load() && s.anchored.CompareAndSwap(false, true) {
+		// Give every stripe the same origin so tick boundaries — and
+		// therefore firing times — match a single wheel's.
+		for _, w := range s.stripes {
+			w.anchor(at)
+		}
+	}
+	id := ID(s.nextID.Add(1))
+	s.stripeOf(id).scheduleID(id, at, fn)
+	return id
+}
+
+// Cancel implements Service.
+func (s *StripedWheel) Cancel(id ID) bool {
+	return s.stripeOf(id).Cancel(id)
+}
+
+// Pending implements Service.
+func (s *StripedWheel) Pending() int {
+	n := 0
+	for _, w := range s.stripes {
+		n += w.Pending()
+	}
+	return n
+}
+
+// AdvanceTo implements Service: each stripe collects its due entries
+// under its own lock, then the merged set fires in global (deadline,
+// id) order — the same order a single wheel would produce.
+func (s *StripedWheel) AdvanceTo(now time.Time) int {
+	var due []*wheelEntry
+	for _, w := range s.stripes {
+		due = append(due, w.collectDue(now)...)
+	}
+	return fireDue(due)
+}

@@ -1,0 +1,163 @@
+package timer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStripedWheelFiresInDeadlineOrder: timers land on different
+// stripes (round-robin by ID) but the merged advance fires them in
+// global (deadline, id) order, exactly as a single wheel would.
+func TestStripedWheelFiresInDeadlineOrder(t *testing.T) {
+	w := NewStripedWheel(4, 10*time.Millisecond, 64)
+	base := time.Unix(1000, 0)
+	var mu sync.Mutex
+	var fired []int
+	// Schedule in shuffled deadline order so bucket order can't fake it.
+	offsets := []int{7, 2, 9, 4, 1, 8, 3, 6, 5, 0}
+	for _, off := range offsets {
+		off := off
+		w.Schedule(base.Add(time.Duration(off)*100*time.Millisecond), func() {
+			mu.Lock()
+			fired = append(fired, off)
+			mu.Unlock()
+		})
+	}
+	if got := w.Pending(); got != len(offsets) {
+		t.Fatalf("Pending = %d, want %d", got, len(offsets))
+	}
+	if n := w.AdvanceTo(base.Add(time.Second)); n != len(offsets) {
+		t.Fatalf("fired %d, want %d", n, len(offsets))
+	}
+	for i, off := range fired {
+		if off != i {
+			t.Fatalf("firing order %v, want ascending deadlines", fired)
+		}
+	}
+	if got := w.Pending(); got != 0 {
+		t.Fatalf("Pending after advance = %d", got)
+	}
+}
+
+// TestStripedWheelCancelRoutesById: cancellation finds the owning
+// stripe from the ID alone.
+func TestStripedWheelCancelRoutesById(t *testing.T) {
+	w := NewStripedWheel(3, 10*time.Millisecond, 64)
+	base := time.Unix(2000, 0)
+	ids := make([]ID, 0, 9)
+	for i := 0; i < 9; i++ {
+		ids = append(ids, w.Schedule(base.Add(time.Second), func() {})) //nolint:staticcheck
+	}
+	for _, id := range ids[:5] {
+		if !w.Cancel(id) {
+			t.Fatalf("Cancel(%d) = false for pending timer", id)
+		}
+		if w.Cancel(id) {
+			t.Fatalf("Cancel(%d) = true twice", id)
+		}
+	}
+	if got := w.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4", got)
+	}
+	if n := w.AdvanceTo(base.Add(2 * time.Second)); n != 4 {
+		t.Fatalf("fired %d, want the 4 uncancelled", n)
+	}
+}
+
+// TestStripedWheelConcurrent mirrors the task.Service index-consistency
+// pattern: concurrent scheduler, canceller, and advancer goroutines
+// race (run with -race), and the fired + cancelled + still-pending
+// counts always add up to the scheduled total.
+func TestStripedWheelConcurrent(t *testing.T) {
+	w := NewStripedWheel(4, time.Millisecond, 128)
+	base := time.Unix(3000, 0)
+	const workers, per = 4, 200
+	var fired atomic.Int64
+	var cancelled atomic.Int64
+	var wg sync.WaitGroup
+	idsCh := make(chan ID, workers*per)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				at := base.Add(time.Duration(i%50) * 10 * time.Millisecond)
+				id := w.Schedule(at, func() { fired.Add(1) })
+				if i%3 == 0 {
+					idsCh <- id
+				}
+			}
+		}(g)
+	}
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for id := range idsCh {
+			if w.Cancel(id) {
+				cancelled.Add(1)
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	var awg sync.WaitGroup
+	awg.Add(1)
+	go func() {
+		defer awg.Done()
+		now := base
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now = now.Add(5 * time.Millisecond)
+			w.AdvanceTo(now)
+		}
+	}()
+	wg.Wait()
+	close(idsCh)
+	cwg.Wait()
+	close(stop)
+	awg.Wait()
+	// Drain everything still pending.
+	w.AdvanceTo(base.Add(time.Hour))
+	total := int64(workers * per)
+	if got := fired.Load() + cancelled.Load(); got != total {
+		t.Fatalf("fired %d + cancelled %d = %d, want %d (no timer lost or doubled)",
+			fired.Load(), cancelled.Load(), got, total)
+	}
+	if p := w.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after full drain", p)
+	}
+}
+
+// TestStripedWheelMatchesSingleWheel: the striped wheel is
+// behaviourally interchangeable with one wheel for the same schedule.
+func TestStripedWheelMatchesSingleWheel(t *testing.T) {
+	single := NewWheelService(10*time.Millisecond, 64)
+	striped := NewStripedWheel(4, 10*time.Millisecond, 64)
+	base := time.Unix(4000, 0)
+	var a, b []int
+	for i := 0; i < 20; i++ {
+		i := i
+		at := base.Add(time.Duration((i*7)%13) * 50 * time.Millisecond)
+		single.Schedule(at, func() { a = append(a, i) })
+		striped.Schedule(at, func() { b = append(b, i) })
+	}
+	for step := 1; step <= 13; step++ {
+		now := base.Add(time.Duration(step) * 50 * time.Millisecond)
+		single.AdvanceTo(now)
+		striped.AdvanceTo(now)
+	}
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("fired %d vs %d, want 20 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing order diverges at %d: single %v striped %v", i, a, b)
+		}
+	}
+}

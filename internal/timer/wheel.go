@@ -72,21 +72,50 @@ func (w *WheelService) entryTickOf(t time.Time) int64 {
 func (w *WheelService) Schedule(at time.Time, fn func()) ID {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.nextID++
+	id := w.nextID
+	w.scheduleLocked(id, at, fn)
+	return id
+}
+
+// scheduleID inserts an entry under a caller-assigned ID. The striped
+// wheel allocates IDs from one global sequence (so a timer's stripe is
+// recoverable from its ID alone); IDs passed here must be unique
+// within this wheel.
+func (w *WheelService) scheduleID(id ID, at time.Time, fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scheduleLocked(id, at, fn)
+}
+
+// anchor fixes the wheel's origin, a no-op once started. The striped
+// wheel anchors every stripe at its first schedule's deadline so all
+// stripes agree on tick boundaries — otherwise a stripe whose first
+// timer arrives late would clamp already-due deadlines forward and
+// fire them later than a single wheel would.
+func (w *WheelService) anchor(at time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		w.origin = at
+		w.lastTick = w.tickOf(at) - 1
+		w.started = true
+	}
+}
+
+func (w *WheelService) scheduleLocked(id ID, at time.Time, fn func()) {
 	if !w.started {
 		// Anchor the wheel's origin at the first schedule.
 		w.origin = at
 		w.lastTick = w.tickOf(at) - 1
 		w.started = true
 	}
-	w.nextID++
-	id := w.nextID
 	e := &wheelEntry{id: id, at: at, tick: w.entryTickOf(at), fn: fn}
 	if e.tick <= w.lastTick {
 		e.tick = w.lastTick + 1 // past deadlines fire on next advance
 	}
 	w.buckets[int(e.tick%int64(w.slots))][id] = e
 	w.byID[id] = e
-	return id
 }
 
 // Cancel implements Service.
@@ -112,15 +141,22 @@ func (w *WheelService) Pending() int {
 // AdvanceTo implements Service: sweeps all ticks in (lastTick, nowTick]
 // and fires due entries in deadline order.
 func (w *WheelService) AdvanceTo(now time.Time) int {
+	return fireDue(w.collectDue(now))
+}
+
+// collectDue removes and returns (unsorted) every entry due at or
+// before now, advancing the wheel's swept tick. Shared by AdvanceTo
+// and the striped wheel's merged advance, which gathers due entries
+// from all stripes before establishing the global firing order.
+func (w *WheelService) collectDue(now time.Time) []*wheelEntry {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	if !w.started {
-		w.mu.Unlock()
-		return 0
+		return nil
 	}
 	nowTick := w.tickOf(now)
 	if nowTick <= w.lastTick {
-		w.mu.Unlock()
-		return 0
+		return nil
 	}
 	var due []*wheelEntry
 	// If the advance spans more than a full wheel rotation, every
@@ -141,8 +177,12 @@ func (w *WheelService) AdvanceTo(now time.Time) int {
 		}
 	}
 	w.lastTick = nowTick
-	w.mu.Unlock()
+	return due
+}
 
+// fireDue fires collected entries in (deadline, id) order outside any
+// wheel lock and returns the number fired.
+func fireDue(due []*wheelEntry) int {
 	sort.Slice(due, func(a, b int) bool {
 		if !due[a].at.Equal(due[b].at) {
 			return due[a].at.Before(due[b].at)

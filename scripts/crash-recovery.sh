@@ -20,6 +20,12 @@
 #
 # SHARDS=4 N=16 HIST_STRIPES=2 WORKLIST_STRIPES=4
 # ./scripts/crash-recovery.sh runs the sharded + striped variant.
+#
+# SNAPSHOT_EVERY=8 ./scripts/crash-recovery.sh additionally runs the
+# daemon with snapshots on and 4 KiB WAL segments, recovers through a
+# snapshot + journal suffix, and asserts the per-shard WAL on-disk
+# footprint stays bounded as instances keep starting (compaction after
+# each snapshot must delete sealed segments below the snapshot index).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +34,11 @@ N="${N:-5}"
 SHARDS="${SHARDS:-1}"
 HIST_STRIPES="${HIST_STRIPES:-1}"
 WORKLIST_STRIPES="${WORKLIST_STRIPES:-1}"
+SNAPSHOT_EVERY="${SNAPSHOT_EVERY:-0}"
+SNAP_FLAGS=()
+if [ "$SNAPSHOT_EVERY" -gt 0 ]; then
+  SNAP_FLAGS=(-snapshot-every "$SNAPSHOT_EVERY" -wal-segment-size 4096)
+fi
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
 LOG="$BIN/bpmsd.log"
@@ -51,8 +62,8 @@ wait_ready() {
   return 1
 }
 
-echo "== start bpmsd (-sync batch, $SHARDS shard(s), $HIST_STRIPES history stripe(s), $WORKLIST_STRIPES worklist stripe(s)) on $DATA"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
+echo "== start bpmsd (-sync batch, $SHARDS shard(s), $HIST_STRIPES history stripe(s), $WORKLIST_STRIPES worklist stripe(s), snapshot-every $SNAPSHOT_EVERY) on $DATA"
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" ${SNAP_FLAGS[@]+"${SNAP_FLAGS[@]}"} -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -73,7 +84,7 @@ kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 
 echo "== restart on the same data dir"
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" -user alice=clerk >"$LOG" 2>&1 &
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -shards "$SHARDS" -history-stripes "$HIST_STRIPES" -worklist-stripes "$WORKLIST_STRIPES" ${SNAP_FLAGS[@]+"${SNAP_FLAGS[@]}"} -user alice=clerk >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
@@ -136,6 +147,42 @@ if [ "$events" -lt "$N" ]; then
   exit 1
 fi
 echo "OK: history journal recovered ($events events, per-instance order intact)"
+
+if [ "$SNAPSHOT_EVERY" -gt 0 ]; then
+  echo "== snapshot compaction: WAL footprint bounded under sustained starts"
+  # Enough starts to cross the snapshot threshold many times over and
+  # roll plenty of 4 KiB segments; without compaction the WAL would
+  # grow past any fixed bound.
+  EXTRA=40
+  for i in $(seq "$EXTRA"); do
+    ctl start approval "amount=$((100 + i))" >/dev/null
+  done
+  sleep 1 # snapshots run asynchronously off the append path
+  snaps=$(find "$DATA" -name 'snap-*.snap' | wc -l)
+  if [ "$snaps" -lt 1 ]; then
+    echo "FAIL: no snapshot on disk after $EXTRA starts with -snapshot-every $SNAPSHOT_EVERY" >&2
+    find "$DATA" -type f >&2
+    exit 1
+  fi
+  # Per shard: everything below the snapshot index is compacted away,
+  # so the WAL keeps at most the active segment plus the few sealed
+  # ones appended since the last snapshot. 10 segments (40 KiB) is far
+  # under what the uncompacted history of N+EXTRA instances occupies.
+  for statedir in $(find "$DATA" -type d -name state); do
+    segs=$(find "$statedir" -name 'wal-*.log' | wc -l)
+    bytes=$(find "$statedir" -name 'wal-*.log' -exec cat {} + | wc -c)
+    if [ "$segs" -gt 10 ]; then
+      echo "FAIL: $statedir holds $segs WAL segments ($bytes bytes) after snapshots — compaction not bounding the WAL" >&2
+      ls -l "$statedir" >&2
+      exit 1
+    fi
+  done
+  # The stats endpoint must expose the recovery/footprint telemetry
+  # the snapshot path feeds.
+  ctl stats | grep -q '"recoverySeconds"' || { echo "FAIL: stats missing recoverySeconds" >&2; exit 1; }
+  ctl stats | grep -q '"diskBytes"' || { echo "FAIL: stats missing diskBytes" >&2; exit 1; }
+  echo "OK: $snaps snapshot(s) on disk, per-shard WAL bounded, footprint telemetry exposed"
+fi
 
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$PID"
