@@ -1,4 +1,6 @@
-// bpmsctl is the command-line client for a running bpmsd.
+// bpmsctl is the command-line client for a running bpmsd. It speaks
+// the versioned v1 API through the shared typed client
+// (internal/client).
 //
 // Usage:
 //
@@ -10,7 +12,7 @@
 //	defs                                 list definitions
 //	verify <processId>                   soundness-check a definition
 //	start <processId> [k=v ...]          start an instance
-//	ps                                   list instances
+//	ps [state] [offset limit]            list instances (paginated)
 //	show <instanceId>                    inspect an instance
 //	cancel <instanceId>                  cancel an instance
 //	history <instanceId>                 audit trail of an instance
@@ -20,6 +22,7 @@
 //	complete <itemId> <user> [k=v ...]   complete with outcome
 //	fail <itemId> <user> <reason>        fail a work item
 //	publish <message> <key> [k=v ...]    publish a correlated message
+//	adduser <id> [role ...]              register a user in the directory
 //	stats                                engine statistics (incl. per-shard instance counts)
 //	snapshot                             write a state snapshot on every shard
 //	xes                                  export history as XES to stdout
@@ -29,21 +32,22 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+
+	"bpms/internal/client"
 )
 
-var server string
+var api *client.Client
 
 func main() {
-	flag.StringVar(&server, "server", "http://localhost:8080", "bpmsd base URL")
+	server := flag.String("server", "http://localhost:8080", "bpmsd base URL")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bpmsctl [-server URL] <command> [args]\nsee 'go doc bpms/cmd/bpmsctl' for commands\n")
 	}
@@ -53,6 +57,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	api = client.New(*server)
 	cmd, rest := args[0], args[1:]
 	if err := run(cmd, rest); err != nil {
 		fmt.Fprintln(os.Stderr, "bpmsctl:", err)
@@ -61,6 +66,7 @@ func main() {
 }
 
 func run(cmd string, args []string) error {
+	ctx := context.Background()
 	switch cmd {
 	case "deploy":
 		if len(args) != 1 {
@@ -74,75 +80,113 @@ func run(cmd string, args []string) error {
 		if ext := filepath.Ext(args[0]); ext == ".xml" || ext == ".bpmn" {
 			ct = "application/xml"
 		}
-		return post("/api/definitions", ct, data)
+		if err := api.DeployRaw(ctx, data, ct); err != nil {
+			return err
+		}
+		fmt.Printf("bpmsctl: deployed %s\n", args[0])
+		return nil
 	case "defs":
-		return get("/api/definitions")
+		return print(api.Definitions(ctx))
 	case "verify":
 		if len(args) != 1 {
 			return fmt.Errorf("verify <processId>")
 		}
-		return get("/api/definitions/" + args[0] + "/verify")
+		return print(api.Verify(ctx, args[0]))
 	case "start":
 		if len(args) < 1 {
 			return fmt.Errorf("start <processId> [k=v ...]")
 		}
-		body := map[string]any{"processId": args[0], "vars": parseVars(args[1:])}
-		return postJSON("/api/instances", body)
+		return print(api.StartInstance(ctx, args[0], parseVars(args[1:])))
 	case "ps":
-		return get("/api/instances")
+		q := client.InstanceQuery{}
+		switch len(args) {
+		case 0:
+		case 1:
+			q.State = args[0]
+		case 3:
+			q.State = args[0]
+			var err error
+			if q.Offset, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("ps: bad offset %q", args[1])
+			}
+			if q.Limit, err = strconv.Atoi(args[2]); err != nil {
+				return fmt.Errorf("ps: bad limit %q", args[2])
+			}
+		default:
+			return fmt.Errorf("ps [state] [offset limit]")
+		}
+		return print(api.Instances(ctx, q))
 	case "show":
 		if len(args) != 1 {
 			return fmt.Errorf("show <instanceId>")
 		}
-		return get("/api/instances/" + args[0])
+		return print(api.Instance(ctx, args[0]))
 	case "cancel":
 		if len(args) != 1 {
 			return fmt.Errorf("cancel <instanceId>")
 		}
-		return del("/api/instances/" + args[0])
+		return api.CancelInstance(ctx, args[0])
 	case "history":
 		switch {
 		case len(args) == 1 && args[0] != "export":
-			return get("/api/instances/" + args[0] + "/history")
+			return print(api.History(ctx, args[0]))
 		case len(args) == 2 && args[0] == "export":
-			return exportHistory(args[1])
+			return exportHistory(ctx, args[1])
 		}
 		return fmt.Errorf("history <instanceId> | history export <file>")
 	case "tasks":
 		if len(args) != 1 {
 			return fmt.Errorf("tasks <user>")
 		}
-		return get("/api/tasks?user=" + args[0])
-	case "claim", "begin":
-		if len(args) != 2 {
-			return fmt.Errorf("%s <itemId> <user>", cmd)
+		worklist, offered, err := api.UserTasks(ctx, args[0])
+		if err != nil {
+			return err
 		}
-		action := map[string]string{"claim": "claim", "begin": "start"}[cmd]
-		return postJSON("/api/tasks/"+args[0]+"/"+action, map[string]any{"user": args[1]})
+		return print(map[string][]client.Task{"worklist": worklist, "offered": offered}, nil)
+	case "claim":
+		if len(args) != 2 {
+			return fmt.Errorf("claim <itemId> <user>")
+		}
+		return print(api.Claim(ctx, args[0], args[1]))
+	case "begin":
+		if len(args) != 2 {
+			return fmt.Errorf("begin <itemId> <user>")
+		}
+		return print(api.StartTask(ctx, args[0], args[1]))
 	case "complete":
 		if len(args) < 2 {
 			return fmt.Errorf("complete <itemId> <user> [k=v ...]")
 		}
-		return postJSON("/api/tasks/"+args[0]+"/complete",
-			map[string]any{"user": args[1], "outcome": parseVars(args[2:])})
+		return print(api.CompleteTask(ctx, args[0], args[1], parseVars(args[2:])))
 	case "fail":
 		if len(args) != 3 {
 			return fmt.Errorf("fail <itemId> <user> <reason>")
 		}
-		return postJSON("/api/tasks/"+args[0]+"/fail",
-			map[string]any{"user": args[1], "reason": args[2]})
+		return print(api.FailTask(ctx, args[0], args[1], args[2]))
 	case "publish":
 		if len(args) < 2 {
 			return fmt.Errorf("publish <message> <key> [k=v ...]")
 		}
-		return postJSON("/api/messages",
-			map[string]any{"name": args[0], "key": args[1], "vars": parseVars(args[2:])})
+		delivered, buffered, err := api.Publish(ctx, args[0], args[1], parseVars(args[2:]))
+		if err != nil {
+			return err
+		}
+		return print(map[string]any{"delivered": delivered, "buffered": buffered}, nil)
+	case "adduser":
+		if len(args) < 1 {
+			return fmt.Errorf("adduser <id> [role ...]")
+		}
+		if err := api.AddUser(ctx, args[0], args[1:]...); err != nil {
+			return err
+		}
+		fmt.Printf("bpmsctl: added user %s\n", args[0])
+		return nil
 	case "stats":
-		return get("/api/stats")
+		return print(api.Stats(ctx))
 	case "snapshot":
-		return postJSON("/api/admin/snapshot", map[string]any{})
+		return print(api.Snapshot(ctx))
 	case "xes":
-		return get("/api/history/xes")
+		return api.ExportXES(ctx, os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }
@@ -150,27 +194,19 @@ func run(cmd string, args []string) error {
 // exportHistory streams the server's XES export straight into a file:
 // the response body is copied through, so neither the client nor the
 // server holds the whole document in memory.
-func exportHistory(path string) error {
-	resp, err := http.Get(server + "/api/history/xes")
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("HTTP %s", resp.Status)
-	}
+func exportHistory(ctx context.Context, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	n, err := io.Copy(f, resp.Body)
+	err = api.ExportXES(ctx, f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bpmsctl: wrote %d bytes to %s\n", n, path)
+	fmt.Printf("bpmsctl: wrote %s\n", path)
 	return nil
 }
 
@@ -193,58 +229,16 @@ func parseVars(pairs []string) map[string]any {
 	return out
 }
 
-func show(resp *http.Response) error {
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+// print pretty-prints a typed API result (the generic tail of every
+// command: bail on the request error, then render as indented JSON).
+func print[T any](v T, err error) error {
 	if err != nil {
 		return err
 	}
-	// Pretty-print JSON responses; pass anything else through.
-	var pretty bytes.Buffer
-	if json.Indent(&pretty, body, "", "  ") == nil {
-		pretty.WriteByte('\n')
-		_, err = pretty.WriteTo(os.Stdout)
-	} else {
-		_, err = os.Stdout.Write(body)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
 	}
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("HTTP %s", resp.Status)
-	}
+	_, err = fmt.Fprintln(os.Stdout, string(data))
 	return err
-}
-
-func get(path string) error {
-	resp, err := http.Get(server + path)
-	if err != nil {
-		return err
-	}
-	return show(resp)
-}
-
-func del(path string) error {
-	req, err := http.NewRequest(http.MethodDelete, server+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	return show(resp)
-}
-
-func post(path, contentType string, body []byte) error {
-	resp, err := http.Post(server+path, contentType, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	return show(resp)
-}
-
-func postJSON(path string, body any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	return post(path, "application/json", data)
 }

@@ -1,0 +1,137 @@
+// bpmsload is the macro traffic generator (experiment T14): an
+// open-loop HTTP workload driver that simulates a population of
+// accounts with randomized schedules, drives a live bpmsd through the
+// versioned v1 API across the scenario portfolio (quickstart, loan,
+// claims, order, mining), and reports throughput and latency
+// percentiles — a progress line every few seconds on stderr and a
+// machine-readable BENCH_T14.json at the end.
+//
+// Usage:
+//
+//	bpmsload [-server http://localhost:8080] [-accounts 1000]
+//	         [-duration 30s] [-scenarios quickstart,mining] ...
+//
+// Accounts only start cases and publish correlated messages; the
+// human side of each scenario is worked by a small per-role pool of
+// worker users (work items fan out to every user in a role, so the
+// directory must stay small even when accounts number in the
+// hundreds of thousands).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bpms/internal/load"
+	"bpms/internal/sim"
+)
+
+func main() {
+	var (
+		server       = flag.String("server", "http://localhost:8080", "bpmsd base URL")
+		accounts     = flag.Int("accounts", 1000, "simulated account population")
+		duration     = flag.Duration("duration", 30*time.Second, "arrival-scheduling window")
+		workers      = flag.Int("workers", 16, "HTTP dispatch pool size")
+		usersPerRole = flag.Int("users-per-role", 2, "worker users registered per scenario role")
+		arrival      = flag.Duration("arrival", 0, "mean per-account case interarrival (0 = scale so aggregate ≈ rate)")
+		rate         = flag.Float64("rate", 50, "target aggregate case starts/sec when -arrival is 0")
+		zipf         = flag.Float64("zipf", 1.2, "account activity skew (Zipf s; 0 = uniform)")
+		scenarios    = flag.String("scenarios", "", "comma-separated scenario subset (default: all; one of quickstart,loan,claims,order,mining)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		report       = flag.Duration("report", 5*time.Second, "progress line interval")
+		out          = flag.String("out", "BENCH_T14.json", "report output path")
+		minCompleted = flag.Int64("min-completed", 0, "fail unless at least this many instances completed (CI gate)")
+		max5xx       = flag.Int64("max-5xx", -1, "fail if more than this many 5xx responses (CI gate; -1 = no check)")
+	)
+	flag.Parse()
+
+	if err := run(*server, *accounts, *duration, *workers, *usersPerRole,
+		*arrival, *rate, *zipf, *scenarios, *seed, *report, *out,
+		*minCompleted, *max5xx); err != nil {
+		fmt.Fprintln(os.Stderr, "bpmsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server string, accounts int, duration time.Duration, workers, usersPerRole int,
+	arrival time.Duration, rate, zipf float64, scenarios string, seed int64,
+	report time.Duration, out string, minCompleted, max5xx int64) error {
+	var names []string
+	if scenarios != "" {
+		names = strings.Split(scenarios, ",")
+	}
+	portfolio, err := load.Select(names)
+	if err != nil {
+		return err
+	}
+	// With -arrival unset, pick the per-account mean so the aggregate
+	// offered rate lands near -rate: mean = accounts / rate.
+	if arrival <= 0 {
+		if rate <= 0 {
+			rate = 50
+		}
+		arrival = time.Duration(float64(accounts) / rate * float64(time.Second))
+	}
+	cfg := load.Config{
+		Server:       server,
+		Scenarios:    portfolio,
+		Accounts:     accounts,
+		Duration:     duration,
+		Workers:      workers,
+		UsersPerRole: usersPerRole,
+		Arrival:      sim.Exp(arrival),
+		ZipfSkew:     zipf,
+		Seed:         seed,
+		ReportEvery:  report,
+		Out:          os.Stderr,
+	}
+	runner, err := load.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "[bpmsload] %d accounts, %d scenarios, mean interarrival %s (≈%.1f starts/s aggregate), %s window\n",
+		accounts, len(portfolio), arrival.Truncate(time.Millisecond),
+		float64(accounts)/arrival.Seconds(), duration)
+
+	rep, runErr := runner.Run(ctx)
+	if rep == nil {
+		return runErr
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[bpmsload] done: %d events (%.1f/s), %d started, %d completed, %d errors (%d 5xx), max scheduler lag %s — wrote %s\n",
+		rep.Aggregate.Events, rep.Aggregate.EventsPerSec,
+		rep.Aggregate.Started, rep.Aggregate.Completed,
+		rep.Aggregate.Errors, rep.Aggregate.HTTP5xx,
+		runner.MaxSchedulerLag().Truncate(time.Millisecond), out)
+	if runErr != nil {
+		return runErr
+	}
+	if rep.Aggregate.Completed < minCompleted {
+		return fmt.Errorf("gate: %d instances completed, want >= %d", rep.Aggregate.Completed, minCompleted)
+	}
+	if max5xx >= 0 && rep.Aggregate.HTTP5xx > max5xx {
+		return fmt.Errorf("gate: %d 5xx responses, want <= %d", rep.Aggregate.HTTP5xx, max5xx)
+	}
+	return nil
+}

@@ -43,33 +43,55 @@ func New(b *core.BPMS) *Server {
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// route is one row of the route table: a method, a path pattern
+// relative to the version prefix, and its handler.
+type route struct {
+	method, pattern string
+	handler         http.HandlerFunc
+}
+
+// table is the single route table of the API surface. It is
+// registered once under the versioned prefix /api/v1 and once under
+// the legacy /api prefix, so both paths share handlers (and therefore
+// semantics) by construction.
+func (s *Server) table() []route {
+	return []route{
+		{"GET", "/definitions", s.listDefinitions},
+		{"POST", "/definitions", s.deploy},
+		{"GET", "/definitions/{id}", s.getDefinition},
+		{"GET", "/definitions/{id}/verify", s.verifyDefinition},
+
+		{"GET", "/instances", s.listInstances},
+		{"POST", "/instances", s.startInstance},
+		{"GET", "/instances/{id}", s.getInstance},
+		{"DELETE", "/instances/{id}", s.cancelInstance},
+		{"PUT", "/instances/{id}/variables/{name}", s.setVariable},
+		{"GET", "/instances/{id}/history", s.instanceHistory},
+
+		{"POST", "/messages", s.publishMessage},
+
+		{"GET", "/tasks", s.listTasks},
+		{"POST", "/tasks/{id}/claim", s.taskAction(actClaim)},
+		{"POST", "/tasks/{id}/start", s.taskAction(actStart)},
+		{"POST", "/tasks/{id}/complete", s.taskAction(actComplete)},
+		{"POST", "/tasks/{id}/fail", s.taskAction(actFail)},
+		{"POST", "/tasks/{id}/delegate", s.taskAction(actDelegate)},
+		{"POST", "/tasks/{id}/release", s.taskAction(actRelease)},
+
+		{"GET", "/history/xes", s.exportXES},
+		{"GET", "/stats", s.stats},
+
+		{"POST", "/admin/users", s.addUser},
+		{"POST", "/admin/snapshot", s.adminSnapshot},
+	}
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /api/definitions", s.listDefinitions)
-	s.mux.HandleFunc("POST /api/definitions", s.deploy)
-	s.mux.HandleFunc("GET /api/definitions/{id}", s.getDefinition)
-	s.mux.HandleFunc("GET /api/definitions/{id}/verify", s.verifyDefinition)
-
-	s.mux.HandleFunc("GET /api/instances", s.listInstances)
-	s.mux.HandleFunc("POST /api/instances", s.startInstance)
-	s.mux.HandleFunc("GET /api/instances/{id}", s.getInstance)
-	s.mux.HandleFunc("DELETE /api/instances/{id}", s.cancelInstance)
-	s.mux.HandleFunc("PUT /api/instances/{id}/variables/{name}", s.setVariable)
-	s.mux.HandleFunc("GET /api/instances/{id}/history", s.instanceHistory)
-
-	s.mux.HandleFunc("POST /api/messages", s.publishMessage)
-
-	s.mux.HandleFunc("GET /api/tasks", s.listTasks)
-	s.mux.HandleFunc("POST /api/tasks/{id}/claim", s.taskAction(actClaim))
-	s.mux.HandleFunc("POST /api/tasks/{id}/start", s.taskAction(actStart))
-	s.mux.HandleFunc("POST /api/tasks/{id}/complete", s.taskAction(actComplete))
-	s.mux.HandleFunc("POST /api/tasks/{id}/fail", s.taskAction(actFail))
-	s.mux.HandleFunc("POST /api/tasks/{id}/delegate", s.taskAction(actDelegate))
-	s.mux.HandleFunc("POST /api/tasks/{id}/release", s.taskAction(actRelease))
-
-	s.mux.HandleFunc("GET /api/history/xes", s.exportXES)
-	s.mux.HandleFunc("GET /api/stats", s.stats)
-
-	s.mux.HandleFunc("POST /api/admin/snapshot", s.adminSnapshot)
+	for _, prefix := range []string{"/api/v1", "/api"} {
+		for _, rt := range s.table() {
+			s.mux.HandleFunc(rt.method+" "+prefix+rt.pattern, rt.handler)
+		}
+	}
 }
 
 // jsonBufs pools the encode buffers behind writeJSON. Buffers that
@@ -93,9 +115,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		}
 	}()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		msg := "api: encode response: " + err.Error()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, "{\"error\":%q}\n", "api: encode response: "+err.Error())
+		fmt.Fprintf(w, "{\"error\":{\"code\":%q,\"message\":%q},\"message\":%q}\n", codeInternal, msg, msg)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -104,28 +127,66 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// Machine-readable error codes of the v1 error envelope. Every error
+// response carries exactly one of these.
+const (
+	codeBadRequest        = "bad_request"
+	codeUnknownDefinition = "unknown_definition"
+	codeUnknownInstance   = "unknown_instance"
+	codeUnknownTask       = "unknown_task"
+	codeInvalidTransition = "invalid_transition"
+	codeNotActive         = "instance_not_active"
+	codeNotAuthorized     = "not_authorized"
+	codeInvalidDefinition = "invalid_definition"
+	codeTooLarge          = "request_too_large"
+	codeInternal          = "internal"
+)
+
+// errDetail is the machine-readable half of the error envelope.
+type errDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
+// apiError is the error response body: the v1 envelope under "error"
+// ({"code","message"}), plus the flat message string kept at top level
+// for pre-v1 clients that read a plain string field.
+type apiError struct {
+	Error   errDetail `json:"error"`
+	Message string    `json:"message"`
+}
+
+// writeErrCode writes one error response in the envelope shape.
+func writeErrCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Error: errDetail{Code: code, Message: msg}, Message: msg})
+}
+
+// writeErr maps engine/task/model errors to HTTP statuses and machine
+// codes — the single mapping both the v1 and legacy surfaces go
+// through.
 func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, codeInternal
+	var ve *model.ValidationError
+	var mbe *http.MaxBytesError
 	switch {
-	case errors.Is(err, engine.ErrUnknownProcess),
-		errors.Is(err, engine.ErrUnknownInstance),
-		errors.Is(err, task.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, task.ErrBadTransition), errors.Is(err, engine.ErrNotActive):
-		status = http.StatusConflict
+	case errors.Is(err, engine.ErrUnknownProcess):
+		status, code = http.StatusNotFound, codeUnknownDefinition
+	case errors.Is(err, engine.ErrUnknownInstance):
+		status, code = http.StatusNotFound, codeUnknownInstance
+	case errors.Is(err, task.ErrNotFound):
+		status, code = http.StatusNotFound, codeUnknownTask
+	case errors.Is(err, task.ErrBadTransition):
+		status, code = http.StatusConflict, codeInvalidTransition
+	case errors.Is(err, engine.ErrNotActive):
+		status, code = http.StatusConflict, codeNotActive
 	case errors.Is(err, task.ErrNotAuthorized):
-		status = http.StatusForbidden
-	default:
-		var ve *model.ValidationError
-		if errors.As(err, &ve) {
-			status = http.StatusBadRequest
-		}
+		status, code = http.StatusForbidden, codeNotAuthorized
+	case errors.As(err, &ve):
+		status, code = http.StatusBadRequest, codeInvalidDefinition
+	case errors.As(err, &mbe):
+		status, code = http.StatusRequestEntityTooLarge, codeTooLarge
 	}
-	writeJSON(w, status, apiError{Error: err.Error()})
+	writeErrCode(w, status, code, err.Error())
 }
 
 func (s *Server) listDefinitions(w http.ResponseWriter, _ *http.Request) {
@@ -147,7 +208,7 @@ func (s *Server) deploy(w http.ResponseWriter, r *http.Request) {
 		p, err = model.DecodeJSON(data)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	if err := s.bpms.Engine.Deploy(p); err != nil {
@@ -160,7 +221,7 @@ func (s *Server) deploy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getDefinition(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.bpms.Engine.Definition(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown definition"})
+		writeErrCode(w, http.StatusNotFound, codeUnknownDefinition, "unknown definition")
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
@@ -169,7 +230,7 @@ func (s *Server) getDefinition(w http.ResponseWriter, r *http.Request) {
 func (s *Server) verifyDefinition(w http.ResponseWriter, r *http.Request) {
 	p, ok := s.bpms.Engine.Definition(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown definition"})
+		writeErrCode(w, http.StatusNotFound, codeUnknownDefinition, "unknown definition")
 		return
 	}
 	res, err := verify.Check(p, verify.DefaultOptions())
@@ -228,7 +289,7 @@ func toInstanceResponse(v *engine.InstanceView) instanceResponse {
 func (s *Server) startInstance(w http.ResponseWriter, r *http.Request) {
 	var req startRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	v, err := s.bpms.Engine.StartInstance(req.ProcessID, req.Vars)
@@ -239,8 +300,55 @@ func (s *Server) startInstance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, toInstanceResponse(v))
 }
 
-func (s *Server) listInstances(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.bpms.Engine.Instances())
+// instanceRow is one row of the paginated instance listing: identity
+// and status only — fetch /instances/{id} for variables and tokens.
+type instanceRow struct {
+	ID        string `json:"id"`
+	ProcessID string `json:"processId"`
+	Status    string `json:"status"`
+}
+
+// listInstances serves GET /instances with limit/offset pagination and
+// an optional ?state= filter (active|completed|cancelled|faulted).
+// The response carries the post-filter total, so clients can sample or
+// walk the full set without ever receiving a 100k-element dump.
+func (s *Server) listInstances(w http.ResponseWriter, r *http.Request) {
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	var filter *engine.Status
+	if name := r.URL.Query().Get("state"); name != "" {
+		st, err := engine.ParseStatus(name)
+		if err != nil {
+			writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
+			return
+		}
+		filter = &st
+	}
+	sums := s.bpms.Engine.Summaries()
+	if filter != nil {
+		kept := sums[:0]
+		for _, sm := range sums {
+			if sm.Status == *filter {
+				kept = append(kept, sm)
+			}
+		}
+		sums = kept
+	}
+	total := len(sums)
+	items := make([]instanceRow, 0, len(pageSlice(sums, offset, limit)))
+	for _, sm := range pageSlice(sums, offset, limit) {
+		items = append(items, instanceRow{ID: sm.ID, ProcessID: sm.ProcessID, Status: sm.Status.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"items":  items,
+		"total":  total,
+		"count":  len(items),
+		"offset": offset,
+		"limit":  limit,
+	})
 }
 
 func (s *Server) getInstance(w http.ResponseWriter, r *http.Request) {
@@ -263,7 +371,7 @@ func (s *Server) cancelInstance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) setVariable(w http.ResponseWriter, r *http.Request) {
 	var value any
 	if err := json.NewDecoder(r.Body).Decode(&value); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	if err := s.bpms.Engine.SetVariable(r.PathValue("id"), r.PathValue("name"), value); err != nil {
@@ -287,7 +395,7 @@ type messageRequest struct {
 func (s *Server) publishMessage(w http.ResponseWriter, r *http.Request) {
 	var req messageRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	delivered, buffered, err := s.bpms.Engine.Publish(req.Name, req.Key, req.Vars)
@@ -308,7 +416,7 @@ func filterState(items []*task.Item, state task.State) []*task.Item {
 	return out
 }
 
-func pageSlice(items []*task.Item, offset, limit int) []*task.Item {
+func pageSlice[T any](items []T, offset, limit int) []T {
 	if offset >= len(items) {
 		return nil
 	}
@@ -352,11 +460,11 @@ func (s *Server) listTasks(w http.ResponseWriter, r *http.Request) {
 	stateName := r.URL.Query().Get("state")
 	offset, limit, err := pageParams(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	if user == "" && stateName == "" {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing user or state parameter"})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, "missing user or state parameter")
 		return
 	}
 	if stateName == "" {
@@ -368,7 +476,7 @@ func (s *Server) listTasks(w http.ResponseWriter, r *http.Request) {
 	}
 	state, err := task.ParseState(stateName)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	var items []*task.Item
@@ -427,7 +535,7 @@ func (s *Server) taskAction(act taskAct) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req taskRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
 			return
 		}
 		id := r.PathValue("id")
@@ -485,6 +593,28 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		"history":     hist,
 		"worklist":    s.bpms.Tasks.Stats(),
 	})
+}
+
+type userRequest struct {
+	ID    string   `json:"id"`
+	Roles []string `json:"roles,omitempty"`
+}
+
+// addUser registers a user in the organisational directory — the
+// endpoint load drivers use to stand up their simulated workforce
+// without restarting bpmsd with -user flags.
+func (s *Server) addUser(w http.ResponseWriter, r *http.Request) {
+	var req userRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	if req.ID == "" {
+		writeErrCode(w, http.StatusBadRequest, codeBadRequest, "missing user id")
+		return
+	}
+	s.bpms.AddUser(req.ID, req.Roles...)
+	writeJSON(w, http.StatusCreated, map[string]any{"id": req.ID, "roles": req.Roles})
 }
 
 // adminSnapshot triggers a state snapshot on every shard (compacting

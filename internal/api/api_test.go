@@ -327,7 +327,8 @@ func TestWriteJSONEncodesBeforeHeader(t *testing.T) {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
 	var e apiError
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil ||
+		e.Error.Code != codeInternal || e.Error.Message == "" || e.Message != e.Error.Message {
 		t.Fatalf("error body = %q (%v)", rec.Body.String(), err)
 	}
 

@@ -1,0 +1,161 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bpms/internal/api"
+	"bpms/internal/client"
+	"bpms/internal/core"
+	"bpms/internal/model"
+)
+
+func newServer(t *testing.T) *client.Client {
+	t.Helper()
+	b, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	ts := httptest.NewServer(api.New(b).Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+// TestClientRoundTrip drives a full case lifecycle through the typed
+// client against a real server: deploy, verify, start, work the task,
+// inspect history, and page the listing.
+func TestClientRoundTrip(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+
+	p := model.New("rt").
+		Start("s").
+		UserTask("review", model.Name("Review"), model.Role("clerk")).
+		End("e").
+		Seq("s", "review", "e").
+		MustBuild()
+	if err := c.Deploy(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddUser(ctx, "alice", "clerk"); err != nil {
+		t.Fatal(err)
+	}
+
+	defs, err := c.Definitions(ctx)
+	if err != nil || len(defs) != 1 || defs[0] != "rt" {
+		t.Fatalf("Definitions = %v, %v", defs, err)
+	}
+	got, err := c.Definition(ctx, "rt")
+	if err != nil || got.ID != "rt" || len(got.Elements) != len(p.Elements) {
+		t.Fatalf("Definition = %+v, %v", got, err)
+	}
+	vr, err := c.Verify(ctx, "rt")
+	if err != nil || !vr.Sound {
+		t.Fatalf("Verify = %+v, %v", vr, err)
+	}
+
+	inst, err := c.StartInstance(ctx, "rt", map[string]any{"amount": 7})
+	if err != nil || inst.Status != "active" {
+		t.Fatalf("StartInstance = %+v, %v", inst, err)
+	}
+
+	worklist, offered, err := c.UserTasks(ctx, "alice")
+	if err != nil || len(worklist) != 0 || len(offered) != 1 {
+		t.Fatalf("UserTasks = %v / %v, %v", worklist, offered, err)
+	}
+	item := offered[0]
+	if item.ElementID != "review" || item.State != "offered" {
+		t.Fatalf("offered item = %+v", item)
+	}
+	if _, err := c.Claim(ctx, item.ID, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StartTask(ctx, item.ID, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompleteTask(ctx, item.ID, "alice", map[string]any{"approved": true}); err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err = c.Instance(ctx, inst.ID)
+	if err != nil || inst.Status != "completed" {
+		t.Fatalf("after complete: %+v, %v", inst, err)
+	}
+	hist, err := c.History(ctx, inst.ID)
+	if err != nil || len(hist) == 0 {
+		t.Fatalf("History = %d events, %v", len(hist), err)
+	}
+
+	page, err := c.Instances(ctx, client.InstanceQuery{State: "completed", Limit: 10})
+	if err != nil || page.Total != 1 || len(page.Items) != 1 {
+		t.Fatalf("Instances = %+v, %v", page, err)
+	}
+	if page.Items[0].ID != inst.ID || page.Items[0].Status != "completed" {
+		t.Fatalf("listing row = %+v", page.Items[0])
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil || stats == nil {
+		t.Fatalf("Stats = %v, %v", stats, err)
+	}
+	var xes bytes.Buffer
+	if err := c.ExportXES(ctx, &xes); err != nil || !strings.Contains(xes.String(), "<log") {
+		t.Fatalf("ExportXES = %v (%d bytes)", err, xes.Len())
+	}
+}
+
+// TestClientAPIError checks that server failures surface as typed
+// *APIError with the machine code from the v1 envelope.
+func TestClientAPIError(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+
+	_, err := c.Instance(ctx, "nope")
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != 404 || ae.Code != "unknown_instance" || ae.Message == "" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+
+	_, err = c.StartInstance(ctx, "nope", nil)
+	if !errors.As(err, &ae) || ae.Code != "unknown_definition" {
+		t.Fatalf("start unknown: %v", err)
+	}
+}
+
+// TestClientMessagePublish checks correlated delivery end to end: a
+// catch subscription fed by Publish, and buffering for early
+// messages.
+func TestClientMessagePublish(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+
+	p := model.New("pay").
+		Start("s").
+		MessageCatch("wait", "payment", model.CorrelationKey("orderId")).
+		End("e").
+		Seq("s", "wait", "e").
+		MustBuild()
+	if err := c.Deploy(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.StartInstance(ctx, "pay", map[string]any{"orderId": "o-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, _, err := c.Publish(ctx, "payment", "o-1", map[string]any{"ok": true})
+	if err != nil || delivered != 1 {
+		t.Fatalf("Publish = %d, %v", delivered, err)
+	}
+	inst, err = c.Instance(ctx, inst.ID)
+	if err != nil || inst.Status != "completed" {
+		t.Fatalf("after publish: %+v, %v", inst, err)
+	}
+}

@@ -386,6 +386,34 @@ func (e *Engine) Instances() []string {
 	return out
 }
 
+// InstanceSummary is one row of a listing: identity and status only,
+// no variables or tokens, so listing 100k instances stays cheap.
+type InstanceSummary struct {
+	ID        string
+	ProcessID string
+	Status    Status
+}
+
+// Summaries returns a summary row per instance, sorted by ID. Each
+// instance is locked only long enough to read its status, so the
+// listing does not serialise against running steps.
+func (e *Engine) Summaries() []InstanceSummary {
+	e.mu.RLock()
+	insts := make([]*Instance, 0, len(e.instances))
+	for _, inst := range e.instances {
+		insts = append(insts, inst)
+	}
+	e.mu.RUnlock()
+	out := make([]InstanceSummary, 0, len(insts))
+	for _, inst := range insts {
+		inst.mu.Lock()
+		out = append(out, InstanceSummary{ID: inst.ID, ProcessID: inst.ProcessID, Status: inst.Status})
+		inst.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // CancelInstance cancels an active instance: all tokens are dropped,
 // open work items cancelled, timers disarmed, and subscriptions
 // removed.

@@ -33,6 +33,17 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", int(s))
 }
 
+// ParseStatus resolves a lower-case status name (the API's state
+// filter).
+func ParseStatus(name string) (Status, error) {
+	for i, n := range statusNames {
+		if n == name {
+			return Status(i), nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown status %q", name)
+}
+
 // WaitKind records why a token is parked.
 type WaitKind int
 

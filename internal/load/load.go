@@ -1,0 +1,545 @@
+package load
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpms/internal/client"
+	"bpms/internal/sim"
+)
+
+// Config parameterises a load run.
+type Config struct {
+	Server string
+	// Scenarios is the portfolio subset to drive (Portfolio() when
+	// empty).
+	Scenarios []Scenario
+	// Accounts is the simulated population; each account starts cases
+	// of its assigned scenario on its own open-loop schedule.
+	Accounts int
+	// Duration is how long new arrivals are scheduled; in-flight cases
+	// get a short drain grace afterwards.
+	Duration time.Duration
+	// Workers bounds the HTTP dispatch pool for starts and publishes.
+	Workers int
+	// UsersPerRole is the worker-user pool per scenario role. Work
+	// items fan out to every user in a role, so this must stay small —
+	// accounts never appear in the directory.
+	UsersPerRole int
+	// Arrival is the base per-account case interarrival distribution.
+	Arrival sim.Dist
+	// Think is the worker-user pause between worklist polls.
+	Think sim.Dist
+	// ZipfSkew skews per-account activity (>1; rank-0 accounts are the
+	// busiest). 0 disables skew.
+	ZipfSkew float64
+	// Seed keys all random streams.
+	Seed int64
+	// ReportEvery is the stderr progress interval (0 = 5s).
+	ReportEvery time.Duration
+	// DrainGrace is how long workers keep draining after the schedule
+	// ends (0 = 3s).
+	DrainGrace time.Duration
+	// Out receives progress lines (nil = silent).
+	Out io.Writer
+}
+
+// account is one simulated traffic source: a scenario assignment and
+// a rate multiplier (Zipf rank) stretching its interarrival times.
+type account struct {
+	scenario int
+	mult     float64
+}
+
+// event is a scheduled arrival in the open-loop calendar.
+type event struct {
+	at   time.Time
+	acct int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// job is one unit handed to the HTTP worker pool.
+type job struct {
+	scenario *Scenario
+	caseNum  int64
+}
+
+// Runner drives a live bpmsd: an open-loop scheduler draws arrival
+// times per account (rulio-style — the schedule never waits for the
+// server), a bounded worker pool issues the HTTP calls, and small
+// per-role worker-user pools grind task lifecycles (claim → start →
+// complete) against their worklists.
+type Runner struct {
+	cfg       Config
+	c         *client.Client
+	rec       *Recorder
+	byProcess map[string]*Scenario
+	caseNum   atomic.Int64
+	maxLag    atomic.Int64 // worst scheduler dispatch lag, ns
+	dropped   atomic.Int64 // message publishes dropped at saturation
+}
+
+// NewRunner validates the config and builds a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Server == "" {
+		return nil, errors.New("load: Server required")
+	}
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = Portfolio()
+	}
+	if cfg.Accounts <= 0 {
+		cfg.Accounts = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	if cfg.UsersPerRole <= 0 {
+		cfg.UsersPerRole = 2
+	}
+	if cfg.Arrival == nil {
+		cfg.Arrival = sim.Exp(10 * time.Second)
+	}
+	if cfg.Think == nil {
+		cfg.Think = sim.Uniform{Lo: 50 * time.Millisecond, Hi: 250 * time.Millisecond}
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 5 * time.Second
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 3 * time.Second
+	}
+	r := &Runner{
+		cfg:       cfg,
+		c:         client.New(cfg.Server),
+		rec:       NewRecorder(cfg.Seed),
+		byProcess: map[string]*Scenario{},
+	}
+	for i := range cfg.Scenarios {
+		sc := &cfg.Scenarios[i]
+		r.byProcess[sc.Process.ID] = sc
+	}
+	return r, nil
+}
+
+// Run executes the load: deploy, staff roles, schedule arrivals for
+// Duration, drain, sweep completions, and return the report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	if err := r.setup(ctx); err != nil {
+		return nil, err
+	}
+
+	jobs := make(chan job, 2*r.cfg.Workers)
+	done := make(chan struct{}) // closed when workers must exit
+	var httpWG, taskWG sync.WaitGroup
+
+	for i := 0; i < r.cfg.Workers; i++ {
+		httpWG.Add(1)
+		rng := rand.New(rand.NewSource(r.cfg.Seed + 1000 + int64(i)))
+		go func() {
+			defer httpWG.Done()
+			r.httpWorker(ctx, jobs, done, rng)
+		}()
+	}
+	workerUsers := r.workerUsers()
+	for i, wu := range workerUsers {
+		taskWG.Add(1)
+		rng := rand.New(rand.NewSource(r.cfg.Seed + 2000 + int64(i)))
+		go func() {
+			defer taskWG.Done()
+			r.taskWorker(ctx, wu, done, rng)
+		}()
+	}
+
+	stopReport := r.startReporter(done)
+
+	r.schedule(ctx, jobs)
+
+	// Schedule is done: give in-flight cases a drain grace, then stop
+	// everything.
+	select {
+	case <-time.After(r.cfg.DrainGrace):
+	case <-ctx.Done():
+	}
+	close(done)
+	httpWG.Wait()
+	taskWG.Wait()
+	stopReport()
+
+	completed, err := r.sweepCompleted(ctx)
+	if err != nil && r.cfg.Out != nil {
+		fmt.Fprintf(r.cfg.Out, "[bpmsload] completion sweep failed: %v\n", err)
+	}
+	elapsed := time.Since(start)
+	rep := r.rec.Finish(r.reportConfig(), elapsed, completed)
+	return rep, ctx.Err()
+}
+
+// setup deploys the scenario processes and registers the worker-user
+// pools in the directory over the v1 admin API.
+func (r *Runner) setup(ctx context.Context) error {
+	for i := range r.cfg.Scenarios {
+		sc := &r.cfg.Scenarios[i]
+		if err := r.c.Deploy(ctx, sc.Process); err != nil {
+			return fmt.Errorf("load: deploy %s: %w", sc.Name, err)
+		}
+	}
+	for _, wu := range r.workerUsers() {
+		if err := r.c.AddUser(ctx, wu.id, wu.role); err != nil {
+			return fmt.Errorf("load: add user %s: %w", wu.id, err)
+		}
+	}
+	return nil
+}
+
+type workerUser struct {
+	id   string
+	role string
+}
+
+// workerUsers enumerates the small per-role staffing pool. Roles are
+// deduplicated across scenarios.
+func (r *Runner) workerUsers() []workerUser {
+	seen := map[string]bool{}
+	var out []workerUser
+	for i := range r.cfg.Scenarios {
+		for _, role := range r.cfg.Scenarios[i].Roles {
+			if seen[role] {
+				continue
+			}
+			seen[role] = true
+			for k := 0; k < r.cfg.UsersPerRole; k++ {
+				out = append(out, workerUser{id: fmt.Sprintf("lw-%s-%d", role, k), role: role})
+			}
+		}
+	}
+	return out
+}
+
+// schedule is the open-loop calendar: each account's next arrival is
+// drawn when the previous one fires, anchored at the scheduled (not
+// actual) time, so a slow server never throttles offered load.
+func (r *Runner) schedule(ctx context.Context, jobs chan<- job) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	accounts := r.makeAccounts(rng)
+	now := time.Now()
+	deadline := now.Add(r.cfg.Duration)
+
+	h := make(eventHeap, 0, len(accounts))
+	for i := range accounts {
+		// Random phase within one interarrival avoids a thundering herd
+		// at t=0.
+		phase := time.Duration(rng.Int63n(int64(r.interarrival(&accounts[i], rng)) + 1))
+		h = append(h, event{at: now.Add(phase), acct: i})
+	}
+	heap.Init(&h)
+
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.at.After(deadline) {
+			continue // this account's schedule is exhausted
+		}
+		if wait := time.Until(ev.at); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return
+			}
+		} else if lag := -wait; int64(lag) > r.maxLag.Load() {
+			r.maxLag.Store(int64(lag))
+		}
+		acct := &accounts[ev.acct]
+		sc := &r.cfg.Scenarios[acct.scenario]
+		select {
+		case jobs <- job{scenario: sc, caseNum: r.caseNum.Add(1)}:
+		case <-ctx.Done():
+			return
+		}
+		heap.Push(&h, event{at: ev.at.Add(r.interarrival(acct, rng)), acct: ev.acct})
+	}
+}
+
+// makeAccounts assigns each account a scenario (by portfolio weight)
+// and a Zipf-ranked activity multiplier.
+func (r *Runner) makeAccounts(rng *rand.Rand) []account {
+	weights := make([]float64, len(r.cfg.Scenarios))
+	for i := range r.cfg.Scenarios {
+		w := r.cfg.Scenarios[i].Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	var z *sim.Zipf
+	if r.cfg.ZipfSkew > 0 {
+		z = sim.NewZipf(rng, r.cfg.ZipfSkew, 64)
+	}
+	accounts := make([]account, r.cfg.Accounts)
+	for i := range accounts {
+		accounts[i].scenario = sim.WeightedIndex(rng, weights)
+		accounts[i].mult = 1
+		if z != nil {
+			// Most accounts draw rank 0 (full rate); the tail is slower.
+			accounts[i].mult = 1 + float64(z.Rank())
+		}
+	}
+	return accounts
+}
+
+// interarrival draws the account's next gap: the base distribution
+// stretched by its activity multiplier.
+func (r *Runner) interarrival(a *account, rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(r.cfg.Arrival.Sample(rng)) * a.mult)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// httpWorker executes start jobs from the scheduler and arms the
+// scenario's message publishes.
+func (r *Runner) httpWorker(ctx context.Context, jobs <-chan job, done <-chan struct{}, rng *rand.Rand) {
+	for {
+		select {
+		case <-done:
+			return
+		case j := <-jobs:
+			r.runStart(ctx, j, jobs, rng)
+		}
+	}
+}
+
+// runStart starts one case and schedules its correlated messages.
+func (r *Runner) runStart(ctx context.Context, j job, jobs <-chan job, rng *rand.Rand) {
+	sc := j.scenario
+	var vars map[string]any
+	var delays []time.Duration
+	var keys []string
+	// Sample everything under this worker's rng before any I/O.
+	vars = sc.StartVars(rng, j.caseNum)
+	for _, ms := range sc.Messages {
+		delays = append(delays, ms.Delay.Sample(rng))
+		key, _ := vars[ms.KeyVar].(string)
+		keys = append(keys, key)
+	}
+
+	t0 := time.Now()
+	_, err := r.c.StartInstance(ctx, sc.Process.ID, vars)
+	r.rec.Record(sc.Name, "start", time.Since(t0), err, is5xx(err), false)
+	if err != nil {
+		return
+	}
+	for i, ms := range sc.Messages {
+		ms, key, delay := ms, keys[i], delays[i]
+		if key == "" {
+			continue
+		}
+		// A runtime timer per pending message: the publish runs in the
+		// timer goroutine so a full pool never delays the case start
+		// path.
+		time.AfterFunc(delay, func() {
+			if ctx.Err() != nil {
+				r.dropped.Add(1)
+				return
+			}
+			t0 := time.Now()
+			_, _, err := r.c.Publish(ctx, ms.Name, key, map[string]any{"paidAt": t0.UnixMilli()})
+			r.rec.Record(sc.Name, "publish", time.Since(t0), err, is5xx(err), false)
+		})
+	}
+}
+
+// taskWorker is one worker user grinding its worklist: poll, claim
+// offers, start and complete allocated items, think, repeat.
+func (r *Runner) taskWorker(ctx context.Context, wu workerUser, done <-chan struct{}, rng *rand.Rand) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		worklist, offered, err := r.c.UserTasks(ctx, wu.id)
+		r.rec.RecordPoll(r.scenarioForRole(wu.role), err, is5xx(err))
+		if err == nil {
+			for _, it := range offered {
+				r.driveItem(ctx, wu, it, rng)
+			}
+			for _, it := range worklist {
+				r.driveItem(ctx, wu, it, rng)
+			}
+		}
+		pause := r.cfg.Think.Sample(rng)
+		select {
+		case <-done:
+			return
+		case <-time.After(pause):
+		}
+	}
+}
+
+// driveItem pushes one work item through its remaining lifecycle.
+// Claim races with sibling workers are recorded as contention, not
+// errors.
+func (r *Runner) driveItem(ctx context.Context, wu workerUser, it client.Task, rng *rand.Rand) {
+	sc := r.byProcess[it.ProcessID]
+	if sc == nil {
+		return // not ours (shared server)
+	}
+	state := it.State
+	if state == "offered" {
+		t0 := time.Now()
+		_, err := r.c.Claim(ctx, it.ID, wu.id)
+		r.rec.Record(sc.Name, "claim", time.Since(t0), err, is5xx(err), isContention(err))
+		if err != nil {
+			return
+		}
+		state = "allocated"
+	}
+	if state == "allocated" {
+		t0 := time.Now()
+		_, err := r.c.StartTask(ctx, it.ID, wu.id)
+		r.rec.Record(sc.Name, "begin", time.Since(t0), err, is5xx(err), isContention(err))
+		if err != nil {
+			return
+		}
+		state = "started"
+	}
+	if state == "started" {
+		outcome := sc.Outcome(it.ElementID, rng)
+		t0 := time.Now()
+		_, err := r.c.CompleteTask(ctx, it.ID, wu.id, outcome)
+		r.rec.Record(sc.Name, "complete", time.Since(t0), err, is5xx(err), isContention(err))
+	}
+}
+
+// scenarioForRole attributes a poll to the first scenario staffing the
+// role (polls are per-user, not per-case; this only keys error
+// accounting).
+func (r *Runner) scenarioForRole(role string) string {
+	for i := range r.cfg.Scenarios {
+		for _, ro := range r.cfg.Scenarios[i].Roles {
+			if ro == role {
+				return r.cfg.Scenarios[i].Name
+			}
+		}
+	}
+	return "other"
+}
+
+// startReporter emits periodic progress lines; the returned func stops
+// it.
+func (r *Runner) startReporter(done <-chan struct{}) func() {
+	if r.cfg.Out == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(r.cfg.ReportEvery)
+		defer tick.Stop()
+		var last int64
+		for {
+			select {
+			case <-tick.C:
+				var line string
+				line, last = r.rec.Progress(last, r.cfg.ReportEvery)
+				fmt.Fprintln(r.cfg.Out, line)
+			case <-done:
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { close(stop); wg.Wait() }
+}
+
+// sweepCompleted pages the v1 instance listing (state filter + offset
+// pagination — the satellite this load run exists to exercise) and
+// counts completed cases per scenario.
+func (r *Runner) sweepCompleted(ctx context.Context) (map[string]int64, error) {
+	counts := map[string]int64{}
+	const page = 1000
+	offset := 0
+	for {
+		p, err := r.c.Instances(ctx, client.InstanceQuery{State: "completed", Offset: offset, Limit: page})
+		if err != nil {
+			return counts, err
+		}
+		for _, it := range p.Items {
+			if sc := r.byProcess[it.ProcessID]; sc != nil {
+				counts[sc.Name]++
+			}
+		}
+		offset += len(p.Items)
+		if len(p.Items) == 0 || offset >= p.Total {
+			return counts, nil
+		}
+	}
+}
+
+func (r *Runner) reportConfig() ReportConfig {
+	names := make([]string, 0, len(r.cfg.Scenarios))
+	for i := range r.cfg.Scenarios {
+		names = append(names, r.cfg.Scenarios[i].Name)
+	}
+	return ReportConfig{
+		Server:       r.cfg.Server,
+		Accounts:     r.cfg.Accounts,
+		Workers:      r.cfg.Workers,
+		UsersPerRole: r.cfg.UsersPerRole,
+		Scenarios:    names,
+		ArrivalMeanS: r.cfg.Arrival.Mean().Seconds(),
+		ZipfSkew:     r.cfg.ZipfSkew,
+		Seed:         r.cfg.Seed,
+	}
+}
+
+// MaxSchedulerLag reports the worst observed dispatch lag — how far
+// behind the open-loop calendar the generator itself fell.
+func (r *Runner) MaxSchedulerLag() time.Duration { return time.Duration(r.maxLag.Load()) }
+
+// is5xx reports whether err is a server-side API failure (or a
+// transport error, which counts against the server too).
+func is5xx(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return false
+}
+
+// isContention reports the benign task races: another sibling worker
+// claimed or completed the item first.
+func isContention(err error) bool {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status == 409 || ae.Status == 403 || ae.Status == 404
+	}
+	return false
+}

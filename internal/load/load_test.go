@@ -1,0 +1,117 @@
+package load_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bpms/internal/api"
+	"bpms/internal/client"
+	"bpms/internal/core"
+	"bpms/internal/load"
+	"bpms/internal/sim"
+)
+
+func newServer(t *testing.T) string {
+	t.Helper()
+	b, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	ts := httptest.NewServer(api.New(b).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestPortfolioDeploysSound deploys every scenario process against a
+// real server and requires the verifier to pass it: the portfolio
+// must stay HTTP-drivable and sound.
+func TestPortfolioDeploysSound(t *testing.T) {
+	c := client.New(newServer(t))
+	ctx := context.Background()
+	for _, sc := range load.Portfolio() {
+		if err := c.Deploy(ctx, sc.Process); err != nil {
+			t.Fatalf("%s: deploy: %v", sc.Name, err)
+		}
+		vr, err := c.Verify(ctx, sc.Process.ID)
+		if err != nil {
+			t.Fatalf("%s: verify: %v", sc.Name, err)
+		}
+		if !vr.Sound {
+			t.Errorf("%s: not sound: %+v", sc.Name, vr)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := load.Select(nil)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Select(nil) = %d scenarios, %v", len(all), err)
+	}
+	two, err := load.Select([]string{"mining", "quickstart"})
+	if err != nil || len(two) != 2 || two[0].Name != "mining" {
+		t.Fatalf("Select = %+v, %v", two, err)
+	}
+	if _, err := load.Select([]string{"nope"}); err == nil {
+		t.Fatal("Select(nope) should fail")
+	}
+}
+
+// TestRunnerSmoke is the bpmsload smoke: a short open-loop run over a
+// human scenario and an automatic one against an in-process server.
+// It must start cases, complete cases, and never see a 5xx.
+func TestRunnerSmoke(t *testing.T) {
+	url := newServer(t)
+	scenarios, err := load.Select([]string{"quickstart", "mining"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := load.NewRunner(load.Config{
+		Server:       url,
+		Scenarios:    scenarios,
+		Accounts:     10,
+		Duration:     1500 * time.Millisecond,
+		Workers:      8,
+		UsersPerRole: 2,
+		Arrival:      sim.Exp(400 * time.Millisecond),
+		Think:        sim.Uniform{Lo: 20 * time.Millisecond, Hi: 60 * time.Millisecond},
+		ZipfSkew:     1.2,
+		Seed:         42,
+		DrainGrace:   1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := rep.Aggregate
+	if agg.Started == 0 {
+		t.Fatal("no instances started")
+	}
+	if agg.Completed == 0 {
+		t.Fatal("no instances completed")
+	}
+	if agg.HTTP5xx != 0 {
+		t.Fatalf("%d server errors", agg.HTTP5xx)
+	}
+	if agg.Events == 0 || agg.EventsPerSec <= 0 {
+		t.Fatalf("no events recorded: %+v", agg)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("scenario reports = %+v", rep.Scenarios)
+	}
+	// The automatic pipeline completes at start, so its completions
+	// must track its starts even in a short run.
+	for _, sr := range rep.Scenarios {
+		if sr.Name == "mining" && sr.Completed == 0 && sr.Started > 0 {
+			t.Errorf("mining started %d but completed none", sr.Started)
+		}
+	}
+	if rep.DurationSec <= 0 || rep.Config.Accounts != 10 {
+		t.Fatalf("report config echo broken: %+v", rep)
+	}
+}

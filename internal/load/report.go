@@ -1,0 +1,239 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"bpms/internal/metrics"
+)
+
+// reservoirCap bounds per-scenario latency sampling; Vitter's
+// algorithm R keeps a uniform sample however many events pass.
+const reservoirCap = 4096
+
+// Recorder accumulates per-scenario operation latencies and error
+// counts while a run is in flight. All methods are safe for
+// concurrent use by the HTTP worker pool.
+type Recorder struct {
+	mu    sync.Mutex
+	start time.Time
+	seed  int64
+	scen  map[string]*scenStats
+	polls int64
+}
+
+type scenStats struct {
+	res       *metrics.Reservoir
+	events    int64
+	ops       map[string]int64
+	errors    int64
+	http5xx   int64
+	started   int64
+	contended int64
+}
+
+// NewRecorder starts a recorder; seed keys the latency reservoirs so
+// runs are reproducible.
+func NewRecorder(seed int64) *Recorder {
+	return &Recorder{start: time.Now(), seed: seed, scen: map[string]*scenStats{}}
+}
+
+func (r *Recorder) stats(scenario string) *scenStats {
+	st, ok := r.scen[scenario]
+	if !ok {
+		st = &scenStats{
+			res: metrics.NewReservoir(reservoirCap, r.seed+int64(len(r.scen))),
+			ops: map[string]int64{},
+		}
+		r.scen[scenario] = st
+	}
+	return st
+}
+
+// Record logs one workflow-driving HTTP operation (start, publish,
+// claim, begin, complete). status5xx marks server-side failures;
+// contended marks benign claim races (another worker won the item).
+func (r *Recorder) Record(scenario, op string, d time.Duration, err error, status5xx, contended bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats(scenario)
+	st.ops[op]++
+	switch {
+	case contended:
+		st.contended++
+	case err != nil:
+		st.errors++
+		if status5xx {
+			st.http5xx++
+		}
+	default:
+		st.events++
+		st.res.AddDuration(d)
+		if op == "start" {
+			st.started++
+		}
+	}
+}
+
+// RecordPoll logs one worklist poll; polls are bookkeeping, not
+// workflow events, so they only feed the error counters.
+func (r *Recorder) RecordPoll(scenario string, err error, status5xx bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.polls++
+	if err != nil {
+		st := r.stats(scenario)
+		st.errors++
+		if status5xx {
+			st.http5xx++
+		}
+	}
+}
+
+// Progress renders one stderr progress line: cumulative events, the
+// rate over the window since lastEvents, and cumulative percentiles.
+func (r *Recorder) Progress(lastEvents int64, window time.Duration) (line string, events int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := metrics.NewReservoir(reservoirCap, r.seed)
+	var errs, x5 int64
+	for _, st := range r.scen {
+		events += st.events
+		errs += st.errors
+		x5 += st.http5xx
+		for _, v := range sample(st.res) {
+			agg.Add(v)
+		}
+	}
+	rate := float64(events-lastEvents) / window.Seconds()
+	line = fmt.Sprintf("[bpmsload] t=%s events=%d (%.1f/s) p50=%.1fms p95=%.1fms p99=%.1fms errors=%d 5xx=%d polls=%d",
+		time.Since(r.start).Truncate(time.Second), events, rate,
+		agg.Percentile(0.50)*1e3, agg.Percentile(0.95)*1e3, agg.Percentile(0.99)*1e3,
+		errs, x5, r.polls)
+	return line, events
+}
+
+// sample drains a reservoir's current sample via percentile probes —
+// the reservoir doesn't expose its buffer, but cap probes reconstruct
+// an equivalent distribution for aggregation.
+func sample(res *metrics.Reservoir) []float64 {
+	n := res.Count()
+	if n == 0 {
+		return nil
+	}
+	if n > reservoirCap {
+		n = reservoirCap
+	}
+	out := make([]float64, 0, n)
+	for i := int64(0); i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		out = append(out, res.Percentile(p))
+	}
+	return out
+}
+
+// ScenarioReport is the per-scenario (and aggregate) slice of the T14
+// benchmark report.
+type ScenarioReport struct {
+	Name         string           `json:"name"`
+	Events       int64            `json:"events"`
+	EventsPerSec float64          `json:"eventsPerSec"`
+	P50Ms        float64          `json:"p50Ms"`
+	P95Ms        float64          `json:"p95Ms"`
+	P99Ms        float64          `json:"p99Ms"`
+	Started      int64            `json:"instancesStarted"`
+	Completed    int64            `json:"instancesCompleted"`
+	Errors       int64            `json:"errors"`
+	HTTP5xx      int64            `json:"http5xx"`
+	Contended    int64            `json:"claimContention"`
+	Ops          map[string]int64 `json:"ops"`
+}
+
+// Report is the machine-readable result of a load run (BENCH_T14.json).
+type Report struct {
+	Experiment  string           `json:"experiment"`
+	Config      ReportConfig     `json:"config"`
+	DurationSec float64          `json:"durationSec"`
+	Polls       int64            `json:"polls"`
+	Scenarios   []ScenarioReport `json:"scenarios"`
+	Aggregate   ScenarioReport   `json:"aggregate"`
+}
+
+// ReportConfig echoes the run parameters into the report.
+type ReportConfig struct {
+	Server       string   `json:"server"`
+	Accounts     int      `json:"accounts"`
+	Workers      int      `json:"workers"`
+	UsersPerRole int      `json:"usersPerRole"`
+	Scenarios    []string `json:"scenarios"`
+	ArrivalMeanS float64  `json:"arrivalMeanSec"`
+	ZipfSkew     float64  `json:"zipfSkew"`
+	Seed         int64    `json:"seed"`
+}
+
+// Finish freezes the recorder into a report; completed maps scenario
+// name to the swept completed-instance count.
+func (r *Recorder) Finish(cfg ReportConfig, elapsed time.Duration, completed map[string]int64) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Experiment:  "T14",
+		Config:      cfg,
+		DurationSec: elapsed.Seconds(),
+		Polls:       r.polls,
+	}
+	agg := metrics.NewReservoir(reservoirCap, r.seed)
+	aggr := ScenarioReport{Name: "aggregate", Ops: map[string]int64{}}
+	names := make([]string, 0, len(r.scen))
+	for name := range r.scen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := r.scen[name]
+		sr := ScenarioReport{
+			Name:         name,
+			Events:       st.events,
+			EventsPerSec: float64(st.events) / elapsed.Seconds(),
+			P50Ms:        st.res.Percentile(0.50) * 1e3,
+			P95Ms:        st.res.Percentile(0.95) * 1e3,
+			P99Ms:        st.res.Percentile(0.99) * 1e3,
+			Started:      st.started,
+			Completed:    completed[name],
+			Errors:       st.errors,
+			HTTP5xx:      st.http5xx,
+			Contended:    st.contended,
+			Ops:          st.ops,
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+		aggr.Events += st.events
+		aggr.Started += st.started
+		aggr.Completed += completed[name]
+		aggr.Errors += st.errors
+		aggr.HTTP5xx += st.http5xx
+		aggr.Contended += st.contended
+		for op, n := range st.ops {
+			aggr.Ops[op] += n
+		}
+		for _, v := range sample(st.res) {
+			agg.Add(v)
+		}
+	}
+	aggr.EventsPerSec = float64(aggr.Events) / elapsed.Seconds()
+	aggr.P50Ms = agg.Percentile(0.50) * 1e3
+	aggr.P95Ms = agg.Percentile(0.95) * 1e3
+	aggr.P99Ms = agg.Percentile(0.99) * 1e3
+	rep.Aggregate = aggr
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

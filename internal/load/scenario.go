@@ -1,0 +1,276 @@
+// Package load is the macro workload layer behind cmd/bpmsload: an
+// open-loop HTTP traffic generator (modeled on the rulio-style
+// account/device simulator) that drives a live bpmsd through the
+// typed v1 client across a portfolio of scenarios, plus the recorder
+// that turns per-request latencies into the T14 benchmark report.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bpms/internal/model"
+	"bpms/internal/sim"
+)
+
+// MessageStep is a correlated message an account publishes some time
+// after starting a case: Name is the message, KeyVar the start
+// variable carrying the correlation key, Delay the publish delay
+// distribution.
+type MessageStep struct {
+	Name   string
+	KeyVar string
+	Delay  sim.Dist
+}
+
+// Scenario is one HTTP-drivable workload: a deployable process (no
+// service tasks — everything reachable over the wire), the worker
+// roles it staffs, randomized start variables, task outcomes, and
+// scheduled message publishes.
+type Scenario struct {
+	Name    string
+	Process *model.Process
+	// Roles are the worker roles the scenario's user tasks route to.
+	Roles []string
+	// Weight is the scenario's share when accounts are spread across a
+	// portfolio.
+	Weight float64
+	// StartVars draws the case payload; caseNum is unique per started
+	// case (correlation keys derive from it).
+	StartVars func(r *rand.Rand, caseNum int64) map[string]any
+	// Outcome draws the completion payload for a work item of the
+	// given element (nil map is fine).
+	Outcome func(elementID string, r *rand.Rand) map[string]any
+	// Messages are published per case after its start.
+	Messages []MessageStep
+}
+
+// Portfolio returns the full scenario set, mirroring the examples/
+// portfolio (quickstart approval, loan origination, insurance claims,
+// order fulfillment, mining) in HTTP-drivable form. Process IDs are
+// load-* so a load run never collides with interactively deployed
+// definitions.
+func Portfolio() []Scenario {
+	return []Scenario{
+		quickstart(),
+		loanOrigination(),
+		insuranceClaims(),
+		orderFulfillment(),
+		mining(),
+	}
+}
+
+// Select returns the named subset of the portfolio (all of it when
+// names is empty).
+func Select(names []string) ([]Scenario, error) {
+	all := Portfolio()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]Scenario{}
+	for _, sc := range all {
+		byName[sc.Name] = sc
+	}
+	var out []Scenario
+	for _, n := range names {
+		sc, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("load: unknown scenario %q", n)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// quickstart is the order-approval process: one human decision routing
+// to an archive or reject script.
+func quickstart() Scenario {
+	p := model.New("load-quickstart").
+		Name("Load: order approval").
+		Start("received").
+		UserTask("approve", model.Name("Approve order"), model.Role("load-approver")).
+		XOR("decision", model.Default("no")).
+		ScriptTask("archive", model.Output("result", `"accepted: " + str(amount)`)).
+		ScriptTask("notify", model.Output("result", `"rejected"`)).
+		XOR("merge").
+		End("done").
+		Flow("received", "approve").
+		Flow("approve", "decision").
+		FlowIf("decision", "archive", "approved == true").
+		FlowID("no", "decision", "notify", "").
+		Flow("archive", "merge").
+		Flow("notify", "merge").
+		Flow("merge", "done").
+		MustBuild()
+	return Scenario{
+		Name:    "quickstart",
+		Process: p,
+		Roles:   []string{"load-approver"},
+		Weight:  0.3,
+		StartVars: func(r *rand.Rand, _ int64) map[string]any {
+			return map[string]any{"amount": 100 + r.Intn(9900)}
+		},
+		Outcome: func(el string, r *rand.Rand) map[string]any {
+			// 80% approvals, like a healthy order book.
+			return map[string]any{"approved": r.Float64() < 0.8}
+		},
+	}
+}
+
+// loanOrigination routes on score: low-risk applications auto-approve
+// through a script, the rest go to a human underwriter; hopeless
+// scores terminate at a fraud stop.
+func loanOrigination() Scenario {
+	p := model.New("load-loan").
+		Name("Load: loan origination").
+		Start("applied").
+		XOR("fraudGate", model.Default("clean")).
+		TerminateEnd("fraudStop").
+		XOR("route", model.Default("manual")).
+		ScriptTask("autoApprove", model.Output("decision", `"auto-approved"`)).
+		UserTask("review", model.Name("Underwrite loan"), model.Role("load-underwriter")).
+		XOR("merge").
+		End("done").
+		Flow("applied", "fraudGate").
+		FlowIf("fraudGate", "fraudStop", "score < 320").
+		FlowID("clean", "fraudGate", "route", "").
+		FlowIf("route", "autoApprove", "score >= 700").
+		FlowID("manual", "route", "review", "").
+		Flow("autoApprove", "merge").
+		Flow("review", "merge").
+		Flow("merge", "done").
+		MustBuild()
+	return Scenario{
+		Name:    "loan",
+		Process: p,
+		Roles:   []string{"load-underwriter"},
+		Weight:  0.2,
+		StartVars: func(r *rand.Rand, _ int64) map[string]any {
+			return map[string]any{
+				"amount": 1000 + r.Intn(99000),
+				"score":  300 + r.Intn(550),
+			}
+		},
+		Outcome: func(el string, r *rand.Rand) map[string]any {
+			if r.Float64() < 0.7 {
+				return map[string]any{"decision": "approved"}
+			}
+			return map[string]any{"decision": "rejected"}
+		},
+	}
+}
+
+// insuranceClaims is the human-heavy scenario: registration, a
+// triage-routed assessment, and settlement — up to three sequential
+// work items per case.
+func insuranceClaims() Scenario {
+	p := model.New("load-claims").
+		Name("Load: insurance claims").
+		Start("filed").
+		UserTask("register", model.Name("Register claim"), model.Role("load-clerk")).
+		XOR("triage", model.Default("simple")).
+		UserTask("assess", model.Name("Assess damage"), model.Role("load-assessor")).
+		UserTask("quickCheck", model.Name("Quick check"), model.Role("load-clerk")).
+		XOR("merge").
+		UserTask("settle", model.Name("Settle payment"), model.Role("load-clerk")).
+		End("closed").
+		Flow("filed", "register").
+		Flow("register", "triage").
+		FlowIf("triage", "assess", "amount > 5000").
+		FlowID("simple", "triage", "quickCheck", "").
+		Flow("assess", "merge").
+		Flow("quickCheck", "merge").
+		Flow("merge", "settle").
+		Flow("settle", "closed").
+		MustBuild()
+	return Scenario{
+		Name:    "claims",
+		Process: p,
+		Roles:   []string{"load-clerk", "load-assessor"},
+		Weight:  0.2,
+		StartVars: func(r *rand.Rand, _ int64) map[string]any {
+			return map[string]any{"amount": 500 + r.Intn(19500)}
+		},
+		Outcome: func(el string, r *rand.Rand) map[string]any {
+			if el == "assess" {
+				return map[string]any{"severity": 1 + r.Intn(5)}
+			}
+			return nil
+		},
+	}
+}
+
+// orderFulfillment exercises message correlation and parallelism: a
+// payment message races a human pick task through an AND fork/join.
+// Accounts publish the payment a little after the order starts.
+func orderFulfillment() Scenario {
+	p := model.New("load-order").
+		Name("Load: order fulfillment").
+		Start("placed").
+		AND("fork").
+		MessageCatch("awaitPayment", "load.payment", model.CorrelationKey("orderId")).
+		UserTask("pick", model.Name("Pick items"), model.Role("load-warehouse")).
+		AND("join").
+		ScriptTask("ship", model.Output("shipped", "true")).
+		End("done").
+		Flow("placed", "fork").
+		Flow("fork", "awaitPayment").
+		Flow("fork", "pick").
+		Flow("awaitPayment", "join").
+		Flow("pick", "join").
+		Flow("join", "ship").
+		Flow("ship", "done").
+		MustBuild()
+	return Scenario{
+		Name:    "order",
+		Process: p,
+		Roles:   []string{"load-warehouse"},
+		Weight:  0.2,
+		StartVars: func(r *rand.Rand, caseNum int64) map[string]any {
+			return map[string]any{
+				"orderId": fmt.Sprintf("ord-%d", caseNum),
+				"items":   1 + r.Intn(5),
+			}
+		},
+		Outcome: func(el string, r *rand.Rand) map[string]any { return nil },
+		Messages: []MessageStep{
+			{Name: "load.payment", KeyVar: "orderId",
+				Delay: sim.Uniform{Lo: 100 * time.Millisecond, Hi: 1500 * time.Millisecond}},
+		},
+	}
+}
+
+// mining is the fully automatic scenario: a script pipeline that
+// completes at start, measuring pure enactment + HTTP throughput and
+// feeding the history store dense traces for the mining tooling.
+func mining() Scenario {
+	p := model.New("load-mining").
+		Name("Load: scripted pipeline").
+		Start("ingest").
+		ScriptTask("validate", model.Output("checked", "true")).
+		XOR("branch", model.Default("slow")).
+		ScriptTask("fastPath", model.Output("path", `"fast"`)).
+		ScriptTask("slowPath", model.Output("path", `"slow"`)).
+		XOR("merge").
+		ScriptTask("record", model.Output("recorded", "true")).
+		End("done").
+		Flow("ingest", "validate").
+		Flow("validate", "branch").
+		FlowIf("branch", "fastPath", "amount > 5000").
+		FlowID("slow", "branch", "slowPath", "").
+		Flow("fastPath", "merge").
+		Flow("slowPath", "merge").
+		Flow("merge", "record").
+		Flow("record", "done").
+		MustBuild()
+	return Scenario{
+		Name:    "mining",
+		Process: p,
+		Weight:  0.1,
+		StartVars: func(r *rand.Rand, _ int64) map[string]any {
+			return map[string]any{"amount": r.Intn(10000)}
+		},
+		Outcome: func(el string, r *rand.Rand) map[string]any { return nil },
+	}
+}

@@ -272,6 +272,17 @@ func (r *Router) Instances() []string {
 	return out
 }
 
+// Summaries returns a summary row per instance across all shards,
+// sorted by ID.
+func (r *Router) Summaries() []engine.InstanceSummary {
+	var out []engine.InstanceSummary
+	for _, s := range r.shards {
+		out = append(out, s.Summaries()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // CancelInstance cancels an active instance on its owner shard.
 func (r *Router) CancelInstance(id, reason string) error {
 	return r.owner(id).CancelInstance(id, reason)

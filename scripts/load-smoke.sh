@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Load-smoke gate (T14): boot a real bpmsd, point the bpmsload macro
+# traffic generator at it for a short open-loop run over two
+# scenarios, and require
+#
+#   - a nonzero number of completed instances (the human scenario's
+#     worker-user pool actually ground tasks through claim → start →
+#     complete, and the automatic pipeline enacted end to end), and
+#   - zero 5xx responses from the daemon under load.
+#
+# The machine-readable report lands in BENCH_T14.json (uploaded as a
+# CI artifact). Tunables:
+#
+#   ACCOUNTS=50 DURATION=10s RATE=30 SCENARIOS=quickstart,mining
+#   ADDR=127.0.0.1:18090 ./scripts/load-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18090}"
+ACCOUNTS="${ACCOUNTS:-50}"
+DURATION="${DURATION:-20s}"
+RATE="${RATE:-30}"
+SCENARIOS="${SCENARIOS:-quickstart,mining}"
+OUT="${OUT:-BENCH_T14.json}"
+
+BIN="$(mktemp -d)"
+DATA="$(mktemp -d)"
+LOG="$BIN/bpmsd.log"
+cleanup() {
+  if [ -n "${PID:-}" ]; then kill "$PID" 2>/dev/null || true; fi
+  rm -rf "$BIN" "$DATA"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/bpmsd" ./cmd/bpmsd
+go build -o "$BIN/bpmsload" ./cmd/bpmsload
+
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -shards 2 -sync batch >"$LOG" 2>&1 &
+PID=$!
+
+for _ in $(seq 100); do
+  if curl -sf "http://$ADDR/api/v1/stats" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "http://$ADDR/api/v1/stats" >/dev/null || {
+  echo "bpmsd did not become ready; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+echo "== bpmsload: $ACCOUNTS accounts, $DURATION, ~$RATE starts/s, scenarios $SCENARIOS"
+"$BIN/bpmsload" \
+  -server "http://$ADDR" \
+  -accounts "$ACCOUNTS" \
+  -duration "$DURATION" \
+  -rate "$RATE" \
+  -scenarios "$SCENARIOS" \
+  -report 5s \
+  -out "$OUT" \
+  -min-completed 1 \
+  -max-5xx 0
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "== load smoke OK — report in $OUT"
