@@ -23,7 +23,8 @@
 //	fail <itemId> <user> <reason>        fail a work item
 //	publish <message> <key> [k=v ...]    publish a correlated message
 //	adduser <id> [role ...]              register a user in the directory
-//	stats                                engine statistics (incl. per-shard instance counts)
+//	stats [json]                         engine statistics, pretty-printed (json = raw document)
+//	violations [json]                    active SLA violations from the audit sweeper
 //	snapshot                             write a state snapshot on every shard
 //	xes                                  export history as XES to stdout
 //
@@ -38,8 +39,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"bpms/internal/client"
 )
@@ -182,13 +185,111 @@ func run(cmd string, args []string) error {
 		fmt.Printf("bpmsctl: added user %s\n", args[0])
 		return nil
 	case "stats":
-		return print(api.Stats(ctx))
+		if len(args) == 1 && args[0] == "json" {
+			return print(api.Stats(ctx))
+		}
+		if len(args) != 0 {
+			return fmt.Errorf("stats [json]")
+		}
+		return prettyStats(ctx)
+	case "violations":
+		if len(args) == 1 && args[0] == "json" {
+			return print(api.Violations(ctx))
+		}
+		if len(args) != 0 {
+			return fmt.Errorf("violations [json]")
+		}
+		return prettyViolations(ctx)
 	case "snapshot":
 		return print(api.Snapshot(ctx))
 	case "xes":
 		return api.ExportXES(ctx, os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// num renders a stats value that arrived as JSON float64.
+func num(v any) int64 {
+	if f, ok := v.(float64); ok {
+		return int64(f)
+	}
+	return 0
+}
+
+// prettyStats renders the stats document as a human-readable summary
+// (the raw JSON stays available as `stats json`).
+func prettyStats(ctx context.Context) error {
+	st, err := api.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("definitions  %d\n", num(st["definitions"]))
+	fmt.Printf("events       %d\n", num(st["events"]))
+	if up, ok := st["uptimeSeconds"].(float64); ok {
+		fmt.Printf("uptime       %s (started %v)\n", (time.Duration(up) * time.Second).String(), st["startedAt"])
+	}
+	if counts, ok := st["instances"].(map[string]any); ok {
+		states := make([]string, 0, len(counts))
+		for s := range counts {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		fmt.Println("instances")
+		for _, s := range states {
+			fmt.Printf("  %-10s %d\n", s, num(counts[s]))
+		}
+	}
+	if shards, ok := st["shards"].([]any); ok {
+		fmt.Println("shards")
+		for _, raw := range shards {
+			sh, ok := raw.(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %2d: %d instance(s), journal %d (synced %d), %d byte(s) on disk\n",
+				num(sh["shard"]), num(sh["instances"]), num(sh["journalLast"]),
+				num(sh["journalSynced"]), num(sh["diskBytes"]))
+		}
+	}
+	if wl, ok := st["worklist"].(map[string]any); ok {
+		if by, ok := wl["byState"].(map[string]any); ok && len(by) > 0 {
+			states := make([]string, 0, len(by))
+			for s := range by {
+				states = append(states, s)
+			}
+			sort.Strings(states)
+			fmt.Println("worklist")
+			for _, s := range states {
+				fmt.Printf("  %-10s %d\n", s, num(by[s]))
+			}
+		}
+	}
+	return nil
+}
+
+// prettyViolations renders the sweeper's active violation set, one
+// line per violation.
+func prettyViolations(ctx context.Context) error {
+	rep, err := api.Violations(ctx)
+	if err != nil {
+		return err
+	}
+	if !rep.Enabled {
+		fmt.Println("audit sweeper disabled (start bpmsd with -audit-interval)")
+		return nil
+	}
+	fmt.Printf("%d active violation(s), %d sweep(s)\n", rep.Count, rep.Sweeps)
+	for _, v := range rep.Items {
+		loc := v.InstanceID
+		if loc == "" {
+			loc = v.ProcessID
+		}
+		if loc != "" {
+			loc = " [" + loc + "]"
+		}
+		fmt.Printf("  %-20s %s%s  since %s: %s\n", v.Kind, v.ID, loc, v.Since, v.Detail)
+	}
+	return nil
 }
 
 // exportHistory streams the server's XES export straight into a file:

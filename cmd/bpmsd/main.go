@@ -51,6 +51,7 @@ import (
 
 	"bpms"
 	"bpms/internal/api"
+	"bpms/internal/obs"
 	"bpms/internal/resource"
 )
 
@@ -70,6 +71,9 @@ func main() {
 	historyWindow := flag.Int("history-window", 100000, "audit events each history stripe keeps resident in RAM (0 = unbounded; older events are served from the journal)")
 	worklistStripes := flag.Int("worklist-stripes", 1, "worklist lock stripes, each with its own item map and secondary indexes (in-memory; any value reopens any data dir)")
 	autoAllocate := flag.Bool("auto-allocate", false, "push tasks to users instead of offering")
+	metrics := flag.Bool("metrics", false, "instrument hot paths and serve Prometheus text format at GET /metrics")
+	auditInterval := flag.Duration("audit-interval", 0, "SLA-audit sweep cadence (0 = sweeper off); violations surface at /metrics, /api/v1/violations, and in the audit trail")
+	taskSLA := flag.Duration("task-sla", 0, "default due time applied to work items created without a deadline, so the audit sweep covers every open item (0 = explicit deadlines only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	var users []resource.User
 	flag.Func("user", "user spec id=role1,role2 (repeatable)", func(s string) error {
@@ -105,8 +109,15 @@ func main() {
 		WorklistStripes: *worklistStripes,
 		TimerStripes:    *timerStripes,
 		AutoAllocate:    *autoAllocate,
+		AuditInterval:   *auditInterval,
+		TaskSLA:         *taskSLA,
 		RunTimers:       true,
 		Users:           users,
+	}
+	if *metrics || *auditInterval > 0 {
+		// The audit sweeper exports its counters through the same
+		// registry, so enabling it implies the instrumentation layer.
+		opts.Metrics = obs.New()
 	}
 	if *data != "" {
 		opts.SnapshotEvery = *snapshotEvery
@@ -130,6 +141,9 @@ func main() {
 		}
 		fmt.Printf(", durable=%v, shards=%d, history-stripes=%d, history-window=%d, worklist-stripes=%d\n",
 			opts.Durable, sys.Engine.Shards(), *historyStripes, *historyWindow, sys.Tasks.Stripes())
+	}
+	if opts.Metrics != nil {
+		fmt.Printf("bpmsd: metrics on (GET /metrics), audit-interval=%s, task-sla=%s\n", *auditInterval, *taskSLA)
 	}
 	fmt.Printf("bpmsd: %d definition(s), %d instance(s) recovered across %d shard(s), %d user(s)\n",
 		len(sys.Engine.Definitions()), len(sys.Engine.Instances()), sys.Engine.Shards(), sys.Directory.Count())

@@ -15,19 +15,22 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"bpms/internal/core"
 	"bpms/internal/engine"
 	"bpms/internal/history"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 	"bpms/internal/task"
 	"bpms/internal/verify"
 )
 
 // Server wraps a BPMS with HTTP handlers.
 type Server struct {
-	bpms *core.BPMS
-	mux  *http.ServeMux
+	bpms  *core.BPMS
+	mux   *http.ServeMux
+	start time.Time
 
 	mu   sync.Mutex
 	http *http.Server
@@ -35,7 +38,7 @@ type Server struct {
 
 // New builds the HTTP server for a BPMS.
 func New(b *core.BPMS) *Server {
-	s := &Server{bpms: b, mux: http.NewServeMux()}
+	s := &Server{bpms: b, mux: http.NewServeMux(), start: time.Now()}
 	s.routes()
 	return s
 }
@@ -80,6 +83,7 @@ func (s *Server) table() []route {
 
 		{"GET", "/history/xes", s.exportXES},
 		{"GET", "/stats", s.stats},
+		{"GET", "/violations", s.violations},
 
 		{"POST", "/admin/users", s.addUser},
 		{"POST", "/admin/snapshot", s.adminSnapshot},
@@ -89,8 +93,43 @@ func (s *Server) table() []route {
 func (s *Server) routes() {
 	for _, prefix := range []string{"/api/v1", "/api"} {
 		for _, rt := range s.table() {
-			s.mux.HandleFunc(rt.method+" "+prefix+rt.pattern, rt.handler)
+			s.mux.HandleFunc(rt.method+" "+prefix+rt.pattern,
+				s.instrument(rt.method+" "+prefix+rt.pattern, rt.handler))
 		}
+	}
+	// The scrape endpoint lives outside the API version prefixes, at
+	// the conventional path. On an uninstrumented system it answers 404.
+	s.mux.Handle("GET /metrics", s.bpms.Metrics.Handler())
+}
+
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route handler with per-route request counters
+// and a latency histogram. The handles are resolved once here, at
+// registration; with metrics disabled the handler is returned
+// untouched, so the uninstrumented request path is unchanged.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.bpms.Metrics.HTTPRoute(route)
+	if rm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		rm.Done(sw.code, time.Since(t0))
 	}
 }
 
@@ -573,25 +612,48 @@ func (s *Server) exportXES(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	// Summaries() walks the shards' summary indexes — one row per
+	// instance, no per-instance view materialisation, and no full
+	// Instance() fetch per ID like the pre-v1 implementation did.
 	counts := map[string]int{}
-	for _, id := range s.bpms.Engine.Instances() {
-		v, err := s.bpms.Engine.Instance(id)
-		if err != nil {
-			continue
-		}
-		counts[v.Status.String()]++
+	for _, sm := range s.bpms.Engine.Summaries() {
+		counts[sm.Status.String()]++
 	}
 	// Stats() snapshots the history pipeline without barriering on it:
 	// a monitoring poll must not block behind a busy committer (its
 	// Events equals Count() once the pipeline drains).
 	hist := s.bpms.History.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"definitions": len(s.bpms.Engine.Definitions()),
-		"instances":   counts,
-		"events":      hist.Events,
-		"shards":      s.bpms.ShardStats(),
-		"history":     hist,
-		"worklist":    s.bpms.Tasks.Stats(),
+		"definitions":   len(s.bpms.Engine.Definitions()),
+		"instances":     counts,
+		"events":        hist.Events,
+		"shards":        s.bpms.ShardStats(),
+		"history":       hist,
+		"worklist":      s.bpms.Tasks.Stats(),
+		"startedAt":     s.start.UTC().Format(time.RFC3339),
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// violations serves GET /violations: the audit sweeper's currently
+// active violation set. With the sweeper disabled it reports enabled:
+// false and an empty list rather than an error, so dashboards can poll
+// it unconditionally.
+func (s *Server) violations(w http.ResponseWriter, _ *http.Request) {
+	aud := s.bpms.Auditor
+	items := []obs.Violation{}
+	var sweeps uint64
+	if aud != nil {
+		if v := aud.Violations(); v != nil {
+			items = v
+		}
+		sweeps = aud.Sweeps()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": aud != nil,
+		"items":   items,
+		"count":   len(items),
+		"sweeps":  sweeps,
 	})
 }
 

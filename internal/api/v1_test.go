@@ -6,9 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
+	"bpms/internal/core"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 )
 
 // deployScripted deploys a script-only process that completes at
@@ -53,10 +58,31 @@ func TestV1LegacyParity(t *testing.T) {
 	} {
 		v1 := get(t, ts.URL+"/api/v1"+path)
 		legacy := get(t, ts.URL+"/api"+path)
+		if path == "/stats" {
+			// uptimeSeconds is live wall-clock time and legitimately
+			// differs between the two sequential requests; mask it.
+			v1, legacy = stripKey(t, v1, "uptimeSeconds"), stripKey(t, legacy, "uptimeSeconds")
+		}
 		if !bytes.Equal(v1, legacy) {
 			t.Errorf("%s: v1 and legacy responses differ:\n  v1:     %s\n  legacy: %s", path, v1, legacy)
 		}
 	}
+}
+
+// stripKey removes one top-level key from a JSON object and
+// re-serialises it deterministically.
+func stripKey(t *testing.T, data []byte, key string) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, key)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 func get(t *testing.T, url string) []byte {
@@ -239,5 +265,81 @@ func TestInstancePagination(t *testing.T) {
 	}
 	if len(walked) != 5 {
 		t.Fatalf("walk collected %d ids: %v", len(walked), walked)
+	}
+}
+
+// TestMetricsEndpointAndViolations covers the observability surface:
+// an instrumented server exposes GET /metrics in the text exposition
+// format with per-route request counters, /api/v1/violations reports
+// the sweeper state, and /api/v1/stats carries uptime.
+func TestMetricsEndpointAndViolations(t *testing.T) {
+	b, err := core.Open(core.Options{Metrics: obs.New(), AuditInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	ts := httptest.NewServer(New(b).Handler())
+	t.Cleanup(ts.Close)
+
+	// Drive one instrumented request, then scrape.
+	stats := doJSON(t, "GET", ts.URL+"/api/v1/stats", nil, http.StatusOK)
+	if _, ok := stats["uptimeSeconds"].(float64); !ok {
+		t.Errorf("stats missing uptimeSeconds: %v", stats)
+	}
+	if _, ok := stats["startedAt"].(string); !ok {
+		t.Errorf("stats missing startedAt: %v", stats)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		obs.MetricUptime,
+		obs.MetricStartTime,
+		`bpms_http_requests_total{route="GET /api/v1/stats",code="200"} 1`,
+		`bpms_http_request_seconds_bucket{route="GET /api/v1/stats",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in /metrics:\n%.2000s", want, text)
+		}
+	}
+
+	viol := doJSON(t, "GET", ts.URL+"/api/v1/violations", nil, http.StatusOK)
+	if viol["enabled"] != true {
+		t.Errorf("violations enabled = %v, want true", viol["enabled"])
+	}
+	if _, ok := viol["items"].([]any); !ok {
+		t.Errorf("violations items missing: %v", viol)
+	}
+}
+
+// TestMetricsDisabled checks the uninstrumented server 404s the scrape
+// endpoint and reports the sweeper disabled.
+func TestMetricsDisabled(t *testing.T) {
+	ts, _ := newServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /metrics on uninstrumented server = %d, want 404", resp.StatusCode)
+	}
+	viol := doJSON(t, "GET", ts.URL+"/api/v1/violations", nil, http.StatusOK)
+	if viol["enabled"] != false {
+		t.Errorf("violations enabled = %v, want false", viol["enabled"])
 	}
 }

@@ -410,6 +410,37 @@ func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
 	return out, err
 }
 
+// Violation is one active SLA/deadline violation as the audit sweeper
+// reports it.
+type Violation struct {
+	Kind       string `json:"kind"`
+	ID         string `json:"id"`
+	InstanceID string `json:"instanceId,omitempty"`
+	ProcessID  string `json:"processId,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	Since      string `json:"since"`
+	Detected   string `json:"detected"`
+}
+
+// ViolationsReport is the GET /violations document: the sweeper's
+// currently active violation set (empty with Enabled false when the
+// server runs without -audit-interval).
+type ViolationsReport struct {
+	Enabled bool        `json:"enabled"`
+	Items   []Violation `json:"items"`
+	Count   int         `json:"count"`
+	Sweeps  uint64      `json:"sweeps"`
+}
+
+// Violations fetches the active SLA-violation set.
+func (c *Client) Violations(ctx context.Context) (*ViolationsReport, error) {
+	var out ViolationsReport
+	if err := c.do(ctx, http.MethodGet, "/violations", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Snapshot triggers a state snapshot on every shard.
 func (c *Client) Snapshot(ctx context.Context) (map[string]any, error) {
 	var out map[string]any

@@ -16,11 +16,13 @@ import (
 
 	"bpms/internal/history"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 	"bpms/internal/resource"
 	"bpms/internal/shard"
 	"bpms/internal/storage"
 	"bpms/internal/task"
 	"bpms/internal/timer"
+	"bpms/internal/verify"
 )
 
 // Options configures a BPMS.
@@ -107,6 +109,21 @@ type Options struct {
 	// so work items re-issued during recovery route to the right
 	// people.
 	Users []resource.User
+	// Metrics, when set, instruments the hot paths of every subsystem
+	// (engine shards, WALs, history stripes, worklist, timers) with
+	// the obs registry's lock-free handles and registers the scrape
+	// samplers. Nil runs fully uninstrumented: each site pays one
+	// branch and no clock reads.
+	Metrics *obs.Metrics
+	// AuditInterval starts the background SLA-audit sweeper on this
+	// cadence (0 disables it). The sweeper walks the worklist
+	// due-time heap and the timer wheel for deadline violations and
+	// re-verifies deployed definitions' soundness on a slower cadence.
+	AuditInterval time.Duration
+	// TaskSLA applies a default due time to work items created
+	// without an explicit deadline, so the audit sweep covers every
+	// open item (0 = only explicit dueIn deadlines are audited).
+	TaskSLA time.Duration
 }
 
 // BPMS is a fully assembled business process management system.
@@ -123,6 +140,11 @@ type BPMS struct {
 	History *history.Store
 	// Timers is the deadline service.
 	Timers timer.Service
+	// Metrics is the observability registry (nil when the system runs
+	// uninstrumented).
+	Metrics *obs.Metrics
+	// Auditor is the background SLA sweeper (nil when disabled).
+	Auditor *obs.Auditor
 
 	clock    timer.Clock
 	runner   *timer.Runner
@@ -268,7 +290,9 @@ func Open(opts Options) (*BPMS, error) {
 		}
 		for i := 0; i < shards; i++ {
 			dir := shardDir(opts.DataDir, shards, i)
-			sj, err := storage.OpenFileJournal(filepath.Join(dir, "state"), jopts)
+			jo := jopts
+			jo.Metrics = opts.Metrics.WAL(fmt.Sprintf("state-%d", i))
+			sj, err := storage.OpenFileJournal(filepath.Join(dir, "state"), jo)
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -282,7 +306,9 @@ func Open(opts Options) (*BPMS, error) {
 			snaps[i] = sn
 		}
 		for i := 0; i < histStripes; i++ {
-			hj, err := storage.OpenFileJournal(historyDir(opts.DataDir, histStripes, i), jopts)
+			jo := jopts
+			jo.Metrics = opts.Metrics.WAL(fmt.Sprintf("history-%d", i))
+			hj, err := storage.OpenFileJournal(historyDir(opts.DataDir, histStripes, i), jo)
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -299,7 +325,8 @@ func Open(opts Options) (*BPMS, error) {
 	}
 
 	hist, err := history.NewStriped(histJournals, history.StoreOptions{
-		Window: opts.HistoryWindow,
+		Window:  opts.HistoryWindow,
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		closeAll()
@@ -326,12 +353,19 @@ func Open(opts Options) (*BPMS, error) {
 		AutoAllocate: opts.AutoAllocate,
 		Now:          opts.Clock.Now,
 		Stripes:      opts.WorklistStripes,
+		DefaultSLA:   opts.TaskSLA,
+		Metrics:      opts.Metrics.Tasks(),
 	})
 	var wheel timer.Service
 	if opts.TimerStripes == 1 {
 		wheel = timer.NewWheelService(opts.TimerTick, 512)
 	} else {
 		wheel = timer.NewStripedWheel(opts.TimerStripes, opts.TimerTick, 512)
+	}
+	if opts.Metrics != nil {
+		if fl, ok := wheel.(timer.FireLagObserver); ok {
+			fl.SetFireLag(opts.Metrics.Timers().FireLag)
+		}
 	}
 	router, err := shard.New(shard.Config{
 		Journals:        stateJournals,
@@ -343,6 +377,7 @@ func Open(opts Options) (*BPMS, error) {
 		Timers:          wheel,
 		Clock:           opts.Clock,
 		History:         hist,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		closeAll()
@@ -360,9 +395,17 @@ func Open(opts Options) (*BPMS, error) {
 		Directory: dir,
 		History:   hist,
 		Timers:    wheel,
+		Metrics:   opts.Metrics,
 		clock:     opts.Clock,
 		state:     stateJournals,
 		dirs:      shardDirs,
+	}
+	if opts.Metrics != nil {
+		b.registerSamplers(opts.Metrics)
+	}
+	if opts.AuditInterval > 0 {
+		b.Auditor = obs.NewAuditor(b.auditorConfig(opts))
+		b.Auditor.Start()
 	}
 	if opts.RunTimers {
 		b.runner = timer.NewRunner(wheel, opts.Clock, opts.TimerTick)
@@ -390,12 +433,123 @@ func Open(opts Options) (*BPMS, error) {
 	return b, nil
 }
 
-// Close stops the timer runner, drains the history pipeline, and
-// syncs/closes every journal (all shard WALs plus the history stripe
-// journals). Under SyncBatch journals this drains in-flight commit
-// batches: every acknowledged append is on stable storage when Close
-// returns.
+// registerSamplers wires the scrape-time gauges: values read from
+// subsystem state on each /metrics scrape instead of being maintained
+// on the hot paths.
+func (b *BPMS) registerSamplers(m *obs.Metrics) {
+	tm := m.Tasks()
+	tim := m.Timers()
+	m.AddSampler(func() {
+		for state, n := range b.Tasks.Stats().ByState {
+			tm.Items(state).Set(int64(n))
+		}
+		tim.Pending.Set(int64(b.Timers.Pending()))
+		for _, s := range b.Engine.Stats() {
+			m.ShardInstances(s.Shard).Set(int64(s.Instances))
+		}
+	})
+}
+
+// auditorConfig adapts the worklist due-time heap, the timer wheel,
+// the verifier, and the history pipeline into the obs.Auditor's sweep
+// closures.
+func (b *BPMS) auditorConfig(opts Options) obs.AuditorConfig {
+	return obs.AuditorConfig{
+		Interval: opts.AuditInterval,
+		Now:      opts.Clock.Now,
+		Metrics:  opts.Metrics,
+		Overdue: func(now time.Time) []obs.Violation {
+			items := b.Tasks.Overdue(now)
+			out := make([]obs.Violation, 0, len(items))
+			for _, it := range items {
+				out = append(out, obs.Violation{
+					Kind:       obs.KindTaskOverdue,
+					ID:         it.ID,
+					InstanceID: it.InstanceID,
+					ProcessID:  it.ProcessID,
+					Detail: fmt.Sprintf("work item %s (%s, state %s) open past its due time %s",
+						it.ID, it.Name, it.State, it.DueAt.Format(time.RFC3339)),
+					Since: it.DueAt,
+				})
+			}
+			return out
+		},
+		TimerLag: func(horizon time.Time) []obs.Violation {
+			rep, ok := b.Timers.(timer.OverdueReporter)
+			if !ok {
+				return nil
+			}
+			lagging := rep.Overdue(horizon)
+			out := make([]obs.Violation, 0, len(lagging))
+			for _, o := range lagging {
+				out = append(out, obs.Violation{
+					Kind:   obs.KindTimerLag,
+					ID:     fmt.Sprintf("timer-%d", o.ID),
+					Detail: fmt.Sprintf("timer %d still pending past %s", o.ID, o.At.Format(time.RFC3339)),
+					Since:  o.At,
+				})
+			}
+			return out
+		},
+		CheckDefinitions: func() []obs.Violation {
+			var out []obs.Violation
+			for _, id := range b.Engine.Definitions() {
+				p, ok := b.Engine.Definition(id)
+				if !ok {
+					continue
+				}
+				res, err := verify.Check(p, verify.Options{MaxStates: 50000, UseReduction: true})
+				now := b.clock.Now()
+				switch {
+				case err != nil:
+					out = append(out, obs.Violation{
+						Kind: obs.KindDefinitionUnsound, ID: id, ProcessID: id,
+						Detail: fmt.Sprintf("soundness re-verification failed: %v", err),
+						Since:  now,
+					})
+				case !res.Sound:
+					detail := "definition is not sound"
+					if len(res.Violations) > 0 {
+						detail = res.Violations[0]
+					}
+					out = append(out, obs.Violation{
+						Kind: obs.KindDefinitionUnsound, ID: id, ProcessID: id,
+						Detail: detail, Since: now,
+					})
+				}
+			}
+			return out
+		},
+		Emit: func(v obs.Violation) {
+			ev := &history.Event{
+				Type:       history.SLAViolation,
+				Time:       v.Detected,
+				ProcessID:  v.ProcessID,
+				InstanceID: v.InstanceID,
+				Data: map[string]any{
+					"kind":   v.Kind,
+					"object": v.ID,
+					"detail": v.Detail,
+					"since":  v.Since,
+				},
+			}
+			if v.Kind == obs.KindTaskOverdue {
+				ev.TaskID = v.ID
+			}
+			b.History.Enqueue(ev)
+		},
+	}
+}
+
+// Close stops the auditor and timer runner, drains the history
+// pipeline, and syncs/closes every journal (all shard WALs plus the
+// history stripe journals). Under SyncBatch journals this drains
+// in-flight commit batches: every acknowledged append is on stable
+// storage when Close returns.
 func (b *BPMS) Close() error {
+	if b.Auditor != nil {
+		b.Auditor.Stop()
+	}
 	if b.snapStop != nil {
 		close(b.snapStop)
 		b.snapWG.Wait()

@@ -10,9 +10,12 @@ import (
 
 	"bpms/internal/engine"
 	"bpms/internal/expr"
+	"bpms/internal/history"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 	"bpms/internal/resource"
 	"bpms/internal/storage"
+	"bpms/internal/task"
 	"bpms/internal/timer"
 )
 
@@ -461,5 +464,82 @@ func TestWorklistStripesThreading(t *testing.T) {
 	}
 	if got.Status != engine.StatusCompleted {
 		t.Fatalf("status after resume = %s", got.Status)
+	}
+}
+
+// TestAuditorDetectsOverdueTaskOnce is the sweeper's system-level
+// contract: with a default task SLA, an unattended work item becomes a
+// violation after its synthetic deadline passes; the violation is
+// counted and written to the audit trail exactly once across repeated
+// sweeps; and completing the item clears it from the active set.
+func TestAuditorDetectsOverdueTaskOnce(t *testing.T) {
+	clock := timer.NewVirtualClock(time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC))
+	b, err := Open(Options{
+		Clock:         clock,
+		Metrics:       obs.New(),
+		AuditInterval: time.Hour, // ticker never fires in-test; sweeps are manual
+		TaskSLA:       time.Minute,
+		Users:         []resource.User{{ID: "alice", Roles: []string{"clerk"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	p := model.New("audited").
+		Start("s").UserTask("work", model.Role("clerk")).End("e").
+		Seq("s", "work", "e").MustBuild()
+	if err := b.Engine.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Engine.StartInstance("audited", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the SLA passes: clean sweep.
+	if fresh := b.Auditor.Sweep(); len(fresh) != 0 {
+		t.Fatalf("pre-deadline sweep found %d violation(s)", len(fresh))
+	}
+
+	clock.Advance(2 * time.Minute)
+	fresh := b.Auditor.Sweep()
+	if len(fresh) != 1 || fresh[0].Kind != obs.KindTaskOverdue || fresh[0].InstanceID != v.ID {
+		t.Fatalf("post-deadline sweep fresh = %+v, want one task_overdue for %s", fresh, v.ID)
+	}
+	// Still overdue on later sweeps: active, but never re-counted.
+	clock.Advance(time.Minute)
+	if again := b.Auditor.Sweep(); len(again) != 0 {
+		t.Fatalf("repeat sweep re-detected: %+v", again)
+	}
+	if got := b.Auditor.Violations(); len(got) != 1 {
+		t.Fatalf("active violations = %d, want 1", len(got))
+	}
+	if err := b.History.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.History.CountByType(history.SLAViolation); n != 1 {
+		t.Fatalf("sla.violation audit events = %d, want exactly 1", n)
+	}
+
+	// Work the item: the violation clears from the active set.
+	items := b.Tasks.ByState(task.Offered)
+	if len(items) != 1 {
+		t.Fatalf("offered items = %d", len(items))
+	}
+	id := items[0].ID
+	if _, err := b.Tasks.Claim(id, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tasks.Start(id, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tasks.Complete(id, "alice", nil); err != nil {
+		t.Fatal(err)
+	}
+	if fresh := b.Auditor.Sweep(); len(fresh) != 0 {
+		t.Fatalf("post-completion sweep fresh = %+v", fresh)
+	}
+	if got := b.Auditor.Violations(); len(got) != 0 {
+		t.Fatalf("active after completion = %+v, want none", got)
 	}
 }

@@ -257,6 +257,8 @@ func ConvertVars(vars map[string]any) (map[string]expr.Value, error) {
 // lives on the shard its instance ID hashes to, which is unrelated to
 // the message key). It returns the number of resumed waits.
 func (e *Engine) PublishLocal(name, key string, vars map[string]expr.Value) int {
+	t0 := e.metrics.Transition.Start()
+	defer e.metrics.Transition.Since(t0)
 	subs := e.subs.take(name, key)
 	delivered := 0
 	for _, sub := range subs {

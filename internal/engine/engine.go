@@ -31,6 +31,7 @@ import (
 	"bpms/internal/expr"
 	"bpms/internal/history"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 	"bpms/internal/storage"
 	"bpms/internal/task"
 	"bpms/internal/timer"
@@ -108,6 +109,9 @@ type Config struct {
 	// The shard router installs a lookup against the key-hashed owner
 	// shard's buffer, making early messages visible across shards.
 	BufferedMessages func(name, key string) (map[string]expr.Value, bool)
+	// Metrics instruments this shard's StartInstance and transition
+	// latency (zero value = uninstrumented).
+	Metrics obs.EngineMetrics
 }
 
 // Engine is the enactment service. All exported methods are safe for
@@ -135,6 +139,7 @@ type Engine struct {
 	publisher     func(name, key string, vars map[string]any) (int, bool, error)
 	buffered      func(name, key string) (map[string]expr.Value, bool)
 	upstreamCache sync.Map // upstreamKey -> map[string]bool
+	metrics       obs.EngineMetrics
 
 	idSeq           atomic.Uint64
 	tokSeq          atomic.Uint64
@@ -177,6 +182,7 @@ func New(cfg Config) (*Engine, error) {
 		subs:           newSubscriptions(),
 		publisher:      cfg.Publisher,
 		buffered:       cfg.BufferedMessages,
+		metrics:        cfg.Metrics,
 	}
 	e.tasks.Subscribe(e.onTaskTransition)
 	if cfg.Journal.LastIndex() > 0 || cfg.Snapshots != nil {
@@ -291,6 +297,8 @@ func (e *Engine) StartInstanceID(processID, id string, vars map[string]any) (*In
 }
 
 func (e *Engine) start(processID, id string, vars map[string]any) (*InstanceView, error) {
+	t0 := e.metrics.Start.Start()
+	defer e.metrics.Start.Since(t0)
 	e.mu.RLock()
 	def, ok := e.definitions[processID]
 	e.mu.RUnlock()
@@ -418,6 +426,8 @@ func (e *Engine) Summaries() []InstanceSummary {
 // open work items cancelled, timers disarmed, and subscriptions
 // removed.
 func (e *Engine) CancelInstance(id, reason string) error {
+	t0 := e.metrics.Transition.Start()
+	defer e.metrics.Transition.Since(t0)
 	e.mu.RLock()
 	inst, ok := e.instances[id]
 	e.mu.RUnlock()
@@ -455,6 +465,8 @@ func (e *Engine) Variables(id string) (map[string]expr.Value, error) {
 
 // SetVariable updates one case variable on an active instance.
 func (e *Engine) SetVariable(id, name string, value any) error {
+	t0 := e.metrics.Transition.Start()
+	defer e.metrics.Transition.Since(t0)
 	ev, err := expr.FromGo(value)
 	if err != nil {
 		return err

@@ -466,6 +466,8 @@ func (e *Engine) createWorkItem(inst *Instance, tok *Token, proc *model.Process,
 // resumeWorkItem continues the instance whose token waits on the
 // closed work item. success=false routes through error boundaries.
 func (e *Engine) resumeWorkItem(it *task.Item, success bool) {
+	t0 := e.metrics.Transition.Start()
+	defer e.metrics.Transition.Since(t0)
 	e.mu.RLock()
 	inst, ok := e.instances[it.InstanceID]
 	e.mu.RUnlock()

@@ -53,6 +53,11 @@ const (
 	// Data and incidents.
 	VariableSet    EventType = "variable.set"
 	IncidentRaised EventType = "incident.raised"
+
+	// SLA audit: emitted once by the audit sweeper when it first
+	// detects a violation (overdue work item, lagging timer, or a
+	// deployed definition failing soundness re-verification).
+	SLAViolation EventType = "sla.violation"
 )
 
 // Event is one audit record. Index is assigned by the store on append.

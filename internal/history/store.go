@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bpms/internal/obs"
 	"bpms/internal/storage"
 )
 
@@ -59,6 +61,9 @@ type StoreOptions struct {
 	// disk append outside the index lock). Tools that drive virtual
 	// time (the simulator) use this to avoid background goroutines.
 	Sync bool
+	// Metrics, when set, instruments each stripe's queue depth and
+	// enqueue-to-commit latency.
+	Metrics *obs.Metrics
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -80,14 +85,17 @@ const commitBatchMax = 256
 var errStopReplay = errors.New("history: stop replay")
 
 // appendReq is one queued event; err is non-nil for synchronous
-// Append callers awaiting the result.
+// Append callers awaiting the result. at is the enqueue instant when
+// the stripe is instrumented (zero otherwise).
 type appendReq struct {
 	ev  *Event
 	err chan error
+	at  time.Time
 }
 
 type stripe struct {
 	journal storage.Journal
+	metrics obs.HistoryStripeMetrics
 
 	// Async pipeline (nil queue in Sync mode).
 	queue     chan appendReq
@@ -142,9 +150,10 @@ func NewStriped(journals []storage.Journal, opts StoreOptions) (*Store, error) {
 	s := &Store{window: opts.Window, syncs: opts.Sync}
 	// Phase 1: replay every journal. No committer goroutine starts
 	// until all stripes recovered, so an error here leaks nothing.
-	for _, j := range journals {
+	for i, j := range journals {
 		st := &stripe{
 			journal:    j,
+			metrics:    opts.Metrics.HistoryStripe(i),
 			window:     opts.Window,
 			byInstance: map[string][]*Event{},
 			instCount:  map[string]int{},
@@ -235,6 +244,8 @@ func (st *stripe) enqueue(req appendReq) bool {
 	if st.closed.Load() {
 		return false
 	}
+	req.at = st.metrics.Commit.Start()
+	st.metrics.Depth.Add(1)
 	st.enqSeq.Add(1)
 	st.queue <- req
 	return true
@@ -294,7 +305,9 @@ func (st *stripe) commit(batch []appendReq) {
 	st.doneSeq += uint64(len(batch))
 	st.cond.Broadcast()
 	st.mu.Unlock()
+	st.metrics.Depth.Add(-int64(len(batch)))
 	for i, req := range batch {
+		st.metrics.Commit.Since(req.at)
 		if req.err != nil {
 			req.err <- errs[i]
 		}

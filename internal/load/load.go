@@ -189,6 +189,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	}
 	elapsed := time.Since(start)
 	rep := r.rec.Finish(r.reportConfig(), elapsed, completed)
+	rep.MaxSchedulerLagSec = r.MaxSchedulerLag().Seconds()
 	return rep, ctx.Err()
 }
 

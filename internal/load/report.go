@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bpms/internal/metrics"
+	"bpms/internal/obs"
 )
 
 // reservoirCap bounds per-scenario latency sampling; Vitter's
@@ -28,6 +29,7 @@ type Recorder struct {
 
 type scenStats struct {
 	res       *metrics.Reservoir
+	hist      *obs.Histogram // fixed buckets matching the server's /metrics
 	events    int64
 	ops       map[string]int64
 	errors    int64
@@ -46,8 +48,9 @@ func (r *Recorder) stats(scenario string) *scenStats {
 	st, ok := r.scen[scenario]
 	if !ok {
 		st = &scenStats{
-			res: metrics.NewReservoir(reservoirCap, r.seed+int64(len(r.scen))),
-			ops: map[string]int64{},
+			res:  metrics.NewReservoir(reservoirCap, r.seed+int64(len(r.scen))),
+			hist: obs.NewHistogram(nil),
+			ops:  map[string]int64{},
 		}
 		r.scen[scenario] = st
 	}
@@ -73,6 +76,7 @@ func (r *Recorder) Record(scenario, op string, d time.Duration, err error, statu
 	default:
 		st.events++
 		st.res.AddDuration(d)
+		st.hist.Observe(d)
 		if op == "start" {
 			st.started++
 		}
@@ -136,31 +140,85 @@ func sample(res *metrics.Reservoir) []float64 {
 	return out
 }
 
+// HistogramBucket is one cumulative bucket of a latency histogram:
+// observations at or under LE seconds.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// LatencyHistogram is the fixed-bucket distribution of successful
+// operation latencies. The bounds are obs.DefBuckets — the same
+// boundaries the server's bpms_http_request_seconds family uses — so
+// report and /metrics quantile math line up. Count is the total
+// including observations past the last bound.
+type LatencyHistogram struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	SumSec  float64           `json:"sumSec"`
+	Count   uint64            `json:"count"`
+}
+
+// histReport freezes a histogram into its report form (nil when empty).
+func histReport(h *obs.Histogram) *LatencyHistogram {
+	bounds, cum, sum, count := h.Snapshot()
+	if count == 0 {
+		return nil
+	}
+	out := &LatencyHistogram{SumSec: sum, Count: count}
+	for i, ub := range bounds {
+		out.Buckets = append(out.Buckets, HistogramBucket{LE: ub, Count: cum[i]})
+	}
+	return out
+}
+
+// merge adds another histogram's buckets into this one (same bounds by
+// construction).
+func (lh *LatencyHistogram) merge(other *LatencyHistogram) *LatencyHistogram {
+	if other == nil {
+		return lh
+	}
+	if lh == nil {
+		cp := *other
+		cp.Buckets = append([]HistogramBucket(nil), other.Buckets...)
+		return &cp
+	}
+	for i := range lh.Buckets {
+		lh.Buckets[i].Count += other.Buckets[i].Count
+	}
+	lh.SumSec += other.SumSec
+	lh.Count += other.Count
+	return lh
+}
+
 // ScenarioReport is the per-scenario (and aggregate) slice of the T14
 // benchmark report.
 type ScenarioReport struct {
-	Name         string           `json:"name"`
-	Events       int64            `json:"events"`
-	EventsPerSec float64          `json:"eventsPerSec"`
-	P50Ms        float64          `json:"p50Ms"`
-	P95Ms        float64          `json:"p95Ms"`
-	P99Ms        float64          `json:"p99Ms"`
-	Started      int64            `json:"instancesStarted"`
-	Completed    int64            `json:"instancesCompleted"`
-	Errors       int64            `json:"errors"`
-	HTTP5xx      int64            `json:"http5xx"`
-	Contended    int64            `json:"claimContention"`
-	Ops          map[string]int64 `json:"ops"`
+	Name         string            `json:"name"`
+	Events       int64             `json:"events"`
+	EventsPerSec float64           `json:"eventsPerSec"`
+	P50Ms        float64           `json:"p50Ms"`
+	P95Ms        float64           `json:"p95Ms"`
+	P99Ms        float64           `json:"p99Ms"`
+	Started      int64             `json:"instancesStarted"`
+	Completed    int64             `json:"instancesCompleted"`
+	Errors       int64             `json:"errors"`
+	HTTP5xx      int64             `json:"http5xx"`
+	Contended    int64             `json:"claimContention"`
+	Ops          map[string]int64  `json:"ops"`
+	Latency      *LatencyHistogram `json:"latencyHistogram,omitempty"`
 }
 
 // Report is the machine-readable result of a load run (BENCH_T14.json).
 type Report struct {
-	Experiment  string           `json:"experiment"`
-	Config      ReportConfig     `json:"config"`
-	DurationSec float64          `json:"durationSec"`
-	Polls       int64            `json:"polls"`
-	Scenarios   []ScenarioReport `json:"scenarios"`
-	Aggregate   ScenarioReport   `json:"aggregate"`
+	Experiment  string       `json:"experiment"`
+	Config      ReportConfig `json:"config"`
+	DurationSec float64      `json:"durationSec"`
+	Polls       int64        `json:"polls"`
+	// MaxSchedulerLagSec is the worst observed arrival-dispatch lag:
+	// how far the open-loop scheduler fell behind its own timetable.
+	MaxSchedulerLagSec float64          `json:"maxSchedulerLagSec"`
+	Scenarios          []ScenarioReport `json:"scenarios"`
+	Aggregate          ScenarioReport   `json:"aggregate"`
 }
 
 // ReportConfig echoes the run parameters into the report.
@@ -208,8 +266,10 @@ func (r *Recorder) Finish(cfg ReportConfig, elapsed time.Duration, completed map
 			HTTP5xx:      st.http5xx,
 			Contended:    st.contended,
 			Ops:          st.ops,
+			Latency:      histReport(st.hist),
 		}
 		rep.Scenarios = append(rep.Scenarios, sr)
+		aggr.Latency = aggr.Latency.merge(sr.Latency)
 		aggr.Events += st.events
 		aggr.Started += st.started
 		aggr.Completed += completed[name]

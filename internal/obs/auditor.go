@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Violation kinds reported by the Auditor.
+const (
+	// KindTaskOverdue: an open work item whose due time has passed
+	// (explicit dueIn deadlines and the -task-sla default alike).
+	KindTaskOverdue = "task_overdue"
+	// KindTimerLag: a scheduled timer whose deadline passed at least a
+	// full sweep interval ago without firing — the deadline service is
+	// stalled or badly behind.
+	KindTimerLag = "timer_lag"
+	// KindDefinitionUnsound: a deployed process definition that fails
+	// soundness re-verification.
+	KindDefinitionUnsound = "definition_unsound"
+)
+
+// Violation is one active SLA/deadline violation found by a sweep.
+type Violation struct {
+	// Kind classifies the violation (Kind* constants).
+	Kind string `json:"kind"`
+	// ID identifies the violating object within its kind: work-item
+	// ID, timer ID, or process-definition ID.
+	ID string `json:"id"`
+	// InstanceID / ProcessID locate the violation in the process
+	// space when known.
+	InstanceID string `json:"instanceId,omitempty"`
+	ProcessID  string `json:"processId,omitempty"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+	// Since is when the deadline passed (or the check first failed).
+	Since time.Time `json:"since"`
+	// Detected is when a sweep first saw the violation.
+	Detected time.Time `json:"detected"`
+}
+
+func (v *Violation) key() string { return v.Kind + "\x00" + v.ID }
+
+// AuditorConfig wires an Auditor to the subsystems it sweeps. The
+// sweep sources are closures so the obs package stays at the bottom
+// of the dependency graph: core adapts the worklist due-time heap,
+// the timer wheel, and the verifier (all O(overdue) or slow-cadence).
+type AuditorConfig struct {
+	// Interval between sweeps (default 5s).
+	Interval time.Duration
+	// SoundnessEvery re-verifies deployed definitions every Nth sweep
+	// (default 12; 0 keeps the default, negative disables).
+	SoundnessEvery int
+	// Now supplies time (default time.Now) — tests pass a virtual
+	// clock.
+	Now func() time.Time
+	// Overdue walks the worklist due-time heap and returns the open
+	// past-due items as violations (Detected left zero).
+	Overdue func(now time.Time) []Violation
+	// TimerLag walks the timer wheel and returns scheduled entries
+	// whose deadline precedes the horizon (now minus a sweep
+	// interval).
+	TimerLag func(horizon time.Time) []Violation
+	// CheckDefinitions re-verifies deployed definitions and returns
+	// the unsound ones.
+	CheckDefinitions func() []Violation
+	// Emit publishes an audit event for a newly detected violation
+	// (core enqueues into the history pipeline). Called at most once
+	// per violation key.
+	Emit func(v Violation)
+	// Metrics instruments the sweeper (nil = uninstrumented).
+	Metrics *Metrics
+}
+
+// Auditor is the background SLA sweeper: on a fixed cadence it walks
+// the worklist due-time heap and the timer wheel for deadline
+// violations and, on a slower cadence, re-verifies deployed
+// definitions' soundness. Each violation is counted and emitted as an
+// audit event exactly once — a still-overdue task on the next sweep
+// stays in the active set without being re-counted — and the current
+// active set backs GET /api/v1/violations.
+type Auditor struct {
+	cfg  AuditorConfig
+	am   AuditMetrics
+	vcnt map[string]*Counter // kind -> violations counter
+	vact map[string]*Gauge   // kind -> active gauge
+
+	mu     sync.Mutex
+	seen   map[string]bool       // violation keys ever counted
+	active map[string]*Violation // currently violating
+	sweeps uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAuditor builds a sweeper; call Start to run it in the
+// background, or Sweep directly (tests, manual cadence).
+func NewAuditor(cfg AuditorConfig) *Auditor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.SoundnessEvery == 0 {
+		cfg.SoundnessEvery = 12
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	a := &Auditor{
+		cfg:    cfg,
+		am:     cfg.Metrics.Audit(),
+		vcnt:   map[string]*Counter{},
+		vact:   map[string]*Gauge{},
+		seen:   map[string]bool{},
+		active: map[string]*Violation{},
+	}
+	return a
+}
+
+// Start launches the sweep loop.
+func (a *Auditor) Start() {
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep loop and waits for an in-flight sweep.
+func (a *Auditor) Stop() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	<-a.done
+	a.stop = nil
+}
+
+// counter and gauge memoize the per-kind instruments.
+func (a *Auditor) counter(kind string) *Counter {
+	if a.am.Violations == nil {
+		return nil
+	}
+	c, ok := a.vcnt[kind]
+	if !ok {
+		c = a.am.Violations(kind)
+		a.vcnt[kind] = c
+	}
+	return c
+}
+
+func (a *Auditor) gauge(kind string) *Gauge {
+	if a.am.Active == nil {
+		return nil
+	}
+	g, ok := a.vact[kind]
+	if !ok {
+		g = a.am.Active(kind)
+		a.vact[kind] = g
+	}
+	return g
+}
+
+// Sweep runs one audit pass and returns the violations newly
+// detected by it.
+func (a *Auditor) Sweep() []Violation {
+	t0 := a.am.SweepSeconds.Start()
+	now := a.cfg.Now()
+
+	var current []Violation
+	if a.cfg.Overdue != nil {
+		current = append(current, a.cfg.Overdue(now)...)
+	}
+	if a.cfg.TimerLag != nil {
+		current = append(current, a.cfg.TimerLag(now.Add(-a.cfg.Interval))...)
+	}
+
+	a.mu.Lock()
+	soundnessDue := a.cfg.SoundnessEvery > 0 && a.sweeps%uint64(a.cfg.SoundnessEvery) == 0
+	a.mu.Unlock()
+	if soundnessDue && a.cfg.CheckDefinitions != nil {
+		current = append(current, a.cfg.CheckDefinitions()...)
+	}
+
+	a.mu.Lock()
+	next := make(map[string]*Violation, len(current))
+	var fresh []Violation
+	for i := range current {
+		v := current[i]
+		k := v.key()
+		if prev, ok := a.active[k]; ok {
+			// Still violating: keep the original detection time.
+			next[k] = prev
+			continue
+		}
+		v.Detected = now
+		next[k] = &v
+		if !a.seen[k] {
+			// Never counted before: count and emit exactly once.
+			a.seen[k] = true
+			fresh = append(fresh, v)
+		}
+	}
+	// A soundness pass only runs every Nth sweep; keep definition
+	// violations active between passes rather than flapping.
+	if !soundnessDue {
+		for k, v := range a.active {
+			if v.Kind == KindDefinitionUnsound {
+				next[k] = v
+			}
+		}
+	}
+	a.active = next
+	a.sweeps++
+	counts := map[string]int64{}
+	for _, v := range a.active {
+		counts[v.Kind]++
+	}
+	for kind := range a.vact {
+		if _, ok := counts[kind]; !ok {
+			counts[kind] = 0
+		}
+	}
+	for _, v := range fresh {
+		a.counter(v.Kind).Inc()
+	}
+	for kind, n := range counts {
+		a.gauge(kind).Set(n)
+	}
+	a.mu.Unlock()
+
+	for _, v := range fresh {
+		if a.cfg.Emit != nil {
+			a.cfg.Emit(v)
+		}
+	}
+	a.am.Sweeps.Inc()
+	a.am.SweepSeconds.Since(t0)
+	return fresh
+}
+
+// Violations returns the currently active violations, ordered by
+// detection time then key (stable for the API and CLI).
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	out := make([]Violation, 0, len(a.active))
+	for _, v := range a.active {
+		out = append(out, *v)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Detected.Equal(out[j].Detected) {
+			return out[i].Detected.Before(out[j].Detected)
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Sweeps reports how many sweeps have completed.
+func (a *Auditor) Sweeps() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sweeps
+}

@@ -40,6 +40,7 @@ import (
 	"bpms/internal/expr"
 	"bpms/internal/history"
 	"bpms/internal/model"
+	"bpms/internal/obs"
 	"bpms/internal/storage"
 	"bpms/internal/task"
 	"bpms/internal/timer"
@@ -76,6 +77,9 @@ type Config struct {
 	Clock timer.Clock
 	// History, when set, receives audit events from every shard.
 	History *history.Store
+	// Metrics, when set, instruments each shard's engine hot paths
+	// with per-shard latency handles.
+	Metrics *obs.Metrics
 }
 
 // Stat reports one shard's load for monitoring.
@@ -133,6 +137,7 @@ func New(cfg Config) (*Router, error) {
 				History:          cfg.History,
 				Publisher:        r.Publish,
 				BufferedMessages: r.takeBuffered,
+				Metrics:          cfg.Metrics.EngineShard(i),
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)

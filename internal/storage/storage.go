@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"bpms/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed journal.
@@ -241,6 +243,9 @@ type Options struct {
 	// records are fsynced at least this often, so a lone writer never
 	// stalls behind an empty batch (default 2ms).
 	BatchMaxDelay time.Duration
+	// Metrics instruments append and fsync latency (zero value =
+	// uninstrumented; the nil handles cost one branch per site).
+	Metrics obs.WALMetrics
 }
 
 func (o Options) withDefaults() Options {

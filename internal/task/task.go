@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bpms/internal/obs"
 	"bpms/internal/resource"
 )
 
@@ -236,6 +237,16 @@ type Service struct {
 	autoAlloc bool
 	now       func() time.Time
 
+	// defaultSLA is the due time applied to items created without an
+	// explicit deadline, so the audit sweeper's due-heap walk covers
+	// them (0 = none).
+	defaultSLA time.Duration
+	// opHist holds one pre-resolved latency histogram per operation
+	// (index = target State; opCreate covers Create). Nil entries when
+	// uninstrumented.
+	opHist   [len(stateNames)]*obs.Histogram
+	opCreate *obs.Histogram
+
 	// listeners is copy-on-write: Subscribe (rare) copies under subMu,
 	// notify (hot) loads the pointer with no lock and no allocation.
 	subMu     sync.Mutex
@@ -278,6 +289,14 @@ type Config struct {
 	AsyncNotify bool
 	// NotifyQueue bounds the async notifier queue (default 1024).
 	NotifyQueue int
+	// DefaultSLA applies a due time of now+DefaultSLA to items created
+	// without an explicit deadline (0 = items without a dueIn carry no
+	// deadline). Because it lands on the due-time heap, the SLA audit
+	// sweep stays O(overdue).
+	DefaultSLA time.Duration
+	// Metrics instruments operation latency (zero value =
+	// uninstrumented).
+	Metrics obs.TaskMetrics
 }
 
 // NewService creates a worklist service.
@@ -295,12 +314,19 @@ func NewService(cfg Config) *Service {
 		cfg.Stripes = 1
 	}
 	s := &Service{
-		stripes:   make([]*stripe, cfg.Stripes),
-		directory: cfg.Directory,
-		policy:    cfg.Policy,
-		autoAlloc: cfg.AutoAllocate,
-		now:       cfg.Now,
-		loads:     map[string]int{},
+		stripes:    make([]*stripe, cfg.Stripes),
+		directory:  cfg.Directory,
+		policy:     cfg.Policy,
+		autoAlloc:  cfg.AutoAllocate,
+		now:        cfg.Now,
+		defaultSLA: cfg.DefaultSLA,
+		loads:      map[string]int{},
+	}
+	if cfg.Metrics.Op != nil {
+		s.opCreate = cfg.Metrics.Op("create")
+		for i, name := range stateNames {
+			s.opHist[i] = cfg.Metrics.Op(name)
+		}
 	}
 	for i := range s.stripes {
 		s.stripes[i] = newStripe()
@@ -449,6 +475,8 @@ func (st *stripe) setStateLocked(it *Item, to State) {
 // members (or auto-allocated when configured); unrouted items stay
 // Created for explicit allocation.
 func (s *Service) Create(spec Spec) (*Item, error) {
+	t0 := s.opCreate.Start()
+	defer s.opCreate.Since(t0)
 	id := fmt.Sprintf("wi-%d", s.nextID.Add(1))
 	st := s.stripeFor(id)
 	st.mu.Lock()
@@ -466,8 +494,12 @@ func (s *Service) Create(spec Spec) (*Item, error) {
 		Data:       spec.Data,
 		CreatedAt:  now,
 	}
-	if spec.Due > 0 {
-		it.DueAt = now.Add(spec.Due)
+	due := spec.Due
+	if due <= 0 && s.defaultSLA > 0 {
+		due = s.defaultSLA
+	}
+	if due > 0 {
+		it.DueAt = now.Add(due)
 		heap.Push(&st.due, dueEntry{at: it.DueAt, id: id})
 	}
 	st.items[id] = it
@@ -565,6 +597,12 @@ func (s *Service) Get(id string) (*Item, error) {
 // transition applies a guarded state change under the item's stripe
 // lock and then notifies listeners.
 func (s *Service) transition(id string, to State, mutate func(*Item) error) (*Item, error) {
+	var h *obs.Histogram
+	if int(to) < len(s.opHist) {
+		h = s.opHist[to]
+	}
+	t0 := h.Start()
+	defer h.Since(t0)
 	st := s.stripeFor(id)
 	st.mu.Lock()
 	it, ok := st.items[id]

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"sync"
 	"time"
+
+	"bpms/internal/obs"
 )
 
 // HeapService is the binary-heap baseline implementation of Service:
@@ -15,7 +17,11 @@ type HeapService struct {
 	h      entryHeap
 	byID   map[ID]*heapEntry
 	nextID ID
+	lag    *obs.Histogram
 }
+
+// SetFireLag implements FireLagObserver.
+func (s *HeapService) SetFireLag(h *obs.Histogram) { s.lag = h }
 
 type heapEntry struct {
 	id        ID
@@ -108,7 +114,36 @@ func (s *HeapService) AdvanceTo(now time.Time) int {
 	}
 	s.mu.Unlock()
 	for _, e := range due {
+		if s.lag != nil {
+			d := now.Sub(e.at)
+			if d < 0 {
+				d = 0
+			}
+			s.lag.Observe(d)
+		}
 		e.fn()
 	}
 	return len(due)
+}
+
+// Overdue implements OverdueReporter: a heap-order walk that descends
+// only into subtrees whose root is due (a child's deadline is never
+// earlier than its parent's), so the cost is O(overdue), not O(n).
+func (s *HeapService) Overdue(now time.Time) []Overdue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Overdue
+	var walk func(i int)
+	walk = func(i int) {
+		if i >= len(s.h) || s.h[i].at.After(now) {
+			return
+		}
+		if !s.h[i].cancelled {
+			out = append(out, Overdue{ID: s.h[i].id, At: s.h[i].at})
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return out
 }

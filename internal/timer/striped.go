@@ -3,6 +3,8 @@ package timer
 import (
 	"sync/atomic"
 	"time"
+
+	"bpms/internal/obs"
 )
 
 // StripedWheel shards timers across N independent timing wheels, each
@@ -19,7 +21,12 @@ type StripedWheel struct {
 	stripes  []*WheelService
 	nextID   atomic.Uint64
 	anchored atomic.Bool
+	lag      *obs.Histogram // fire lag for the merged advance
 }
+
+// SetFireLag implements FireLagObserver. The handle applies to the
+// merged advance (firing happens there, not on the stripes).
+func (s *StripedWheel) SetFireLag(h *obs.Histogram) { s.lag = h }
 
 // NewStripedWheel creates a striped wheel with the given stripe count
 // (default 8) whose stripes each have the given tick granularity and
@@ -78,5 +85,14 @@ func (s *StripedWheel) AdvanceTo(now time.Time) int {
 	for _, w := range s.stripes {
 		due = append(due, w.collectDue(now)...)
 	}
-	return fireDue(due)
+	return fireDue(due, now, s.lag)
+}
+
+// Overdue implements OverdueReporter across all stripes.
+func (s *StripedWheel) Overdue(now time.Time) []Overdue {
+	var out []Overdue
+	for _, w := range s.stripes {
+		out = append(out, w.Overdue(now)...)
+	}
+	return out
 }

@@ -9,6 +9,8 @@ package timer
 import (
 	"sync"
 	"time"
+
+	"bpms/internal/obs"
 )
 
 // ID identifies a scheduled timer within its service.
@@ -60,6 +62,28 @@ func (c *VirtualClock) Set(t time.Time) {
 	if t.After(c.now) {
 		c.now = t
 	}
+}
+
+// Overdue describes one pending timer whose deadline has passed
+// without firing — the raw material of the audit sweeper's timer-lag
+// check.
+type Overdue struct {
+	ID ID
+	At time.Time
+}
+
+// OverdueReporter is an optional Service extension: implementations
+// that can enumerate pending past-deadline entries cheaply (the wheel
+// scans only the buckets behind the swept tick, the heap walks only
+// the subtree whose roots are due) expose it for the SLA sweeper.
+type OverdueReporter interface {
+	Overdue(now time.Time) []Overdue
+}
+
+// FireLagObserver is an optional Service extension wiring a fire-lag
+// histogram: every fired entry observes fire-time minus deadline.
+type FireLagObserver interface {
+	SetFireLag(h *obs.Histogram)
 }
 
 // Service schedules one-shot deadline callbacks. Implementations are

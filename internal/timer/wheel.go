@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"bpms/internal/obs"
 )
 
 // WheelService is a hashed timing wheel: timers hash into one of
@@ -23,7 +25,11 @@ type WheelService struct {
 	lastTick int64 // last fully swept tick
 	origin   time.Time
 	started  bool
+	lag      *obs.Histogram // fire lag (nil = uninstrumented)
 }
+
+// SetFireLag implements FireLagObserver.
+func (w *WheelService) SetFireLag(h *obs.Histogram) { w.lag = h }
 
 type wheelEntry struct {
 	id   ID
@@ -141,7 +147,37 @@ func (w *WheelService) Pending() int {
 // AdvanceTo implements Service: sweeps all ticks in (lastTick, nowTick]
 // and fires due entries in deadline order.
 func (w *WheelService) AdvanceTo(now time.Time) int {
-	return fireDue(w.collectDue(now))
+	return fireDue(w.collectDue(now), now, w.lag)
+}
+
+// Overdue implements OverdueReporter: pending entries whose deadline
+// is at or before now, without firing or removing them. Like
+// collectDue it visits only the buckets behind the swept tick, so the
+// walk is O(buckets spanned + overdue entries).
+func (w *WheelService) Overdue(now time.Time) []Overdue {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		return nil
+	}
+	nowTick := w.tickOf(now)
+	if nowTick <= w.lastTick {
+		return nil
+	}
+	var out []Overdue
+	span := nowTick - w.lastTick
+	if span > int64(w.slots) {
+		span = int64(w.slots)
+	}
+	for i := int64(1); i <= span; i++ {
+		tk := w.lastTick + i
+		for _, e := range w.buckets[int(tk%int64(w.slots))] {
+			if e.tick <= nowTick && !e.at.After(now) {
+				out = append(out, Overdue{ID: e.id, At: e.at})
+			}
+		}
+	}
+	return out
 }
 
 // collectDue removes and returns (unsorted) every entry due at or
@@ -181,8 +217,11 @@ func (w *WheelService) collectDue(now time.Time) []*wheelEntry {
 }
 
 // fireDue fires collected entries in (deadline, id) order outside any
-// wheel lock and returns the number fired.
-func fireDue(due []*wheelEntry) int {
+// wheel lock and returns the number fired. now is the advance time;
+// when lag is instrumented every entry observes fire-time minus
+// deadline (clamped at zero — entries rounded up to a tick boundary
+// can fire within the same advance that makes them due).
+func fireDue(due []*wheelEntry, now time.Time, lag *obs.Histogram) int {
 	sort.Slice(due, func(a, b int) bool {
 		if !due[a].at.Equal(due[b].at) {
 			return due[a].at.Before(due[b].at)
@@ -190,6 +229,13 @@ func fireDue(due []*wheelEntry) int {
 		return due[a].id < due[b].id
 	})
 	for _, e := range due {
+		if lag != nil {
+			d := now.Sub(e.at)
+			if d < 0 {
+				d = 0
+			}
+			lag.Observe(d)
+		}
 		e.fn()
 	}
 	return len(due)

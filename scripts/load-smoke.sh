@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Load-smoke gate (T14): boot a real bpmsd, point the bpmsload macro
-# traffic generator at it for a short open-loop run over two
-# scenarios, and require
+# Load-smoke gate (T14): boot a real bpmsd with observability on,
+# point the bpmsload macro traffic generator at it for a short
+# open-loop run over two scenarios, scrape /metrics mid-run, and
+# require
 #
 #   - a nonzero number of completed instances (the human scenario's
 #     worker-user pool actually ground tasks through claim → start →
-#     complete, and the automatic pipeline enacted end to end), and
-#   - zero 5xx responses from the daemon under load.
+#     complete, and the automatic pipeline enacted end to end),
+#   - zero 5xx responses from the daemon under load,
+#   - live instrumentation: nonzero bpms_http_requests_total and
+#     bpms_engine_transition_seconds histogram counts at /metrics, and
+#   - a working SLA sweeper: nonzero bpms_audit_sweeps_total plus at
+#     least one bpms_audit_violations_total, forced deterministically
+#     by an instance whose user task routes to a role nobody staffs
+#     (it blows through the -task-sla default deadline).
 #
-# The machine-readable report lands in BENCH_T14.json (uploaded as a
-# CI artifact). Tunables:
+# The machine-readable report lands in BENCH_T14.json and the final
+# metrics scrape in metrics-snapshot.txt (both uploaded as CI
+# artifacts). Tunables:
 #
 #   ACCOUNTS=50 DURATION=10s RATE=30 SCENARIOS=quickstart,mining
 #   ADDR=127.0.0.1:18090 ./scripts/load-smoke.sh
@@ -22,6 +30,7 @@ DURATION="${DURATION:-20s}"
 RATE="${RATE:-30}"
 SCENARIOS="${SCENARIOS:-quickstart,mining}"
 OUT="${OUT:-BENCH_T14.json}"
+SNAPSHOT="${SNAPSHOT:-metrics-snapshot.txt}"
 
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
@@ -35,7 +44,8 @@ trap cleanup EXIT
 go build -o "$BIN/bpmsd" ./cmd/bpmsd
 go build -o "$BIN/bpmsload" ./cmd/bpmsload
 
-"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -shards 2 -sync batch >"$LOG" 2>&1 &
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -shards 2 -sync batch \
+  -metrics -audit-interval 500ms -task-sla 2s >"$LOG" 2>&1 &
 PID=$!
 
 for _ in $(seq 100); do
@@ -48,6 +58,17 @@ curl -sf "http://$ADDR/api/v1/stats" >/dev/null || {
   exit 1
 }
 
+# Plant a deterministic SLA violation: a user task routed to a role no
+# user holds sits untouched past the 2s default deadline, so the
+# sweeper must find it however fast the load's worker pool drains the
+# staffed scenarios.
+curl -sf -X POST "http://$ADDR/api/v1/definitions" \
+  -H 'Content-Type: application/json' \
+  --data-binary @scripts/testdata/unstaffed.json >/dev/null
+curl -sf -X POST "http://$ADDR/api/v1/instances" \
+  -H 'Content-Type: application/json' \
+  -d '{"processId":"unstaffed"}' >/dev/null
+
 echo "== bpmsload: $ACCOUNTS accounts, $DURATION, ~$RATE starts/s, scenarios $SCENARIOS"
 "$BIN/bpmsload" \
   -server "http://$ADDR" \
@@ -58,10 +79,52 @@ echo "== bpmsload: $ACCOUNTS accounts, $DURATION, ~$RATE starts/s, scenarios $SC
   -report 5s \
   -out "$OUT" \
   -min-completed 1 \
-  -max-5xx 0
+  -max-5xx 0 &
+LOAD_PID=$!
+
+# Scrape mid-run: the registry must serve a concurrent scrape while
+# every hot path hammers its instruments.
+sleep 5
+curl -sf "http://$ADDR/metrics" -o "$BIN/metrics-midrun.txt" || {
+  echo "mid-run /metrics scrape failed" >&2
+  kill "$LOAD_PID" 2>/dev/null || true
+  exit 1
+}
+
+wait "$LOAD_PID"
+
+curl -sf "http://$ADDR/metrics" -o "$SNAPSHOT"
+curl -sf "http://$ADDR/api/v1/violations" -o "$BIN/violations.json"
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=
 
-echo "== load smoke OK — report in $OUT"
+# msum sums every sample of one family in a scrape (labels collapsed).
+msum() {
+  awk -v fam="$1" 'index($1, fam"{") == 1 || $1 == fam { s += $NF } END { printf "%.0f\n", s+0 }' "$2"
+}
+
+fail=0
+check_nonzero() {
+  local v
+  v="$(msum "$1" "$SNAPSHOT")"
+  if [ "$v" -lt "${2:-1}" ]; then
+    echo "GATE FAIL: $1 = $v (want >= ${2:-1})" >&2
+    fail=1
+  else
+    echo "   gate ok: $1 = $v"
+  fi
+}
+check_nonzero bpms_http_requests_total
+check_nonzero bpms_engine_transition_seconds_bucket
+check_nonzero bpms_audit_sweeps_total
+check_nonzero bpms_audit_violations_total 1
+if [ "$fail" -ne 0 ]; then
+  echo "== /api/v1/violations:" >&2
+  cat "$BIN/violations.json" >&2 || true
+  echo "== final scrape in $SNAPSHOT" >&2
+  exit 1
+fi
+
+echo "== load smoke OK — report in $OUT, metrics snapshot in $SNAPSHOT"
