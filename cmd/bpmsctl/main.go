@@ -51,6 +51,8 @@ var api *client.Client
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "bpmsd base URL")
+	retries := flag.Int("retries", 3, "max attempts per request; shed 429/503 responses retry with backoff (1 = no retries)")
+	timeout := flag.Duration("timeout", time.Minute, "per-request deadline including retry backoff (0 = none)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bpmsctl [-server URL] <command> [args]\nsee 'go doc bpms/cmd/bpmsctl' for commands\n")
 	}
@@ -60,7 +62,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	api = client.New(*server)
+	var copts []client.Option
+	if *retries > 1 {
+		pol := client.DefaultRetryPolicy
+		pol.MaxAttempts = *retries
+		copts = append(copts, client.WithRetry(pol))
+	}
+	if *timeout > 0 {
+		copts = append(copts, client.WithTimeout(*timeout))
+	}
+	api = client.New(*server, copts...)
 	cmd, rest := args[0], args[1:]
 	if err := run(cmd, rest); err != nil {
 		fmt.Fprintln(os.Stderr, "bpmsctl:", err)

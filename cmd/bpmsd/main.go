@@ -51,6 +51,7 @@ import (
 
 	"bpms"
 	"bpms/internal/api"
+	"bpms/internal/fault"
 	"bpms/internal/obs"
 	"bpms/internal/resource"
 )
@@ -75,6 +76,13 @@ func main() {
 	auditInterval := flag.Duration("audit-interval", 0, "SLA-audit sweep cadence (0 = sweeper off); violations surface at /metrics, /api/v1/violations, and in the audit trail")
 	taskSLA := flag.Duration("task-sla", 0, "default due time applied to work items created without a deadline, so the audit sweep covers every open item (0 = explicit deadlines only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	httpReadTimeout := flag.Duration("http-read-timeout", 0, "max time to read a full request including body (0 = 30s default)")
+	httpWriteTimeout := flag.Duration("http-write-timeout", 0, "max time to write a full response (0 = 5m default, sized for XES exports)")
+	maxReads := flag.Int("max-inflight-reads", 0, "admission control: concurrent GET requests executing (0 = unlimited)")
+	maxWrites := flag.Int("max-inflight-writes", 0, "admission control: concurrent non-GET requests executing (0 = unlimited)")
+	admissionQueue := flag.Int("admission-queue", 0, "admission control: requests per class allowed to wait for a slot before new arrivals are shed with 429 (0 = default 64)")
+	admissionTimeout := flag.Duration("admission-timeout", 0, "admission control: max wait for an execution slot before a queued request is shed with 503 (0 = default 1s)")
+	faultSpec := flag.String("fault", "", "inject storage faults for chaos testing, e.g. 'path=shard-0000;fsync-at=100' (keys: path, fsync-at, fsync-prob, seed, enospc-after, drop-after, write-latency, fsync-latency)")
 	var users []resource.User
 	flag.Func("user", "user spec id=role1,role2 (repeatable)", func(s string) error {
 		id, roles, ok := strings.Cut(s, "=")
@@ -123,6 +131,17 @@ func main() {
 		opts.SnapshotEvery = *snapshotEvery
 		opts.SnapshotInterval = *snapshotInterval
 	}
+	if *faultSpec != "" {
+		if *data == "" {
+			log.Fatal("bpmsd: -fault requires -data (faults are injected under the storage layer)")
+		}
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.FS = fault.NewInjector(fault.OS, plan)
+		fmt.Printf("bpmsd: fault injection armed: %s\n", *faultSpec)
+	}
 	sys, err := bpms.Open(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -157,7 +176,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := api.New(sys)
+	apiOpts := []api.Option{api.WithHTTPTimeouts(*httpReadTimeout, *httpWriteTimeout)}
+	if *maxReads > 0 || *maxWrites > 0 {
+		apiOpts = append(apiOpts, api.WithAdmission(api.AdmissionConfig{
+			MaxInFlightRead:  *maxReads,
+			MaxInFlightWrite: *maxWrites,
+			QueueDepth:       *admissionQueue,
+			QueueTimeout:     *admissionTimeout,
+		}))
+		fmt.Printf("bpmsd: admission control on: reads=%d writes=%d queue=%d\n",
+			*maxReads, *maxWrites, *admissionQueue)
+	}
+	srv := api.New(sys, apiOpts...)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 

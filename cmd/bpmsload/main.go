@@ -47,13 +47,15 @@ func main() {
 		report       = flag.Duration("report", 5*time.Second, "progress line interval")
 		out          = flag.String("out", "BENCH_T14.json", "report output path")
 		minCompleted = flag.Int64("min-completed", 0, "fail unless at least this many instances completed (CI gate)")
-		max5xx       = flag.Int64("max-5xx", -1, "fail if more than this many 5xx responses (CI gate; -1 = no check)")
+		max5xx       = flag.Int64("max-5xx", -1, "fail if more than this many unclassified 5xx responses (CI gate; -1 = no check; shed 429/503 with retryable codes don't count)")
+		retries      = flag.Int("retries", 5, "max client attempts per request; shed 429/503 responses retry with backoff on every method (1 = no retries)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request client deadline including retry backoff (0 = none)")
 	)
 	flag.Parse()
 
 	if err := run(*server, *accounts, *duration, *workers, *usersPerRole,
 		*arrival, *rate, *zipf, *scenarios, *seed, *report, *out,
-		*minCompleted, *max5xx); err != nil {
+		*minCompleted, *max5xx, *retries, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "bpmsload:", err)
 		os.Exit(1)
 	}
@@ -61,7 +63,8 @@ func main() {
 
 func run(server string, accounts int, duration time.Duration, workers, usersPerRole int,
 	arrival time.Duration, rate, zipf float64, scenarios string, seed int64,
-	report time.Duration, out string, minCompleted, max5xx int64) error {
+	report time.Duration, out string, minCompleted, max5xx int64,
+	retries int, reqTimeout time.Duration) error {
 	var names []string
 	if scenarios != "" {
 		names = strings.Split(scenarios, ",")
@@ -79,17 +82,19 @@ func run(server string, accounts int, duration time.Duration, workers, usersPerR
 		arrival = time.Duration(float64(accounts) / rate * float64(time.Second))
 	}
 	cfg := load.Config{
-		Server:       server,
-		Scenarios:    portfolio,
-		Accounts:     accounts,
-		Duration:     duration,
-		Workers:      workers,
-		UsersPerRole: usersPerRole,
-		Arrival:      sim.Exp(arrival),
-		ZipfSkew:     zipf,
-		Seed:         seed,
-		ReportEvery:  report,
-		Out:          os.Stderr,
+		Server:         server,
+		Scenarios:      portfolio,
+		Accounts:       accounts,
+		Duration:       duration,
+		Workers:        workers,
+		UsersPerRole:   usersPerRole,
+		Arrival:        sim.Exp(arrival),
+		ZipfSkew:       zipf,
+		Seed:           seed,
+		ReportEvery:    report,
+		Retries:        retries,
+		RequestTimeout: reqTimeout,
+		Out:            os.Stderr,
 	}
 	runner, err := load.NewRunner(cfg)
 	if err != nil {
@@ -119,10 +124,11 @@ func run(server string, accounts int, duration time.Duration, workers, usersPerR
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "[bpmsload] done: %d events (%.1f/s), %d started, %d completed, %d errors (%d 5xx), max scheduler lag %s — wrote %s\n",
+	fmt.Fprintf(os.Stderr, "[bpmsload] done: %d events (%.1f/s), %d started, %d completed, %d errors (%d 5xx, %d shed), %d retries, max scheduler lag %s — wrote %s\n",
 		rep.Aggregate.Events, rep.Aggregate.EventsPerSec,
 		rep.Aggregate.Started, rep.Aggregate.Completed,
-		rep.Aggregate.Errors, rep.Aggregate.HTTP5xx,
+		rep.Aggregate.Errors, rep.Aggregate.HTTP5xx, rep.Aggregate.Shed,
+		rep.ClientRetries,
 		runner.MaxSchedulerLag().Truncate(time.Millisecond), out)
 	if runErr != nil {
 		return runErr
@@ -131,7 +137,7 @@ func run(server string, accounts int, duration time.Duration, workers, usersPerR
 		return fmt.Errorf("gate: %d instances completed, want >= %d", rep.Aggregate.Completed, minCompleted)
 	}
 	if max5xx >= 0 && rep.Aggregate.HTTP5xx > max5xx {
-		return fmt.Errorf("gate: %d 5xx responses, want <= %d", rep.Aggregate.HTTP5xx, max5xx)
+		return fmt.Errorf("gate: %d unclassified 5xx responses, want <= %d", rep.Aggregate.HTTP5xx, max5xx)
 	}
 	return nil
 }

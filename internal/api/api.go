@@ -31,14 +31,46 @@ type Server struct {
 	bpms  *core.BPMS
 	mux   *http.ServeMux
 	start time.Time
+	adm   *admission // nil = admission control disabled
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	mu   sync.Mutex
 	http *http.Server
 }
 
+// Option customises a Server at construction.
+type Option func(*Server)
+
+// WithAdmission enables admission control with the given limits.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) {
+		if cfg.MaxInFlightRead > 0 || cfg.MaxInFlightWrite > 0 {
+			s.adm = newAdmission(cfg)
+		}
+	}
+}
+
+// WithHTTPTimeouts overrides the server's read (full request,
+// header included) and write timeouts. Zero keeps the default.
+func WithHTTPTimeouts(read, write time.Duration) Option {
+	return func(s *Server) {
+		if read > 0 {
+			s.readTimeout = read
+		}
+		if write > 0 {
+			s.writeTimeout = write
+		}
+	}
+}
+
 // New builds the HTTP server for a BPMS.
-func New(b *core.BPMS) *Server {
+func New(b *core.BPMS, opts ...Option) *Server {
 	s := &Server{bpms: b, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.routes()
 	return s
 }
@@ -93,13 +125,23 @@ func (s *Server) table() []route {
 func (s *Server) routes() {
 	for _, prefix := range []string{"/api/v1", "/api"} {
 		for _, rt := range s.table() {
+			h := rt.handler
+			if s.adm != nil {
+				// Admission sits inside instrumentation so shed
+				// responses show up in the per-route counters.
+				h = s.adm.wrap(rt.method, h)
+			}
 			s.mux.HandleFunc(rt.method+" "+prefix+rt.pattern,
-				s.instrument(rt.method+" "+prefix+rt.pattern, rt.handler))
+				s.instrument(rt.method+" "+prefix+rt.pattern, h))
 		}
 	}
-	// The scrape endpoint lives outside the API version prefixes, at
-	// the conventional path. On an uninstrumented system it answers 404.
+	// The scrape and probe endpoints live outside the API version
+	// prefixes, at their conventional paths, and are never gated by
+	// admission control: an overloaded or degraded system must still
+	// answer its monitors. On an uninstrumented system /metrics is 404.
 	s.mux.Handle("GET /metrics", s.bpms.Metrics.Handler())
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 }
 
 // statusWriter captures the response status for the request counters.
@@ -178,6 +220,8 @@ const (
 	codeNotAuthorized     = "not_authorized"
 	codeInvalidDefinition = "invalid_definition"
 	codeTooLarge          = "request_too_large"
+	codeShardDegraded     = "shard_degraded"
+	codeOverloaded        = "overloaded"
 	codeInternal          = "internal"
 )
 
@@ -224,6 +268,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusBadRequest, codeInvalidDefinition
 	case errors.As(err, &mbe):
 		status, code = http.StatusRequestEntityTooLarge, codeTooLarge
+	case errors.Is(err, engine.ErrDegraded):
+		// The owning shard has fail-stopped into read-only mode. The
+		// write was refused before any state change; clients may retry
+		// (another replica, or this one after repair and restart).
+		status, code = http.StatusServiceUnavailable, codeShardDegraded
+		w.Header().Set("Retry-After", "5")
 	}
 	writeErrCode(w, status, code, err.Error())
 }
@@ -578,6 +628,16 @@ func (s *Server) taskAction(act taskAct) http.HandlerFunc {
 			return
 		}
 		id := r.PathValue("id")
+		// Refuse mutations whose completion callback would hit a
+		// fail-stopped shard BEFORE touching the worklist, so the item
+		// is not left claimed/started with its instance frozen.
+		if cur, err := s.bpms.Tasks.Get(id); err == nil && cur.InstanceID != "" &&
+			s.bpms.Engine.OwnerDegraded(cur.InstanceID) {
+			w.Header().Set("Retry-After", "5")
+			writeErrCode(w, http.StatusServiceUnavailable, codeShardDegraded,
+				"api: owning shard is degraded (read-only); task mutation refused")
+			return
+		}
 		var it *task.Item
 		var err error
 		switch act {
@@ -623,7 +683,7 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 	// a monitoring poll must not block behind a busy committer (its
 	// Events equals Count() once the pipeline drains).
 	hist := s.bpms.History.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"definitions":   len(s.bpms.Engine.Definitions()),
 		"instances":     counts,
 		"events":        hist.Events,
@@ -632,7 +692,21 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		"worklist":      s.bpms.Tasks.Stats(),
 		"startedAt":     s.start.UTC().Format(time.RFC3339),
 		"uptimeSeconds": time.Since(s.start).Seconds(),
-	})
+	}
+	ready, degraded := s.bpms.Ready()
+	body["ready"] = ready
+	if len(degraded) > 0 {
+		body["degradedShards"] = degraded
+	}
+	if s.adm != nil {
+		body["shedRequests"] = s.adm.Shed()
+	}
+	// Chaos runs mount a fault.Injector under the storage layer; its
+	// counters make the injected-fault report scrapeable before a kill.
+	if rep, ok := s.bpms.FaultReport(); ok {
+		body["faults"] = rep
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // violations serves GET /violations: the audit sweeper's currently
@@ -690,6 +764,14 @@ func (s *Server) adminSnapshot(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"shards": s.bpms.Engine.Shards()})
 }
 
+// Default HTTP server timeouts. Read covers the whole request (slow
+// or stalled uploads can't pin a connection forever); write is long
+// enough for a full XES export of a large audit trail.
+const (
+	defaultReadTimeout  = 30 * time.Second
+	defaultWriteTimeout = 5 * time.Minute
+)
+
 // ListenAndServe runs the server on addr (convenience for cmd/bpmsd).
 // It returns http.ErrServerClosed after a graceful Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -698,7 +780,23 @@ func (s *Server) ListenAndServe(addr string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("api: server already running")
 	}
-	srv := &http.Server{Addr: addr, Handler: s.mux}
+	read, write := s.readTimeout, s.writeTimeout
+	if read <= 0 {
+		read = defaultReadTimeout
+	}
+	if write <= 0 {
+		write = defaultWriteTimeout
+	}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: s.mux,
+		// ReadHeaderTimeout alone defeats slowloris-style header
+		// trickling; ReadTimeout bounds the body too.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       read,
+		WriteTimeout:      write,
+		IdleTimeout:       2 * time.Minute,
+	}
 	s.http = srv
 	s.mu.Unlock()
 	fmt.Printf("bpmsd listening on %s\n", addr)

@@ -1,0 +1,264 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bpms/internal/core"
+	"bpms/internal/fault"
+	"bpms/internal/model"
+	"bpms/internal/storage"
+)
+
+// jsonBody wraps a JSON literal as a request body.
+func jsonBody(s string) io.Reader { return strings.NewReader(s) }
+
+// envelopeOf decodes the v1 error envelope.
+func envelopeOf(t *testing.T, resp *http.Response) (code, msg string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
+// TestDegradedShardEnvelope injects a journal fault, trips the shard
+// into read-only mode through the API, and asserts the documented
+// degradation surface: 503 + shard_degraded + Retry-After on writes,
+// working reads, failing /readyz, live /healthz.
+func TestDegradedShardEnvelope(t *testing.T) {
+	b, err := core.Open(core.Options{
+		DataDir:    t.TempDir(),
+		SyncPolicy: storage.SyncAlways,
+		Durable:    true,
+		FS:         fault.NewInjector(fault.OS, fault.Plan{PathContains: "state", FailFsyncAt: 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	ts := httptest.NewServer(New(b).Handler())
+	t.Cleanup(ts.Close)
+
+	if err := b.Engine.Deploy(model.Sequence(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ready while healthy.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /readyz = %d", resp.StatusCode)
+	}
+
+	// Drive starts through the API until the injected fault trips the
+	// shard; the tripping request itself must answer a classified
+	// error, not a bare 500.
+	var last *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err := http.Post(ts.URL+"/api/v1/instances", "application/json",
+			jsonBody(`{"processId":"seq-1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			last = resp
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if last == nil {
+		t.Fatal("fault never surfaced through the API")
+	}
+	defer last.Body.Close()
+	// The first failing write raced the fail-stop: it may carry the
+	// injected-fault internal error or already the degraded code. The
+	// NEXT write must be a clean 503 shard_degraded.
+	io.Copy(io.Discard, last.Body)
+
+	resp, err = http.Post(ts.URL+"/api/v1/instances", "application/json",
+		jsonBody(`{"processId":"seq-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write on degraded shard = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("degraded 503 missing Retry-After")
+	}
+	if code, _ := envelopeOf(t, resp); code != codeShardDegraded {
+		t.Fatalf("degraded code = %q, want %q", code, codeShardDegraded)
+	}
+
+	// Reads still serve.
+	resp, err = http.Get(ts.URL + "/api/v1/definitions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read on degraded system = %d", resp.StatusCode)
+	}
+
+	// /readyz now refuses; /healthz stays live; /api/stats reports it.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz struct {
+		Ready          bool  `json:"ready"`
+		DegradedShards []int `json:"degradedShards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rz.Ready || len(rz.DegradedShards) != 1 {
+		t.Fatalf("degraded /readyz = %d %+v", resp.StatusCode, rz)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded /healthz = %d, want 200 (process is alive)", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready, _ := stats["ready"].(bool); ready {
+		t.Fatal("stats.ready = true on degraded system")
+	}
+	if _, ok := stats["faults"]; !ok {
+		t.Fatal("stats missing injected-fault report")
+	}
+}
+
+// TestAdmissionShed saturates a 1-slot write gate and asserts the
+// shed contract: queue overflow answers 429 overloaded, queue timeout
+// answers 503 overloaded, both with Retry-After, and reads (separate
+// class) keep flowing.
+func TestAdmissionShed(t *testing.T) {
+	b, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	srv := New(b, WithAdmission(AdmissionConfig{
+		MaxInFlightWrite: 1,
+		QueueDepth:       1,
+		QueueTimeout:     50 * time.Millisecond,
+	}))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Occupy the single write slot with a request parked inside its
+	// handler (a deploy blocked reading its body).
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/definitions", pr)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the slot is actually held.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.write != nil && len(srv.adm.write.slots) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slot never occupied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second write queues (depth 1) and times out → 503 overloaded.
+	// Third write overflows the queue → 429 overloaded. Run them
+	// concurrently so the queue is actually occupied when the third
+	// arrives.
+	statuses := make(chan *http.Response, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/api/v1/instances", "application/json",
+				jsonBody(`{"processId":"nope"}`))
+			if err != nil {
+				t.Error(err)
+				statuses <- nil
+				return
+			}
+			statuses <- resp
+		}()
+		time.Sleep(10 * time.Millisecond) // order: queue first, overflow second
+	}
+	got := map[int]string{}
+	for i := 0; i < 2; i++ {
+		resp := <-statuses
+		if resp == nil {
+			continue
+		}
+		code, _ := envelopeOf(t, resp)
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("shed %d missing Retry-After", resp.StatusCode)
+		}
+		got[resp.StatusCode] = code
+		resp.Body.Close()
+	}
+	if got[http.StatusServiceUnavailable] != codeOverloaded {
+		t.Fatalf("queue-timeout shed = %v, want 503 %s", got, codeOverloaded)
+	}
+	if got[http.StatusTooManyRequests] != codeOverloaded {
+		t.Fatalf("queue-overflow shed = %v, want 429 %s", got, codeOverloaded)
+	}
+
+	// Reads are an independent class: unaffected.
+	resp, err := http.Get(ts.URL + "/api/v1/definitions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read during write saturation = %d", resp.StatusCode)
+	}
+
+	if srv.adm.Shed() < 2 {
+		t.Fatalf("shed counter = %d, want >= 2", srv.adm.Shed())
+	}
+
+	// Release the parked deploy.
+	pw.Close()
+	wg.Wait()
+}

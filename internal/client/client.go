@@ -9,20 +9,27 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"bpms/internal/model"
 )
 
 // Client talks to one bpmsd base URL.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   *RetryPolicy  // nil = no retries
+	timeout time.Duration // per-request deadline when ctx has none (0 = none)
+
+	retries atomic.Uint64
 }
 
 // Option configures a Client.
@@ -47,15 +54,26 @@ func New(base string, opts ...Option) *Client {
 // APIError is a decoded v1 error envelope plus the HTTP status it
 // arrived with.
 type APIError struct {
-	Status  int    // HTTP status code
-	Code    string // machine-readable code ("unknown_instance", ...)
-	Message string
+	Status     int    // HTTP status code
+	Code       string // machine-readable code ("unknown_instance", ...)
+	Message    string
+	RetryAfter time.Duration // server backoff hint (0 = none)
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("api: %s (%d %s)", e.Message, e.Status, e.Code)
 }
+
+// Machine-readable codes of shed responses — errors the server
+// guarantees were refused before any side effect.
+const (
+	// CodeOverloaded marks an admission-control shed (429/503).
+	CodeOverloaded = "overloaded"
+	// CodeShardDegraded marks a write refused by a fail-stopped
+	// (read-only) shard (503).
+	CodeShardDegraded = "shard_degraded"
+)
 
 // errEnvelope mirrors the server's error body.
 type errEnvelope struct {
@@ -70,25 +88,63 @@ type errEnvelope struct {
 // into out (skipped when out is nil). Error statuses decode the v1
 // envelope into *APIError; an undecodable error body still produces an
 // *APIError carrying the raw text.
+//
+// The request body is materialised to bytes up front, so with a
+// RetryPolicy configured each attempt replays the identical body; see
+// RetryPolicy for the retry classification.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	ct := ""
 	switch b := body.(type) {
 	case nil:
 	case []byte:
-		rd, ct = bytes.NewReader(b), "application/json"
+		data, ct = b, "application/json"
 	case *rawBody:
-		rd, ct = bytes.NewReader(b.data), b.contentType
+		data, ct = b.data, b.contentType
 	default:
-		data, err := json.Marshal(body)
+		enc, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd, ct = bytes.NewReader(data), "application/json"
+		data, ct = enc, "application/json"
+	}
+	if c.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+	attempts := 1
+	var pol RetryPolicy
+	if c.retry != nil {
+		pol, attempts = *c.retry, c.retry.MaxAttempts
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, ct, out)
+		if err == nil || attempt+1 >= attempts || !retryable(method, err) {
+			var pe *permanentError
+			if errors.As(err, &pe) {
+				return pe.err
+			}
+			return err
+		}
+		if sleep(ctx, backoffDelay(pol, attempt, retryAfterOf(err))) != nil {
+			return err // deadline hit while backing off: report the attempt's error
+		}
+		c.retries.Add(1)
+	}
+}
+
+// doOnce issues exactly one HTTP attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, ct string, out any) error {
+	var rd io.Reader
+	if data != nil {
+		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+"/api/v1"+path, rd)
 	if err != nil {
-		return err
+		return &permanentError{err}
 	}
 	if ct != "" {
 		req.Header.Set("Content-Type", ct)
@@ -106,19 +162,32 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	if w, ok := out.(io.Writer); ok {
-		_, err := io.Copy(w, resp.Body)
-		return err
+		// A failed stream copy may have already written into w — never
+		// retried, the caller must restart with a fresh destination.
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			return &permanentError{err}
+		}
+		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &permanentError{err}
+	}
+	return nil
 }
 
 func decodeAPIError(resp *http.Response) *APIError {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var retryAfter time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var env errEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
 	}
-	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data)), RetryAfter: retryAfter}
 }
 
 // rawBody carries a pre-encoded request body with its content type.

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"bpms/internal/fault"
 	"bpms/internal/history"
 	"bpms/internal/model"
 	"bpms/internal/obs"
@@ -124,6 +126,15 @@ type Options struct {
 	// without an explicit deadline, so the audit sweep covers every
 	// open item (0 = only explicit dueIn deadlines are audited).
 	TaskSLA time.Duration
+	// FS is the filesystem the state and history journals and snapshot
+	// stores operate through (default the real OS filesystem). Chaos
+	// runs pass a fault.Injector here (bpmsd -fault); when the value
+	// also implements fault.Reporter, FaultReport exposes its tally.
+	FS fault.FS
+	// OnDegrade, when set, is called at most once per shard when that
+	// shard fail-stops on a storage I/O error (after the built-in log
+	// line and before the next /api/stats scrape can observe it).
+	OnDegrade func(shard int, reason string)
 }
 
 // BPMS is a fully assembled business process management system.
@@ -150,6 +161,7 @@ type BPMS struct {
 	runner   *timer.Runner
 	state    []storage.Journal // one per shard
 	dirs     []string          // per-shard data dirs (empty in memory)
+	fs       fault.FS          // filesystem behind the journals/snapshots
 	snapStop chan struct{}     // stops the time-based snapshot scheduler
 	snapWG   sync.WaitGroup
 }
@@ -287,6 +299,7 @@ func Open(opts Options) (*BPMS, error) {
 			SyncInterval:    opts.SyncInterval,
 			BatchMaxDelay:   opts.BatchMaxDelay,
 			BatchMaxRecords: opts.BatchMaxRecords,
+			FS:              opts.FS,
 		}
 		for i := 0; i < shards; i++ {
 			dir := shardDir(opts.DataDir, shards, i)
@@ -298,7 +311,7 @@ func Open(opts Options) (*BPMS, error) {
 				return nil, err
 			}
 			stateJournals[i] = sj
-			sn, err := storage.OpenSnapshotStore(filepath.Join(dir, "snapshots"), 2)
+			sn, err := storage.OpenSnapshotStoreFS(filepath.Join(dir, "snapshots"), 2, opts.FS)
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -367,6 +380,7 @@ func Open(opts Options) (*BPMS, error) {
 			fl.SetFireLag(opts.Metrics.Timers().FireLag)
 		}
 	}
+	onDegrade := opts.OnDegrade
 	router, err := shard.New(shard.Config{
 		Journals:        stateJournals,
 		Snapshots:       snaps,
@@ -378,6 +392,12 @@ func Open(opts Options) (*BPMS, error) {
 		Clock:           opts.Clock,
 		History:         hist,
 		Metrics:         opts.Metrics,
+		OnDegrade: func(i int, reason string) {
+			log.Printf("core: shard %d fail-stopped (read-only degraded mode): %s", i, reason)
+			if onDegrade != nil {
+				onDegrade(i, reason)
+			}
+		},
 	})
 	if err != nil {
 		closeAll()
@@ -399,6 +419,7 @@ func Open(opts Options) (*BPMS, error) {
 		clock:     opts.Clock,
 		state:     stateJournals,
 		dirs:      shardDirs,
+		fs:        opts.FS,
 	}
 	if opts.Metrics != nil {
 		b.registerSamplers(opts.Metrics)
@@ -446,6 +467,11 @@ func (b *BPMS) registerSamplers(m *obs.Metrics) {
 		tim.Pending.Set(int64(b.Timers.Pending()))
 		for _, s := range b.Engine.Stats() {
 			m.ShardInstances(s.Shard).Set(int64(s.Instances))
+			degraded := int64(0)
+			if s.Degraded {
+				degraded = 1
+			}
+			m.ShardDegraded(s.Shard).Set(degraded)
 		}
 	})
 }
@@ -615,6 +641,10 @@ type ShardStat struct {
 	// DiskBytes is the shard's on-disk footprint (WAL segments plus
 	// snapshots); 0 when running in memory.
 	DiskBytes int64 `json:"diskBytes"`
+	// Degraded reports a fail-stopped shard serving reads only.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason is the storage error that froze the shard.
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // dirSize sums the sizes of all regular files under root (0 when the
@@ -645,12 +675,32 @@ func (b *BPMS) ShardStats() []ShardStat {
 			JournalLast:     b.state[i].LastIndex(),
 			JournalSynced:   b.state[i].SyncedIndex(),
 			RecoverySeconds: b.Engine.RecoveryDuration(i).Seconds(),
+			Degraded:        s.Degraded,
+			DegradedReason:  s.DegradedReason,
 		}
 		if i < len(b.dirs) {
 			out[i].DiskBytes = dirSize(b.dirs[i])
 		}
 	}
 	return out
+}
+
+// Ready reports whether the system can serve its full surface: every
+// shard has finished boot replay (guaranteed once Open returns) and no
+// shard has fail-stopped. /readyz gates on it.
+func (b *BPMS) Ready() (bool, []int) {
+	degraded := b.Engine.DegradedShards()
+	return len(degraded) == 0, degraded
+}
+
+// FaultReport returns the injected-fault tally when the system was
+// opened over a fault.Injector (bpmsd -fault); ok is false on the real
+// filesystem.
+func (b *BPMS) FaultReport() (fault.Report, bool) {
+	if rep, ok := b.fs.(fault.Reporter); ok {
+		return rep.FaultReport(), true
+	}
+	return fault.Report{}, false
 }
 
 // DeployFile loads a definition from a .json or .xml file, validates

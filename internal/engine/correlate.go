@@ -219,6 +219,9 @@ func (e *Engine) Publish(name, key string, vars map[string]any) (int, bool, erro
 	if e.publisher != nil {
 		return e.publisher(name, key, vars)
 	}
+	if err := e.checkWritable(); err != nil {
+		return 0, false, err
+	}
 	converted, err := ConvertVars(vars)
 	if err != nil {
 		return 0, false, err
@@ -257,6 +260,9 @@ func ConvertVars(vars map[string]any) (map[string]expr.Value, error) {
 // lives on the shard its instance ID hashes to, which is unrelated to
 // the message key). It returns the number of resumed waits.
 func (e *Engine) PublishLocal(name, key string, vars map[string]expr.Value) int {
+	if e.degraded.Load() {
+		return 0 // frozen: subscriptions stay parked for post-repair replay
+	}
 	t0 := e.metrics.Transition.Start()
 	defer e.metrics.Transition.Since(t0)
 	subs := e.subs.take(name, key)
@@ -360,6 +366,9 @@ func (e *Engine) armTokenTimer(inst *Instance, tok *Token) {
 
 // fireTokenTimer resumes a token parked at a timer catch event.
 func (e *Engine) fireTokenTimer(instID string, tokID uint64) {
+	if e.degraded.Load() {
+		return // frozen: the timer re-arms from the journal after repair
+	}
 	e.mu.RLock()
 	inst, ok := e.instances[instID]
 	e.mu.RUnlock()
@@ -433,6 +442,9 @@ func (e *Engine) armBoundaries(inst *Instance, tok *Token, proc *model.Process, 
 
 // fireBoundary triggers an armed boundary event on a busy activity.
 func (e *Engine) fireBoundary(instID string, tokID uint64, armElem string, msgVars map[string]expr.Value) {
+	if e.degraded.Load() {
+		return // frozen: boundaries re-arm from the journal after repair
+	}
 	e.mu.RLock()
 	inst, ok := e.instances[instID]
 	e.mu.RUnlock()

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrDegraded is returned by write operations once the engine has
+// fail-stopped. A journal or snapshot I/O error means the engine can
+// no longer guarantee that an acknowledged transition is durable, so
+// instead of limping on with undefined semantics the shard freezes at
+// its last durable state: reads and queries keep serving, every
+// mutation is refused with this error, and recovery is a restart
+// against repaired storage (replay re-derives the frozen state).
+var ErrDegraded = errors.New("engine: shard degraded (read-only)")
+
+// degradeState carries the first fatal storage error; later errors are
+// ignored (the first one froze the shard).
+type degradeState struct {
+	mu     sync.Mutex
+	reason string
+	at     time.Time
+}
+
+// failStop transitions the engine into read-only degraded mode in
+// response to a storage I/O error. Only the first call wins; the
+// callback (Config.OnDegrade) fires exactly once, outside any engine
+// lock.
+func (e *Engine) failStop(op string, err error) {
+	if err == nil {
+		return
+	}
+	if !e.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	reason := fmt.Sprintf("%s: %v", op, err)
+	e.degrade.mu.Lock()
+	e.degrade.reason = reason
+	e.degrade.at = e.clock.Now()
+	e.degrade.mu.Unlock()
+	if e.onDegrade != nil {
+		e.onDegrade(reason)
+	}
+}
+
+// Degraded reports whether the engine has fail-stopped into read-only
+// mode.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// DegradedReason returns the first fatal storage error that froze the
+// shard ("" while healthy) and when it happened.
+func (e *Engine) DegradedReason() (string, time.Time) {
+	if !e.degraded.Load() {
+		return "", time.Time{}
+	}
+	e.degrade.mu.Lock()
+	defer e.degrade.mu.Unlock()
+	return e.degrade.reason, e.degrade.at
+}
+
+// checkWritable gates synchronous write entry points: the degraded
+// engine refuses every mutation with ErrDegraded (wrapping the
+// original storage error's description).
+func (e *Engine) checkWritable() error {
+	if !e.degraded.Load() {
+		return nil
+	}
+	reason, _ := e.DegradedReason()
+	return fmt.Errorf("%w: %s", ErrDegraded, reason)
+}

@@ -112,6 +112,10 @@ type Config struct {
 	// Metrics instruments this shard's StartInstance and transition
 	// latency (zero value = uninstrumented).
 	Metrics obs.EngineMetrics
+	// OnDegrade, when set, is called exactly once if the engine
+	// fail-stops on a storage I/O error (see ErrDegraded). The core
+	// wires logging and the bpms_shard_degraded gauge here.
+	OnDegrade func(reason string)
 }
 
 // Engine is the enactment service. All exported methods are safe for
@@ -148,6 +152,10 @@ type Engine struct {
 	snapshotPending atomic.Bool
 	lastSnapIndex   atomic.Uint64
 	recoveryDur     atomic.Int64
+
+	degraded  atomic.Bool
+	degrade   degradeState
+	onDegrade func(reason string)
 }
 
 // New creates an engine, recovering state from the journal when it is
@@ -183,6 +191,7 @@ func New(cfg Config) (*Engine, error) {
 		publisher:      cfg.Publisher,
 		buffered:       cfg.BufferedMessages,
 		metrics:        cfg.Metrics,
+		onDegrade:      cfg.OnDegrade,
 	}
 	e.tasks.Subscribe(e.onTaskTransition)
 	if cfg.Journal.LastIndex() > 0 || cfg.Snapshots != nil {
@@ -235,6 +244,9 @@ func (e *Engine) DeployReplica(p *model.Process) error {
 }
 
 func (e *Engine) deploy(p *model.Process, audit bool) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -297,6 +309,9 @@ func (e *Engine) StartInstanceID(processID, id string, vars map[string]any) (*In
 }
 
 func (e *Engine) start(processID, id string, vars map[string]any) (*InstanceView, error) {
+	if err := e.checkWritable(); err != nil {
+		return nil, err
+	}
 	t0 := e.metrics.Start.Start()
 	defer e.metrics.Start.Since(t0)
 	e.mu.RLock()
@@ -426,6 +441,9 @@ func (e *Engine) Summaries() []InstanceSummary {
 // open work items cancelled, timers disarmed, and subscriptions
 // removed.
 func (e *Engine) CancelInstance(id, reason string) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
 	t0 := e.metrics.Transition.Start()
 	defer e.metrics.Transition.Since(t0)
 	e.mu.RLock()
@@ -465,6 +483,9 @@ func (e *Engine) Variables(id string) (map[string]expr.Value, error) {
 
 // SetVariable updates one case variable on an active instance.
 func (e *Engine) SetVariable(id, name string, value any) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
 	t0 := e.metrics.Transition.Start()
 	defer e.metrics.Transition.Since(t0)
 	ev, err := expr.FromGo(value)
@@ -500,7 +521,11 @@ func (e *Engine) audit(ev *history.Event) {
 // onTaskTransition is the worklist listener resuming instances when
 // their work items close.
 func (e *Engine) onTaskTransition(it *task.Item, from, to task.State) {
-	if e.closing.Load() {
+	// A degraded engine is frozen at its last durable state: resuming
+	// an instance off a worklist transition would mutate state that can
+	// no longer be persisted, so the listener goes quiet alongside the
+	// shutdown path.
+	if e.closing.Load() || e.degraded.Load() {
 		return
 	}
 	// Under the shard router several engines share one worklist

@@ -330,6 +330,9 @@ func (e *Engine) armEventGateway(inst *Instance, tok *Token, proc *model.Process
 
 // fireRace resolves an event-gateway race in favour of the given arm.
 func (e *Engine) fireRace(instID string, tokID uint64, armElem string, msgVars map[string]expr.Value) {
+	if e.degraded.Load() {
+		return // frozen: race arms re-arm from the journal after repair
+	}
 	e.mu.RLock()
 	inst, ok := e.instances[instID]
 	e.mu.RUnlock()

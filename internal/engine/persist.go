@@ -122,6 +122,10 @@ func (e *Engine) persistInstance(inst *Instance) error {
 	_, err = e.appendRecord(*bp)
 	recordBufPool.Put(bp)
 	if err != nil {
+		// A failed append (or durability ack) is a storage I/O error:
+		// fail-stop the shard. Encode errors above do not — the disk is
+		// fine, only this record is unrepresentable.
+		e.failStop("journal append", err)
 		return fmt.Errorf("engine: persist instance %s: %w", inst.ID, err)
 	}
 	e.maybeSnapshot()
@@ -137,6 +141,7 @@ func (e *Engine) persistDeploy(p *model.Process) error {
 	_, err = e.appendRecord(*bp)
 	recordBufPool.Put(bp)
 	if err != nil {
+		e.failStop("journal append", err)
 		return err
 	}
 	e.maybeSnapshot()
@@ -148,7 +153,7 @@ func (e *Engine) persistDeploy(p *model.Process) error {
 // while holding an instance lock, and Snapshot must be free to lock
 // every instance.
 func (e *Engine) maybeSnapshot() {
-	if e.snapshots == nil || e.snapshotEvery <= 0 {
+	if e.snapshots == nil || e.snapshotEvery <= 0 || e.degraded.Load() {
 		return
 	}
 	e.mu.Lock()
@@ -190,6 +195,11 @@ func (e *Engine) requestSnapshot() {
 func (e *Engine) snapshotLoop() {
 	for {
 		e.snapshotPending.Store(false)
+		if e.degraded.Load() {
+			// Frozen: stop churning the failing disk with snapshots.
+			e.snapshotting.Store(false)
+			return
+		}
 		_ = e.Snapshot()
 		e.snapshotting.Store(false)
 		if !e.snapshotPending.Load() {
@@ -206,7 +216,7 @@ func (e *Engine) snapshotLoop() {
 // time-based scheduler calls this on every tick; an in-flight snapshot
 // or an idle journal satisfies the tick rather than queueing behind it.
 func (e *Engine) TrySnapshot() bool {
-	if e.snapshots == nil {
+	if e.snapshots == nil || e.degraded.Load() {
 		return false
 	}
 	if e.journal.LastIndex() == e.lastSnapIndex.Load() {
@@ -258,12 +268,18 @@ func (e *Engine) Snapshot() error {
 	index := e.journal.LastIndex()
 	w, err := e.snapshots.Writer(index)
 	if err != nil {
+		e.failStop("snapshot create", err)
 		return err
 	}
+	// Encode errors abort the snapshot but do not fail-stop (the disk
+	// is healthy); append/commit/truncate errors are storage I/O and do.
 	appendRec := func(kind, field string, payload []byte) error {
 		bp := encodeRecord(kind, field, payload)
 		err := w.Append(*bp)
 		recordBufPool.Put(bp)
+		if err != nil {
+			e.failStop("snapshot write", err)
+		}
 		return err
 	}
 	for _, def := range defs {
@@ -289,10 +305,15 @@ func (e *Engine) Snapshot() error {
 		}
 	}
 	if err := w.Commit(); err != nil {
+		e.failStop("snapshot commit", err)
 		return err
 	}
 	e.lastSnapIndex.Store(index)
-	return e.journal.DropBefore(index + 1)
+	if err := e.journal.DropBefore(index + 1); err != nil {
+		e.failStop("journal truncate", err)
+		return err
+	}
+	return nil
 }
 
 // snapshotBlob is the legacy single-blob snapshot path: the whole
@@ -335,10 +356,15 @@ func (e *Engine) snapshotBlob() error {
 		return err
 	}
 	if err := e.snapshots.Write(index, data); err != nil {
+		e.failStop("snapshot write", err)
 		return err
 	}
 	e.lastSnapIndex.Store(index)
-	return e.journal.DropBefore(index + 1)
+	if err := e.journal.DropBefore(index + 1); err != nil {
+		e.failStop("journal truncate", err)
+		return err
+	}
+	return nil
 }
 
 // decodeRecoveryRecord decodes one record-envelope payload (from a

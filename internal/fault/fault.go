@@ -1,0 +1,87 @@
+// Package fault is the filesystem seam of the storage layer and the
+// deterministic fault-injection harness built on it. internal/storage
+// performs every file operation through a fault.FS, so the same journal
+// and snapshot code runs against the real OS in production (fault.OS)
+// and against a scripted Injector in chaos runs — failing the Nth
+// fsync, returning ENOSPC once a byte budget is spent, silently
+// dropping writes, or adding latency — without a single test-only hook
+// in the storage code itself.
+//
+// The package deliberately has no dependencies beyond the standard
+// library: it sits below storage in the import graph.
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the storage layer uses. Injector
+// wraps it; OS returns *os.File values directly (they satisfy the
+// interface).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem surface the storage layer operates through.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens a file with the given flags and permissions.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes a file by path.
+	Truncate(name string, size int64) error
+}
+
+// osFS is the passthrough production filesystem.
+type osFS struct{}
+
+// OS is the real filesystem: every call forwards to package os.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

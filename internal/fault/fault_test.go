@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "sub", "f.txt")
+	if err := OS.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != name {
+		t.Fatalf("Name = %q, want %q", f.Name(), name)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(name)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	ents, err := OS.ReadDir(filepath.Dir(name))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Truncate(name, 2); err != nil {
+		t.Fatal(err)
+	}
+	moved := name + ".moved"
+	if err := OS.Rename(name, moved); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OS.Open(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = io.ReadAll(r)
+	r.Close()
+	if err != nil || string(b) != "he" {
+		t.Fatalf("after truncate+rename read %q, %v", b, err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorFailFsyncAt(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{FailFsyncAt: 2})
+	f, err := inj.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync 1 should pass: %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("fsync 2 should fail injected, got %v", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected fsync error should wrap EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync 3 should pass again: %v", err)
+	}
+	rep := inj.FaultReport()
+	if rep.Fsyncs != 3 || rep.FailedFsyncs != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestInjectorENOSPCBudget(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{ENOSPCAfter: 10})
+	f, err := inj.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("first 8 bytes fit the budget: %v", err)
+	}
+	_, err = f.Write([]byte("12345678"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("over-budget write should be injected ENOSPC, got %v", err)
+	}
+	// The disk stays full: a tiny write that would fit the remaining
+	// 2 bytes succeeds, then the budget is spent for good.
+	if _, err := f.Write([]byte("xy")); err != nil {
+		t.Fatalf("2-byte write still fits: %v", err)
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("budget spent, want ENOSPC, got %v", err)
+	}
+	rep := inj.FaultReport()
+	if rep.ENOSPCWrites != 2 || rep.BytesWritten != 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestInjectorDropWrites(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "w")
+	inj := NewInjector(OS, Plan{DropWritesAfter: 1})
+	f, err := inj.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("dropped"))
+	if err != nil || n != len("dropped") {
+		t.Fatalf("dropped write must report success, got n=%d err=%v", n, err)
+	}
+	f.Close()
+	b, err := os.ReadFile(name)
+	if err != nil || string(b) != "kept" {
+		t.Fatalf("on-disk = %q, %v; want only the first write", b, err)
+	}
+	if rep := inj.FaultReport(); rep.DroppedWrites != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestInjectorPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{PathContains: "wal", FailFsyncAt: 1})
+	other, err := inj.OpenFile(filepath.Join(dir, "snapshot.bin"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Sync(); err != nil {
+		t.Fatalf("non-matching file must not count or fail: %v", err)
+	}
+	wal, err := inj.OpenFile(filepath.Join(dir, "wal-0001.seg"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if err := wal.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching file's first fsync should fail, got %v", err)
+	}
+	if rep := inj.FaultReport(); rep.Fsyncs != 1 {
+		t.Fatalf("non-matching fsync was counted: %+v", rep)
+	}
+}
+
+func TestInjectorDeterministicProb(t *testing.T) {
+	run := func() []bool {
+		dir := t.TempDir()
+		inj := NewInjector(OS, Plan{FailFsyncProb: 0.5, Seed: 42})
+		f, err := inj.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = f.Sync() != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverged at fsync %d: %v vs %v", i+1, a, b)
+		}
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Plan{WriteLatency: 5 * time.Millisecond})
+	f, err := inj.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 5ms of injected latency", d)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("path=/state/;fsync-at=12; enospc-after=65536;drop-after=3;fsync-prob=0.25;seed=7;write-latency=2ms;fsync-latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		PathContains:    "/state/",
+		FailFsyncAt:     12,
+		FailFsyncProb:   0.25,
+		Seed:            7,
+		ENOSPCAfter:     65536,
+		DropWritesAfter: 3,
+		WriteLatency:    2 * time.Millisecond,
+		FsyncLatency:    time.Millisecond,
+	}
+	if p != want {
+		t.Fatalf("ParsePlan = %+v, want %+v", p, want)
+	}
+	if _, err := ParsePlan("bogus"); err == nil || !strings.Contains(err.Error(), "bad clause") {
+		t.Fatalf("want bad-clause error, got %v", err)
+	}
+	if _, err := ParsePlan("nope=1"); err == nil || !strings.Contains(err.Error(), "unknown clause") {
+		t.Fatalf("want unknown-clause error, got %v", err)
+	}
+	if _, err := ParsePlan("fsync-at=abc"); err == nil {
+		t.Fatal("want parse error for non-numeric ordinal")
+	}
+	empty, err := ParsePlan("")
+	if err != nil || empty != (Plan{}) {
+		t.Fatalf("empty spec should be a no-op plan, got %+v, %v", empty, err)
+	}
+}

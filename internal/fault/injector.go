@@ -1,0 +1,262 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected marks every error produced by an Injector, so callers
+// (and chaos-gate assertions) can tell scripted faults from real ones
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Plan scripts an Injector. The zero value injects nothing. All
+// ordinals count only operations on matching paths, so a plan can
+// target one shard's WAL while the rest of the system runs clean.
+type Plan struct {
+	// PathContains restricts faults (and ordinal counting) to files
+	// whose path contains this substring ("" = every file).
+	PathContains string
+	// FailFsyncAt fails the Nth matching fsync (1-based; 0 = never).
+	// The data is NOT flushed — exactly what a dying disk does.
+	FailFsyncAt uint64
+	// FailFsyncProb fails each matching fsync with this probability,
+	// drawn from a rand stream seeded by Seed (deterministic replay).
+	FailFsyncProb float64
+	// Seed keys the probabilistic draws (FailFsyncProb).
+	Seed int64
+	// ENOSPCAfter is a byte budget: once this many bytes have been
+	// written to matching files, every further write fails with
+	// syscall.ENOSPC — the disk stays full until the plan is lifted
+	// (0 = unlimited).
+	ENOSPCAfter int64
+	// DropWritesAfter silently discards matching writes after the
+	// first N (1-based ordinal > N is dropped; 0 = never). The write
+	// reports success — simulating a buffered write that never reaches
+	// the platter before a crash.
+	DropWritesAfter uint64
+	// WriteLatency and FsyncLatency are added to each matching write /
+	// fsync (0 = none).
+	WriteLatency time.Duration
+	// FsyncLatency is added to each matching fsync.
+	FsyncLatency time.Duration
+}
+
+// ParsePlan parses the -fault flag's spec string: semicolon-separated
+// key=value clauses, e.g.
+//
+//	"path=/state/;fsync-at=12"
+//	"enospc-after=65536;path=snapshots"
+//	"drop-after=100;fsync-prob=0.05;seed=7;write-latency=2ms"
+//
+// Keys: path, fsync-at, fsync-prob, seed, enospc-after, drop-after,
+// write-latency, fsync-latency.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad clause %q (want key=value)", clause)
+		}
+		var err error
+		switch key {
+		case "path":
+			p.PathContains = val
+		case "fsync-at":
+			p.FailFsyncAt, err = strconv.ParseUint(val, 10, 64)
+		case "fsync-prob":
+			p.FailFsyncProb, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "enospc-after":
+			p.ENOSPCAfter, err = strconv.ParseInt(val, 10, 64)
+		case "drop-after":
+			p.DropWritesAfter, err = strconv.ParseUint(val, 10, 64)
+		case "write-latency":
+			p.WriteLatency, err = time.ParseDuration(val)
+		case "fsync-latency":
+			p.FsyncLatency, err = time.ParseDuration(val)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown clause key %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+	}
+	return p, nil
+}
+
+// Report is an Injector's running tally — what the chaos gate uploads
+// as its fault-report artifact.
+type Report struct {
+	// Writes and Fsyncs count matching operations (attempted).
+	Writes uint64 `json:"writes"`
+	Fsyncs uint64 `json:"fsyncs"`
+	// BytesWritten counts bytes actually written (dropped and ENOSPC
+	// writes excluded).
+	BytesWritten int64 `json:"bytesWritten"`
+	// FailedFsyncs, ENOSPCWrites, and DroppedWrites count injected
+	// faults by kind.
+	FailedFsyncs uint64 `json:"failedFsyncs"`
+	ENOSPCWrites uint64 `json:"enospcWrites"`
+	// DroppedWrites counts writes that reported success but were
+	// discarded.
+	DroppedWrites uint64 `json:"droppedWrites"`
+}
+
+// Reporter is implemented by filesystems that tally injected faults;
+// the stats endpoint surfaces it when present.
+type Reporter interface {
+	FaultReport() Report
+}
+
+// Injector is an FS that executes a Plan on top of a base filesystem.
+// Safe for concurrent use; all ordinal counting is atomic, so a plan
+// replays deterministically for a deterministic operation order.
+type Injector struct {
+	base FS
+	plan Plan
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	writes       atomic.Uint64
+	fsyncs       atomic.Uint64
+	bytesWritten atomic.Int64
+	failedFsync  atomic.Uint64
+	enospc       atomic.Uint64
+	dropped      atomic.Uint64
+}
+
+// NewInjector wraps base with a scripted fault plan.
+func NewInjector(base FS, plan Plan) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{base: base, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// FaultReport implements Reporter.
+func (in *Injector) FaultReport() Report {
+	return Report{
+		Writes:        in.writes.Load(),
+		Fsyncs:        in.fsyncs.Load(),
+		BytesWritten:  in.bytesWritten.Load(),
+		FailedFsyncs:  in.failedFsync.Load(),
+		ENOSPCWrites:  in.enospc.Load(),
+		DroppedWrites: in.dropped.Load(),
+	}
+}
+
+func (in *Injector) matches(name string) bool {
+	return in.plan.PathContains == "" || strings.Contains(name, in.plan.PathContains)
+}
+
+// failFsync decides whether this matching fsync (1-based ordinal n)
+// is scripted to fail.
+func (in *Injector) failFsync(n uint64) bool {
+	if in.plan.FailFsyncAt != 0 && n == in.plan.FailFsyncAt {
+		return true
+	}
+	if in.plan.FailFsyncProb > 0 {
+		in.rngMu.Lock()
+		hit := in.rng.Float64() < in.plan.FailFsyncProb
+		in.rngMu.Unlock()
+		return hit
+	}
+	return false
+}
+
+// OpenFile implements FS. Matching files are wrapped so their writes
+// and fsyncs run the plan.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil || !in.matches(name) {
+		return f, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+// Open implements FS. Read-only opens are wrapped too: directory
+// fsyncs (snapshot commit) go through Open.
+func (in *Injector) Open(name string) (File, error) {
+	f, err := in.base.Open(name)
+	if err != nil || !in.matches(name) {
+		return f, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+// MkdirAll implements FS (passthrough).
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return in.base.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS (passthrough).
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.base.ReadDir(name) }
+
+// ReadFile implements FS (passthrough).
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.base.ReadFile(name) }
+
+// Rename implements FS (passthrough).
+func (in *Injector) Rename(oldpath, newpath string) error { return in.base.Rename(oldpath, newpath) }
+
+// Remove implements FS (passthrough).
+func (in *Injector) Remove(name string) error { return in.base.Remove(name) }
+
+// Truncate implements FS (passthrough).
+func (in *Injector) Truncate(name string, size int64) error { return in.base.Truncate(name, size) }
+
+// injFile runs the plan on one matching file's writes and fsyncs.
+type injFile struct {
+	File
+	in *Injector
+}
+
+// Write implements File: latency, then the drop and ENOSPC scripts,
+// then the real write.
+func (f *injFile) Write(p []byte) (int, error) {
+	in := f.in
+	if in.plan.WriteLatency > 0 {
+		time.Sleep(in.plan.WriteLatency)
+	}
+	n := in.writes.Add(1)
+	if in.plan.DropWritesAfter != 0 && n > in.plan.DropWritesAfter {
+		in.dropped.Add(1)
+		return len(p), nil // "success" that never reaches the disk
+	}
+	if in.plan.ENOSPCAfter > 0 && in.bytesWritten.Load()+int64(len(p)) > in.plan.ENOSPCAfter {
+		in.enospc.Add(1)
+		return 0, fmt.Errorf("%w: write %s: %w", ErrInjected, f.Name(), syscall.ENOSPC)
+	}
+	written, err := f.File.Write(p)
+	in.bytesWritten.Add(int64(written))
+	return written, err
+}
+
+// Sync implements File: latency, then the scripted failure (the data
+// is NOT flushed on a scripted failure), then the real fsync.
+func (f *injFile) Sync() error {
+	in := f.in
+	if in.plan.FsyncLatency > 0 {
+		time.Sleep(in.plan.FsyncLatency)
+	}
+	n := in.fsyncs.Add(1)
+	if in.failFsync(n) {
+		in.failedFsync.Add(1)
+		return fmt.Errorf("%w: fsync %d on %s: %w", ErrInjected, n, f.Name(), syscall.EIO)
+	}
+	return f.File.Sync()
+}

@@ -47,6 +47,14 @@ type Config struct {
 	// DrainGrace is how long workers keep draining after the schedule
 	// ends (0 = 3s).
 	DrainGrace time.Duration
+	// Retries is the client's max attempts per request (0 or 1 = no
+	// retries). Shed responses (429/503) are retried on every method —
+	// the server refuses them before side effects — so an overloaded or
+	// fault-injected run completes its scenarios instead of erroring.
+	Retries int
+	// RequestTimeout bounds each client call, backoff included
+	// (0 = none).
+	RequestTimeout time.Duration
 	// Out receives progress lines (nil = silent).
 	Out io.Writer
 }
@@ -125,9 +133,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 3 * time.Second
 	}
+	var copts []client.Option
+	if cfg.Retries > 1 {
+		pol := client.DefaultRetryPolicy
+		pol.MaxAttempts = cfg.Retries
+		copts = append(copts, client.WithRetry(pol))
+	}
+	if cfg.RequestTimeout > 0 {
+		copts = append(copts, client.WithTimeout(cfg.RequestTimeout))
+	}
 	r := &Runner{
 		cfg:       cfg,
-		c:         client.New(cfg.Server),
+		c:         client.New(cfg.Server, copts...),
 		rec:       NewRecorder(cfg.Seed),
 		byProcess: map[string]*Scenario{},
 	}
@@ -190,6 +207,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	elapsed := time.Since(start)
 	rep := r.rec.Finish(r.reportConfig(), elapsed, completed)
 	rep.MaxSchedulerLagSec = r.MaxSchedulerLag().Seconds()
+	rep.ClientRetries = r.c.Retries()
 	return rep, ctx.Err()
 }
 
@@ -346,7 +364,7 @@ func (r *Runner) runStart(ctx context.Context, j job, jobs <-chan job, rng *rand
 
 	t0 := time.Now()
 	_, err := r.c.StartInstance(ctx, sc.Process.ID, vars)
-	r.rec.Record(sc.Name, "start", time.Since(t0), err, is5xx(err), false)
+	r.rec.Record(sc.Name, "start", time.Since(t0), err, false)
 	if err != nil {
 		return
 	}
@@ -365,7 +383,7 @@ func (r *Runner) runStart(ctx context.Context, j job, jobs <-chan job, rng *rand
 			}
 			t0 := time.Now()
 			_, _, err := r.c.Publish(ctx, ms.Name, key, map[string]any{"paidAt": t0.UnixMilli()})
-			r.rec.Record(sc.Name, "publish", time.Since(t0), err, is5xx(err), false)
+			r.rec.Record(sc.Name, "publish", time.Since(t0), err, false)
 		})
 	}
 }
@@ -380,7 +398,7 @@ func (r *Runner) taskWorker(ctx context.Context, wu workerUser, done <-chan stru
 		default:
 		}
 		worklist, offered, err := r.c.UserTasks(ctx, wu.id)
-		r.rec.RecordPoll(r.scenarioForRole(wu.role), err, is5xx(err))
+		r.rec.RecordPoll(r.scenarioForRole(wu.role), err)
 		if err == nil {
 			for _, it := range offered {
 				r.driveItem(ctx, wu, it, rng)
@@ -410,7 +428,7 @@ func (r *Runner) driveItem(ctx context.Context, wu workerUser, it client.Task, r
 	if state == "offered" {
 		t0 := time.Now()
 		_, err := r.c.Claim(ctx, it.ID, wu.id)
-		r.rec.Record(sc.Name, "claim", time.Since(t0), err, is5xx(err), isContention(err))
+		r.rec.Record(sc.Name, "claim", time.Since(t0), err, isContention(err))
 		if err != nil {
 			return
 		}
@@ -419,7 +437,7 @@ func (r *Runner) driveItem(ctx context.Context, wu workerUser, it client.Task, r
 	if state == "allocated" {
 		t0 := time.Now()
 		_, err := r.c.StartTask(ctx, it.ID, wu.id)
-		r.rec.Record(sc.Name, "begin", time.Since(t0), err, is5xx(err), isContention(err))
+		r.rec.Record(sc.Name, "begin", time.Since(t0), err, isContention(err))
 		if err != nil {
 			return
 		}
@@ -429,7 +447,7 @@ func (r *Runner) driveItem(ctx context.Context, wu workerUser, it client.Task, r
 		outcome := sc.Outcome(it.ElementID, rng)
 		t0 := time.Now()
 		_, err := r.c.CompleteTask(ctx, it.ID, wu.id, outcome)
-		r.rec.Record(sc.Name, "complete", time.Since(t0), err, is5xx(err), isContention(err))
+		r.rec.Record(sc.Name, "complete", time.Since(t0), err, isContention(err))
 	}
 }
 
@@ -522,15 +540,33 @@ func (r *Runner) reportConfig() ReportConfig {
 // behind the open-loop calendar the generator itself fell.
 func (r *Runner) MaxSchedulerLag() time.Duration { return time.Duration(r.maxLag.Load()) }
 
-// is5xx reports whether err is a server-side API failure (or a
-// transport error, which counts against the server too).
+// is5xx reports whether err is an UNCLASSIFIED server-side API
+// failure. Classified shed responses (429/503 with a retryable code)
+// are counted separately by isShed — they are the server working as
+// designed under overload or degradation, not malfunctioning.
 func is5xx(err error) bool {
 	if err == nil {
 		return false
 	}
 	var ae *client.APIError
 	if errors.As(err, &ae) {
-		return ae.Status >= 500
+		return ae.Status >= 500 && !classifiedShed(ae)
+	}
+	return false
+}
+
+// isShed reports whether err is a classified shed: admission control
+// or a degraded shard refused the request before any side effect, and
+// said so with a machine-readable retryable code.
+func isShed(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && classifiedShed(ae)
+}
+
+func classifiedShed(ae *client.APIError) bool {
+	switch ae.Code {
+	case client.CodeOverloaded, client.CodeShardDegraded:
+		return true
 	}
 	return false
 }

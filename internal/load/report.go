@@ -34,6 +34,7 @@ type scenStats struct {
 	ops       map[string]int64
 	errors    int64
 	http5xx   int64
+	shed      int64
 	started   int64
 	contended int64
 }
@@ -58,9 +59,11 @@ func (r *Recorder) stats(scenario string) *scenStats {
 }
 
 // Record logs one workflow-driving HTTP operation (start, publish,
-// claim, begin, complete). status5xx marks server-side failures;
-// contended marks benign claim races (another worker won the item).
-func (r *Recorder) Record(scenario, op string, d time.Duration, err error, status5xx, contended bool) {
+// claim, begin, complete). Errors are classified here: unclassified
+// 5xx (server malfunction) vs shed (429/503 with a retryable code —
+// the server protecting itself by design); contended marks benign
+// claim races (another worker won the item).
+func (r *Recorder) Record(scenario, op string, d time.Duration, err error, contended bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := r.stats(scenario)
@@ -70,8 +73,11 @@ func (r *Recorder) Record(scenario, op string, d time.Duration, err error, statu
 		st.contended++
 	case err != nil:
 		st.errors++
-		if status5xx {
+		if is5xx(err) {
 			st.http5xx++
+		}
+		if isShed(err) {
+			st.shed++
 		}
 	default:
 		st.events++
@@ -85,15 +91,18 @@ func (r *Recorder) Record(scenario, op string, d time.Duration, err error, statu
 
 // RecordPoll logs one worklist poll; polls are bookkeeping, not
 // workflow events, so they only feed the error counters.
-func (r *Recorder) RecordPoll(scenario string, err error, status5xx bool) {
+func (r *Recorder) RecordPoll(scenario string, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.polls++
 	if err != nil {
 		st := r.stats(scenario)
 		st.errors++
-		if status5xx {
+		if is5xx(err) {
 			st.http5xx++
+		}
+		if isShed(err) {
+			st.shed++
 		}
 	}
 }
@@ -104,20 +113,21 @@ func (r *Recorder) Progress(lastEvents int64, window time.Duration) (line string
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	agg := metrics.NewReservoir(reservoirCap, r.seed)
-	var errs, x5 int64
+	var errs, x5, shed int64
 	for _, st := range r.scen {
 		events += st.events
 		errs += st.errors
 		x5 += st.http5xx
+		shed += st.shed
 		for _, v := range sample(st.res) {
 			agg.Add(v)
 		}
 	}
 	rate := float64(events-lastEvents) / window.Seconds()
-	line = fmt.Sprintf("[bpmsload] t=%s events=%d (%.1f/s) p50=%.1fms p95=%.1fms p99=%.1fms errors=%d 5xx=%d polls=%d",
+	line = fmt.Sprintf("[bpmsload] t=%s events=%d (%.1f/s) p50=%.1fms p95=%.1fms p99=%.1fms errors=%d 5xx=%d shed=%d polls=%d",
 		time.Since(r.start).Truncate(time.Second), events, rate,
 		agg.Percentile(0.50)*1e3, agg.Percentile(0.95)*1e3, agg.Percentile(0.99)*1e3,
-		errs, x5, r.polls)
+		errs, x5, shed, r.polls)
 	return line, events
 }
 
@@ -203,6 +213,7 @@ type ScenarioReport struct {
 	Completed    int64             `json:"instancesCompleted"`
 	Errors       int64             `json:"errors"`
 	HTTP5xx      int64             `json:"http5xx"`
+	Shed         int64             `json:"shedRetryable"`
 	Contended    int64             `json:"claimContention"`
 	Ops          map[string]int64  `json:"ops"`
 	Latency      *LatencyHistogram `json:"latencyHistogram,omitempty"`
@@ -214,6 +225,9 @@ type Report struct {
 	Config      ReportConfig `json:"config"`
 	DurationSec float64      `json:"durationSec"`
 	Polls       int64        `json:"polls"`
+	// ClientRetries counts retry attempts the shared client issued
+	// beyond first tries (backoff after shed or transport errors).
+	ClientRetries uint64 `json:"clientRetries"`
 	// MaxSchedulerLagSec is the worst observed arrival-dispatch lag:
 	// how far the open-loop scheduler fell behind its own timetable.
 	MaxSchedulerLagSec float64          `json:"maxSchedulerLagSec"`
@@ -264,6 +278,7 @@ func (r *Recorder) Finish(cfg ReportConfig, elapsed time.Duration, completed map
 			Completed:    completed[name],
 			Errors:       st.errors,
 			HTTP5xx:      st.http5xx,
+			Shed:         st.shed,
 			Contended:    st.contended,
 			Ops:          st.ops,
 			Latency:      histReport(st.hist),
@@ -275,6 +290,7 @@ func (r *Recorder) Finish(cfg ReportConfig, elapsed time.Duration, completed map
 		aggr.Completed += completed[name]
 		aggr.Errors += st.errors
 		aggr.HTTP5xx += st.http5xx
+		aggr.Shed += st.shed
 		aggr.Contended += st.contended
 		for op, n := range st.ops {
 			aggr.Ops[op] += n

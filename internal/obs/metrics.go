@@ -23,6 +23,7 @@ const (
 	MetricHTTPRequests     = "bpms_http_requests_total"
 	MetricHTTPSeconds      = "bpms_http_request_seconds"
 	MetricShardInstances   = "bpms_shard_instances"
+	MetricShardDegraded    = "bpms_shard_degraded"
 	MetricAuditSweeps      = "bpms_audit_sweeps_total"
 	MetricAuditViolations  = "bpms_audit_violations_total"
 	MetricAuditActive      = "bpms_audit_active_violations"
@@ -201,6 +202,17 @@ func (m *Metrics) ShardInstances(i int) *Gauge {
 	}
 	return m.registry.Gauge(MetricShardInstances,
 		"Live process instances by engine shard.", "shard", strconv.Itoa(i))
+}
+
+// ShardDegraded returns the per-shard fail-stop gauge (1 when the
+// shard has frozen into read-only degraded mode, 0 while healthy;
+// refreshed by a scrape sampler).
+func (m *Metrics) ShardDegraded(i int) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.registry.Gauge(MetricShardDegraded,
+		"Shard fail-stop state: 1 = degraded (read-only), 0 = healthy.", "shard", strconv.Itoa(i))
 }
 
 // AuditMetrics instruments the SLA-audit sweeper.

@@ -324,15 +324,21 @@ func formatFloat(v float64) string {
 // text exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	fams := make([]*family, len(r.fams))
-	copy(fams, r.fams)
 	samplers := make([]func(), len(r.samplers))
 	copy(samplers, r.samplers)
 	r.mu.Unlock()
 
+	// Samplers run outside the lock (they read subsystem state) and
+	// BEFORE the family snapshot: a gauge a sampler creates lazily on
+	// its first refresh must render in this same scrape.
 	for _, fn := range samplers {
 		fn()
 	}
+
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
 	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
 
 	var b strings.Builder

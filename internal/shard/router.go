@@ -80,6 +80,9 @@ type Config struct {
 	// Metrics, when set, instruments each shard's engine hot paths
 	// with per-shard latency handles.
 	Metrics *obs.Metrics
+	// OnDegrade, when set, is called (at most once per shard) when a
+	// shard fail-stops on a storage I/O error.
+	OnDegrade func(shard int, reason string)
 }
 
 // Stat reports one shard's load for monitoring.
@@ -88,6 +91,10 @@ type Stat struct {
 	Shard int `json:"shard"`
 	// Instances is the number of process instances on the shard.
 	Instances int `json:"instances"`
+	// Degraded reports a fail-stopped (read-only) shard.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason is the storage error that froze the shard.
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // Router is the sharded enactment runtime. It exposes the same surface
@@ -124,6 +131,10 @@ func New(cfg Config) (*Router, error) {
 		wg.Add(1)
 		go func(i int, snaps *storage.SnapshotStore) {
 			defer wg.Done()
+			var onDegrade func(string)
+			if cfg.OnDegrade != nil {
+				onDegrade = func(reason string) { cfg.OnDegrade(i, reason) }
+			}
 			eng, err := engine.New(engine.Config{
 				Journal:          cfg.Journals[i],
 				Snapshots:        snaps,
@@ -138,6 +149,7 @@ func New(cfg Config) (*Router, error) {
 				Publisher:        r.Publish,
 				BufferedMessages: r.takeBuffered,
 				Metrics:          cfg.Metrics.EngineShard(i),
+				OnDegrade:        onDegrade,
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
@@ -205,11 +217,35 @@ func (r *Router) Shards() int { return len(r.shards) }
 // Shard exposes one shard's engine (tests and diagnostics).
 func (r *Router) Shard(i int) *engine.Engine { return r.shards[i] }
 
-// Stats reports per-shard instance counts.
+// Stats reports per-shard instance counts and degradation state.
 func (r *Router) Stats() []Stat {
 	out := make([]Stat, len(r.shards))
 	for i, s := range r.shards {
-		out[i] = Stat{Shard: i, Instances: s.InstanceCount()}
+		st := Stat{Shard: i, Instances: s.InstanceCount()}
+		if s.Degraded() {
+			st.Degraded = true
+			st.DegradedReason, _ = s.DegradedReason()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// OwnerDegraded reports whether the shard owning the given instance ID
+// has fail-stopped (the API refuses writes to it with 503
+// shard_degraded while reads keep serving).
+func (r *Router) OwnerDegraded(id string) bool {
+	return r.owner(id).Degraded()
+}
+
+// DegradedShards returns the indices of fail-stopped shards (empty
+// while fully healthy; readiness requires it empty).
+func (r *Router) DegradedShards() []int {
+	var out []int
+	for i, s := range r.shards {
+		if s.Degraded() {
+			out = append(out, i)
+		}
 	}
 	return out
 }

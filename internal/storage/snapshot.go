@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"bpms/internal/fault"
 )
 
 // SnapshotStore persists point-in-time state images keyed by the
@@ -31,6 +33,7 @@ import (
 //     and the T16 baseline remain usable; LatestSnapshot reads both.
 type SnapshotStore struct {
 	dir    string
+	fs     fault.FS
 	mu     sync.Mutex
 	retain int
 }
@@ -53,13 +56,22 @@ const snapshotRecordHeader = 4 + 4
 // retaining at most retain snapshots (older ones are pruned on write;
 // retain <= 0 means keep 2).
 func OpenSnapshotStore(dir string, retain int) (*SnapshotStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenSnapshotStoreFS(dir, retain, fault.OS)
+}
+
+// OpenSnapshotStoreFS is OpenSnapshotStore over an explicit
+// filesystem; chaos runs pass a fault.Injector.
+func OpenSnapshotStoreFS(dir string, retain int, fsys fault.FS) (*SnapshotStore, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create snapshot dir: %w", err)
 	}
 	if retain <= 0 {
 		retain = 2
 	}
-	return &SnapshotStore{dir: dir, retain: retain}, nil
+	return &SnapshotStore{dir: dir, fs: fsys, retain: retain}, nil
 }
 
 func snapshotName(index uint64) string {
@@ -81,7 +93,7 @@ func parseSnapshotName(name string) (uint64, bool) {
 // survives a crash: the rename itself is atomic, but without the
 // directory fsync the new directory entry may still be lost.
 func (s *SnapshotStore) syncDir() error {
-	d, err := os.Open(s.dir)
+	d, err := s.fs.Open(s.dir)
 	if err != nil {
 		return err
 	}
@@ -97,7 +109,7 @@ func (s *SnapshotStore) syncDir() error {
 // snapshots. Called under s.mu.
 func (s *SnapshotStore) commitTempLocked(tmp string, index uint64) error {
 	final := filepath.Join(s.dir, snapshotName(index))
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
 	}
 	if err := s.syncDir(); err != nil {
@@ -118,7 +130,7 @@ func (s *SnapshotStore) Write(index uint64, data []byte) error {
 	copy(buf[12:], data)
 
 	tmp := filepath.Join(s.dir, "snap.tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -144,7 +156,7 @@ type SnapshotWriter struct {
 	store *SnapshotStore
 	index uint64
 	tmp   string
-	f     *os.File
+	f     fault.File
 	w     *bufio.Writer
 	done  bool
 }
@@ -155,7 +167,7 @@ func (s *SnapshotStore) Writer(index uint64) (*SnapshotWriter, error) {
 	// Unique temp name: concurrent writers (e.g. an admin snapshot
 	// racing the append-count trigger) must not clobber each other.
 	tmp := filepath.Join(s.dir, fmt.Sprintf("snap-%020d.tmp", index))
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create snapshot temp: %w", err)
 	}
@@ -165,7 +177,7 @@ func (s *SnapshotStore) Writer(index uint64) (*SnapshotWriter, error) {
 	binary.LittleEndian.PutUint64(hdr[4:12], index)
 	if _, err := w.Write(hdr[:]); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return nil, err
 	}
 	return &SnapshotWriter{store: s, index: index, tmp: tmp, f: f, w: w}, nil
@@ -198,16 +210,16 @@ func (w *SnapshotWriter) Commit() error {
 	w.done = true
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()
-		os.Remove(w.tmp)
+		w.store.fs.Remove(w.tmp)
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
-		os.Remove(w.tmp)
+		w.store.fs.Remove(w.tmp)
 		return err
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.tmp)
+		w.store.fs.Remove(w.tmp)
 		return err
 	}
 	w.store.mu.Lock()
@@ -222,11 +234,11 @@ func (w *SnapshotWriter) Abort() {
 	}
 	w.done = true
 	w.f.Close()
-	os.Remove(w.tmp)
+	w.store.fs.Remove(w.tmp)
 }
 
 func (s *SnapshotStore) indicesLocked() ([]uint64, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +258,7 @@ func (s *SnapshotStore) pruneLocked() error {
 		return err
 	}
 	for len(idxs) > s.retain {
-		if err := os.Remove(filepath.Join(s.dir, snapshotName(idxs[0]))); err != nil {
+		if err := s.fs.Remove(filepath.Join(s.dir, snapshotName(idxs[0]))); err != nil {
 			return err
 		}
 		idxs = idxs[1:]
@@ -267,7 +279,7 @@ func (s *SnapshotStore) Latest() (index uint64, data []byte, ok bool, err error)
 		return 0, nil, false, err
 	}
 	for i := len(idxs) - 1; i >= 0; i-- {
-		buf, err := os.ReadFile(filepath.Join(s.dir, snapshotName(idxs[i])))
+		buf, err := s.fs.ReadFile(filepath.Join(s.dir, snapshotName(idxs[i])))
 		if err != nil || len(buf) < 12 {
 			continue
 		}
@@ -293,6 +305,7 @@ type Snapshot struct {
 	// Legacy reports the seed single-blob format.
 	Legacy bool
 	path   string
+	fs     fault.FS
 }
 
 // LatestSnapshot returns the newest intact snapshot in either format,
@@ -308,7 +321,7 @@ func (s *SnapshotStore) LatestSnapshot() (*Snapshot, error) {
 	}
 	for i := len(idxs) - 1; i >= 0; i-- {
 		path := filepath.Join(s.dir, snapshotName(idxs[i]))
-		sn, ok := openSnapshot(path)
+		sn, ok := openSnapshot(s.fs, path)
 		if ok {
 			return sn, nil
 		}
@@ -319,8 +332,8 @@ func (s *SnapshotStore) LatestSnapshot() (*Snapshot, error) {
 // openSnapshot validates one snapshot file and describes it. The
 // verification pass streams through the file (bounded memory); the
 // actual contents are re-read by Iterate.
-func openSnapshot(path string) (*Snapshot, bool) {
-	f, err := os.Open(path)
+func openSnapshot(fsys fault.FS, path string) (*Snapshot, bool) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, false
 	}
@@ -340,13 +353,13 @@ func openSnapshot(path string) (*Snapshot, bool) {
 		if h.Sum32() != crc {
 			return nil, false
 		}
-		return &Snapshot{Index: idx, Legacy: true, path: path}, true
+		return &Snapshot{Index: idx, Legacy: true, path: path, fs: fsys}, true
 	}
 	index := binary.LittleEndian.Uint64(hdr[4:12])
 	if !scanSnapshotRecords(f, nil) {
 		return nil, false
 	}
-	return &Snapshot{Index: index, path: path}, true
+	return &Snapshot{Index: index, path: path, fs: fsys}, true
 }
 
 // scanSnapshotRecords reads streaming records from r until EOF,
@@ -388,7 +401,11 @@ func scanSnapshotRecords(r io.Reader, fn func(payload []byte) error) bool {
 // payload slice is only valid for the duration of the call. A legacy
 // blob snapshot yields exactly one record: the whole image.
 func (sn *Snapshot) Iterate(fn func(payload []byte) error) error {
-	f, err := os.Open(sn.path)
+	fsys := sn.fs
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	f, err := fsys.Open(sn.path)
 	if err != nil {
 		return fmt.Errorf("storage: open snapshot: %w", err)
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"bpms/internal/fault"
 	"bpms/internal/obs"
 )
 
@@ -246,6 +247,9 @@ type Options struct {
 	// Metrics instruments append and fsync latency (zero value =
 	// uninstrumented; the nil handles cost one branch per site).
 	Metrics obs.WALMetrics
+	// FS is the filesystem the journal operates through (default
+	// fault.OS). Chaos runs substitute a fault.Injector here.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -260,6 +264,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchMaxDelay <= 0 {
 		o.BatchMaxDelay = 2 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
 	}
 	return o
 }

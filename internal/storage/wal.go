@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bpms/internal/fault"
 )
 
 // obs handles arrive through Options.Metrics (see storage.go); the
@@ -39,7 +41,7 @@ type FileJournal struct {
 	opts Options
 
 	mu          sync.Mutex
-	active      *os.File
+	active      fault.File
 	activeBase  uint64 // first index of the active segment
 	activeSize  int64
 	activeBuf   *bufio.Writer
@@ -85,11 +87,11 @@ func parseSegmentName(name string) (uint64, bool) {
 // any torn tail left by a crash.
 func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dir: %w", err)
 	}
 	j := &FileJournal{dir: dir, opts: opts, nextIndex: 1}
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("storage: read dir: %w", err)
 	}
@@ -108,7 +110,7 @@ func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
 			return nil, err
 		}
 		path := filepath.Join(dir, segmentName(last))
-		if err := os.Truncate(path, size); err != nil {
+		if err := opts.FS.Truncate(path, size); err != nil {
 			return nil, fmt.Errorf("storage: truncate torn tail: %w", err)
 		}
 		if lastGood == 0 {
@@ -117,7 +119,7 @@ func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
 		} else {
 			j.nextIndex = lastGood + 1
 		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opts.FS.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +143,7 @@ func OpenFileJournal(dir string, opts Options) (*FileJournal, error) {
 // just past the last valid record.
 func (j *FileJournal) scanSegment(base uint64, fn func(uint64, []byte) error) (uint64, int64, error) {
 	path := filepath.Join(j.dir, segmentName(base))
-	f, err := os.Open(path)
+	f, err := j.opts.FS.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("storage: open segment: %w", err)
 	}
@@ -445,7 +447,7 @@ func (j *FileJournal) rollLocked() error {
 	}
 	base := j.nextIndex
 	path := filepath.Join(j.dir, segmentName(base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := j.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: create segment: %w", err)
 	}
@@ -655,7 +657,7 @@ func (j *FileJournal) DropBefore(upTo uint64) error {
 		// not the active segment.
 		droppable := i+1 < len(j.segments) && j.segments[i+1] <= upTo && base != j.activeBase
 		if droppable {
-			if err := os.Remove(filepath.Join(j.dir, segmentName(base))); err != nil {
+			if err := j.opts.FS.Remove(filepath.Join(j.dir, segmentName(base))); err != nil {
 				return err
 			}
 			continue

@@ -1,0 +1,237 @@
+#!/usr/bin/env bash
+# Chaos-smoke gate: prove the fail-safe story end to end against a
+# real bpmsd with faults injected under the storage layer.
+#
+# Episode 1 — fsync fault, fail-stop, zero acked-but-lost:
+#   boot bpmsd with -fault 'path=state;fsync-at=K', drive durable
+#   starts through bpmsctl until the injected fsync trips the shard,
+#   then assert the degradation surface (write → 503 shard_degraded
+#   with Retry-After, reads still serve, /readyz 503, /healthz 200,
+#   bpms_shard_degraded=1 at /metrics), scrape the fault report,
+#   SIGKILL, restart WITHOUT the fault, and require every acked start
+#   to be recovered — acked-but-lost must be exactly zero.
+#
+# Episode 2 — ENOSPC budget: same contract with the journal hitting a
+#   byte-budget wall instead of an I/O error.
+#
+# Episode 3 — overload shed + client retry: boot a healthy bpmsd with
+#   a deliberately tiny write-admission gate and point bpmsload at it
+#   at ~2x what the gate admits. Sheds answer 429/503 with the
+#   machine-readable "overloaded" code; bpmsload's retry/backoff layer
+#   must carry >= 99% of workflow operations to completion with zero
+#   unclassified 5xx.
+#
+# Artifacts: CHAOS_T17.json (episode-3 load report) and
+# chaos-fault-report.json (episode-1 pre-kill /api/v1/stats document,
+# injected-fault counters included) land next to BENCH_T14.json in CI.
+#
+# Tunables: ADDR=127.0.0.1:18091 N=40 DURATION=10s RATE=60
+# ./scripts/chaos-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18091}"
+N="${N:-40}"              # start attempts per fault episode
+DURATION="${DURATION:-10s}"
+RATE="${RATE:-60}"        # overload offered rate (gate admits far less)
+OUT="${OUT:-CHAOS_T17.json}"
+FAULT_REPORT="${FAULT_REPORT:-chaos-fault-report.json}"
+
+BIN="$(mktemp -d)"
+cleanup() {
+  if [ -n "${PID:-}" ]; then kill -9 "$PID" 2>/dev/null || true; fi
+  rm -rf "$BIN" "${DATA:-}"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/bpmsd" ./cmd/bpmsd
+go build -o "$BIN/bpmsctl" ./cmd/bpmsctl
+go build -o "$BIN/bpmsload" ./cmd/bpmsload
+ctl() { "$BIN/bpmsctl" -server "http://$ADDR" "$@"; }
+
+LOG="$BIN/bpmsd.log"
+wait_ready() {
+  for _ in $(seq 100); do
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "bpmsd did not become ready; log:" >&2
+  cat "$LOG" >&2
+  return 1
+}
+wait_listening() {
+  # Degradation can happen before the first probe: wait for the HTTP
+  # listener only (healthz is live even when degraded).
+  for _ in $(seq 100); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "bpmsd never listened; log:" >&2
+  cat "$LOG" >&2
+  return 1
+}
+
+# fault_episode FAULT_SPEC EPISODE_NAME
+# Runs the inject → fail-stop → SIGKILL → clean-restart → zero-lost
+# cycle for one fault plan.
+fault_episode() {
+  local spec="$1" name="$2"
+  DATA="$(mktemp -d)"
+  echo "== [$name] bpmsd with injected fault: $spec"
+  "$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -metrics \
+    -fault "$spec" -user alice=clerk >"$LOG" 2>&1 &
+  PID=$!
+  wait_listening
+  wait_ready
+
+  ctl deploy scripts/testdata/approval.json >/dev/null
+
+  # Durable starts until the fault trips the shard. bpmsctl runs with
+  # -retries 1: a start either acks durably or fails — no ambiguity
+  # about what must survive.
+  acked=0
+  for i in $(seq "$N"); do
+    if ctl -retries 1 start approval "amount=$i" >/dev/null 2>&1; then
+      acked=$((acked + 1))
+    else
+      break
+    fi
+  done
+  if [ "$acked" -lt 1 ] || [ "$acked" -ge "$N" ]; then
+    echo "FAIL [$name]: fault never tripped ($acked/$N starts acked)" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  echo "   $acked starts acked before fail-stop"
+
+  # Degradation surface: a write answers 503 + shard_degraded +
+  # Retry-After.
+  resp="$BIN/resp.txt"
+  status=$(curl -s -o "$resp" -w '%{http_code}' -D "$BIN/hdrs.txt" \
+    -X POST "http://$ADDR/api/v1/instances" \
+    -H 'Content-Type: application/json' -d '{"processId":"approval"}')
+  if [ "$status" != "503" ] || ! grep -q '"code":"shard_degraded"' "$resp"; then
+    echo "FAIL [$name]: degraded write answered $status $(cat "$resp")" >&2
+    exit 1
+  fi
+  grep -qi '^Retry-After:' "$BIN/hdrs.txt" || {
+    echo "FAIL [$name]: degraded 503 missing Retry-After" >&2
+    cat "$BIN/hdrs.txt" >&2
+    exit 1
+  }
+  # Reads still serve from the frozen state. The state may hold one
+  # more instance than was acked: the transition that hit the fault
+  # mutated memory before the failed fsync refused its ack.
+  got=$(ctl ps | grep -c '"approval-' || true)
+  if [ "$got" -lt "$acked" ]; then
+    echo "FAIL [$name]: degraded reads show $got of $acked acked instances" >&2
+    exit 1
+  fi
+  # Probes: /readyz refuses, /healthz lives, the gauge shows the shard.
+  if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then
+    echo "FAIL [$name]: /readyz still 200 on a degraded system" >&2
+    exit 1
+  fi
+  curl -sf "http://$ADDR/healthz" >/dev/null || {
+    echo "FAIL [$name]: /healthz down on a degraded (but alive) system" >&2
+    exit 1
+  }
+  # Scrape to a file: grep -q closing the pipe early would trip
+  # pipefail on curl's write error.
+  curl -s "http://$ADDR/metrics" -o "$BIN/metrics.txt"
+  grep -q '^bpms_shard_degraded{shard="0"} 1' "$BIN/metrics.txt" || {
+    echo "FAIL [$name]: bpms_shard_degraded gauge not 1" >&2
+    grep bpms_shard_degraded "$BIN/metrics.txt" >&2 || true
+    exit 1
+  }
+  # Scrape the fault report (stats carries the injector counters)
+  # before pulling the plug.
+  curl -sf "http://$ADDR/api/v1/stats" -o "$FAULT_REPORT"
+  grep -q '"faults"' "$FAULT_REPORT" || {
+    echo "FAIL [$name]: stats missing injected-fault report" >&2
+    exit 1
+  }
+  echo "   degraded surface OK (503 shard_degraded, reads serve, probes split)"
+
+  echo "== [$name] SIGKILL and clean restart"
+  kill -9 "$PID"; wait "$PID" 2>/dev/null || true; PID=
+  "$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -user alice=clerk >"$LOG" 2>&1 &
+  PID=$!
+  wait_ready
+
+  recovered=$(ctl ps | grep -c '"approval-' || true)
+  if [ "$recovered" -lt "$acked" ]; then
+    echo "FAIL [$name]: acked-but-lost! recovered $recovered of $acked acked instances" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  echo "OK [$name]: zero acked-but-lost ($recovered recovered >= $acked acked)"
+
+  kill -TERM "$PID"
+  for _ in $(seq 100); do kill -0 "$PID" 2>/dev/null || break; sleep 0.1; done
+  wait "$PID" 2>/dev/null || true
+  PID=
+  rm -rf "$DATA"; DATA=
+}
+
+fault_episode "path=state;fsync-at=$((N / 2))" "fsync-fault"
+fault_episode "path=state;enospc-after=8192" "enospc"
+
+echo "== [overload] bpmsd with a tiny write gate over slow storage, bpmsload at ~2x"
+DATA="$(mktemp -d)"
+# fsync-latency makes every group commit slow, so write admission
+# genuinely saturates: one write slot, a 2-deep queue, and a 100ms
+# queue timeout guarantee real sheds the retry layer must absorb.
+"$BIN/bpmsd" -addr "$ADDR" -data "$DATA" -sync batch -metrics \
+  -fault "path=state;fsync-latency=25ms" \
+  -max-inflight-writes 1 -admission-queue 2 -admission-timeout 100ms \
+  >"$LOG" 2>&1 &
+PID=$!
+wait_ready
+
+"$BIN/bpmsload" \
+  -server "http://$ADDR" \
+  -accounts 40 \
+  -duration "$DURATION" \
+  -rate "$RATE" \
+  -scenarios quickstart,mining \
+  -retries 6 \
+  -report 5s \
+  -out "$OUT" \
+  -min-completed 1 \
+  -max-5xx 0
+
+# >= 99% completion: workflow operations that still failed after the
+# retry budget must be under 1% of those that succeeded.
+events=$(grep -o '"events": *[0-9]*' "$OUT" | tail -1 | grep -o '[0-9]*$')
+errors=$(grep -o '"errors": *[0-9]*' "$OUT" | tail -1 | grep -o '[0-9]*$')
+shed=$(grep -o '"shedRetryable": *[0-9]*' "$OUT" | tail -1 | grep -o '[0-9]*$')
+retries=$(grep -o '"clientRetries": *[0-9]*' "$OUT" | grep -o '[0-9]*$')
+if [ "$((errors * 100))" -gt "$events" ]; then
+  echo "GATE FAIL: $errors residual errors vs $events completed ops (want < 1%)" >&2
+  exit 1
+fi
+echo "   gate ok: $events ops completed, $errors residual errors, $shed shed, $retries client retries"
+# The overload must be real: the retry layer absorbed actual sheds
+# (shedRetryable counts only residual shed errors, so 0 there is the
+# success case — clientRetries is the absorbed-shed evidence).
+if [ "${retries:-0}" -lt 1 ]; then
+  echo "GATE FAIL: no client retries ($retries) — overload never bit" >&2
+  exit 1
+fi
+# The server saw it too: its own shed counter is in stats.
+curl -sf "http://$ADDR/api/v1/stats" -o "$BIN/stats.txt"
+served_shed=$(grep -o '"shedRequests": *[0-9]*' "$BIN/stats.txt" | grep -o '[0-9]*$' || echo 0)
+if [ "${served_shed:-0}" -lt 1 ]; then
+  echo "GATE FAIL: server shedRequests = $served_shed (admission control not active?)" >&2
+  cat "$BIN/stats.txt" >&2
+  exit 1
+fi
+echo "   server shed $served_shed requests; retry/backoff carried the load through"
+
+kill -TERM "$PID"
+for _ in $(seq 100); do kill -0 "$PID" 2>/dev/null || break; sleep 0.1; done
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "== chaos smoke OK — load report in $OUT, fault report in $FAULT_REPORT"

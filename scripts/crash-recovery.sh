@@ -52,9 +52,11 @@ go build -o "$BIN/bpmsd" ./cmd/bpmsd
 go build -o "$BIN/bpmsctl" ./cmd/bpmsctl
 ctl() { "$BIN/bpmsctl" -server "http://$ADDR" "$@"; }
 
+# /readyz answers 200 only once every shard has replayed and none is
+# degraded — the recovery gate rides on the real readiness probe.
 wait_ready() {
   for _ in $(seq 100); do
-    if curl -sf "http://$ADDR/api/stats" >/dev/null 2>&1; then return 0; fi
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then return 0; fi
     sleep 0.1
   done
   echo "bpmsd did not become ready; log:" >&2

@@ -48,11 +48,13 @@ go build -o "$BIN/bpmsload" ./cmd/bpmsload
   -metrics -audit-interval 500ms -task-sla 2s >"$LOG" 2>&1 &
 PID=$!
 
+# /readyz answers 200 only once every shard has replayed and none is
+# degraded — a stricter readiness signal than a stats probe.
 for _ in $(seq 100); do
-  if curl -sf "http://$ADDR/api/v1/stats" >/dev/null 2>&1; then break; fi
+  if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then break; fi
   sleep 0.1
 done
-curl -sf "http://$ADDR/api/v1/stats" >/dev/null || {
+curl -sf "http://$ADDR/readyz" >/dev/null || {
   echo "bpmsd did not become ready; log:" >&2
   cat "$LOG" >&2
   exit 1
