@@ -663,9 +663,71 @@ func benchRules(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkT7_Rules10(b *testing.B)   { benchRules(b, 10) }
-func BenchmarkT7_Rules100(b *testing.B)  { benchRules(b, 100) }
-func BenchmarkT7_Rules1000(b *testing.B) { benchRules(b, 1000) }
+func BenchmarkT7_Rules10(b *testing.B)    { benchRules(b, 10) }
+func BenchmarkT7_Rules100(b *testing.B)   { benchRules(b, 100) }
+func BenchmarkT7_Rules1000(b *testing.B)  { benchRules(b, 1000) }
+func BenchmarkT7_Rules10000(b *testing.B) { benchRules(b, 10000) }
+
+// T15: indexed decision tables — column index vs the linear scan on
+// the same compiled table, worst-case last-match equality workload.
+
+func t15Table(n int) (*rules.Compiled, expr.MapEnv) {
+	tbl := rules.Table{Name: "t15", HitPolicy: rules.First, Outputs: []string{"out"}}
+	for i := 0; i < n; i++ {
+		tbl.Rules = append(tbl.Rules, rules.Rule{
+			Conditions: []string{fmt.Sprintf("v == %d", i)},
+			Outputs:    map[string]string{"out": fmt.Sprint(i)},
+		})
+	}
+	return rules.MustCompile(tbl), expr.MapEnv{"v": expr.Int(int64(n - 1))}
+}
+
+func benchT15Indexed(b *testing.B, n int) {
+	c, env := t15Table(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchT15Linear(b *testing.B, n int) {
+	c, env := t15Table(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EvalLinear(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT15_Indexed100(b *testing.B)   { benchT15Indexed(b, 100) }
+func BenchmarkT15_Indexed1000(b *testing.B)  { benchT15Indexed(b, 1000) }
+func BenchmarkT15_Indexed10000(b *testing.B) { benchT15Indexed(b, 10000) }
+func BenchmarkT15_Linear100(b *testing.B)    { benchT15Linear(b, 100) }
+func BenchmarkT15_Linear1000(b *testing.B)   { benchT15Linear(b, 1000) }
+func BenchmarkT15_Linear10000(b *testing.B)  { benchT15Linear(b, 10000) }
+
+func BenchmarkT15_Batch10000(b *testing.B) {
+	c, env := t15Table(10000)
+	envs := make([]expr.Env, 64)
+	for i := range envs {
+		envs[i] = env
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(envs) {
+		_, errs := c.EvalBatch(envs)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // F5: recovery (rebuild an engine from a 500-instance journal).
 

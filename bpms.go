@@ -257,8 +257,16 @@ type (
 	DecisionTable = rules.Table
 	// DecisionRule is one table row.
 	DecisionRule = rules.Rule
-	// CompiledTable is an evaluable decision table.
+	// CompiledTable is an evaluable decision table. Compilation also
+	// builds a column index over the rules whose condition cells
+	// decompose into `var == literal` / `var <op> literal` atoms, so
+	// Eval on large tables probes candidate rule sets instead of
+	// scanning every row; EvalBatch amortizes the probe buffers and
+	// the per-call predicate memo across many cases, and EvalLinear
+	// exposes the unindexed scan as a baseline and oracle.
 	CompiledTable = rules.Compiled
+	// TableDecision is the result of evaluating a decision table.
+	TableDecision = rules.Decision
 )
 
 // Hit policies.

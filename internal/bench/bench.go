@@ -101,6 +101,7 @@ func All(scale Scale) []func() *Table {
 		func() *Table { return T11ShardScaling(scale) },
 		func() *Table { return T12AuditPipeline(scale) },
 		func() *Table { return T13Worklist(scale) },
+		func() *Table { return T15RuleIndex(scale) },
 		func() *Table { return T16StorageLifecycle(scale) },
 	}
 }
@@ -126,6 +127,7 @@ func ByID(id string, scale Scale) (func() *Table, bool) {
 		"T11": func() *Table { return T11ShardScaling(scale) },
 		"T12": func() *Table { return T12AuditPipeline(scale) },
 		"T13": func() *Table { return T13Worklist(scale) },
+		"T15": func() *Table { return T15RuleIndex(scale) },
 		"T16": func() *Table { return T16StorageLifecycle(scale) },
 	}
 	f, ok := m[strings.ToUpper(id)]

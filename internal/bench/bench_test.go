@@ -31,7 +31,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"T1", "t3", "F2", "f5", "T8", "t9", "T10", "t10", "T11", "t11", "T12", "t12", "T13", "t13", "T16", "t16"} {
+	for _, id := range []string{"T1", "t3", "F2", "f5", "T8", "t9", "T10", "t10", "T11", "t11", "T12", "t12", "T13", "t13", "T15", "t15", "T16", "t16"} {
 		if _, ok := ByID(id, Quick); !ok {
 			t.Errorf("ByID(%q) not found", id)
 		}
@@ -39,8 +39,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("T99", Quick); ok {
 		t.Error("ByID(T99) should not resolve")
 	}
-	if got := len(All(Quick)); got != 19 {
-		t.Errorf("All() = %d experiments, want 19", got)
+	if got := len(All(Quick)); got != 20 {
+		t.Errorf("All() = %d experiments, want 20", got)
 	}
 }
 

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"bpms/internal/expr"
+	"bpms/internal/rules"
+)
+
+// T15RuleIndex measures decision-table evaluation at rule-engine scale
+// (the GoExprTester workload shape: inject n random rules, probe with
+// random and worst-case last-match inputs), comparing the pre-index
+// linear scan (Compiled.EvalLinear) against the column-indexed path
+// (Compiled.Eval) on equality-dominated and range-band tables, plus
+// the EvalBatch amortization on the largest table.
+func T15RuleIndex(scale Scale) *Table {
+	t := &Table{
+		ID:    "T15",
+		Title: "indexed decision tables: linear scan vs column index",
+		Header: []string{
+			"workload", "rules", "evals", "linear", "indexed",
+			"linear/eval", "indexed/eval", "speedup",
+		},
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"GOMAXPROCS=%d; linear = Compiled.EvalLinear (the pre-index scan), indexed = Compiled.Eval",
+		runtime.GOMAXPROCS(0)))
+
+	r := rand.New(rand.NewSource(15))
+	sizes := []int{100, 1000, 10000}
+	baseEvals := scale.pick(100000, 1000000)
+	evalsFor := func(n int) int {
+		e := baseEvals / n
+		if e < 200 {
+			e = 200
+		}
+		return e
+	}
+
+	// Equality-dominated table: rule i matches one injected literal,
+	// in shuffled order so the table has no helpful structure for the
+	// linear scan.
+	buildEq := func(n int) (*rules.Compiled, []int) {
+		perm := r.Perm(n)
+		tbl := rules.Table{Name: "t15-eq", HitPolicy: rules.First, Outputs: []string{"out"}}
+		for i := 0; i < n; i++ {
+			tbl.Rules = append(tbl.Rules, rules.Rule{
+				Conditions: []string{fmt.Sprintf("v == %d", perm[i])},
+				Outputs:    map[string]string{"out": fmt.Sprint(i)},
+			})
+		}
+		return rules.MustCompile(tbl), perm
+	}
+	// Disjoint range bands, UNIQUE: the interval-tree path.
+	buildBands := func(n int) *rules.Compiled {
+		tbl := rules.Table{Name: "t15-range", HitPolicy: rules.Unique, Outputs: []string{"out"}}
+		for i := 0; i < n; i++ {
+			tbl.Rules = append(tbl.Rules, rules.Rule{
+				Conditions: []string{fmt.Sprintf("v >= %d && v < %d", i*10, (i+1)*10)},
+				Outputs:    map[string]string{"out": fmt.Sprint(i)},
+			})
+		}
+		return rules.MustCompile(tbl)
+	}
+
+	measure := func(c *rules.Compiled, envs []expr.Env, indexed bool) time.Duration {
+		start := time.Now()
+		for _, env := range envs {
+			var err error
+			if indexed {
+				_, err = c.Eval(env)
+			} else {
+				_, err = c.EvalLinear(env)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start)
+	}
+	addRow := func(name string, n int, c *rules.Compiled, envs []expr.Env) {
+		linD := measure(c, envs, false)
+		idxD := measure(c, envs, true)
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(n), fmt.Sprint(len(envs)),
+			secs(linD), secs(idxD), micros(linD, len(envs)), micros(idxD, len(envs)),
+			fmt.Sprintf("%.1fx", float64(linD)/float64(idxD)),
+		})
+	}
+
+	for _, n := range sizes {
+		c, perm := buildEq(n)
+		worst := expr.MapEnv{"v": expr.Int(int64(perm[n-1]))}
+		envs := make([]expr.Env, evalsFor(n))
+		for i := range envs {
+			envs[i] = worst
+		}
+		addRow("eq-last-match", n, c, envs)
+	}
+	for _, n := range sizes {
+		c, _ := buildEq(n)
+		envs := make([]expr.Env, evalsFor(n))
+		for i := range envs {
+			envs[i] = expr.MapEnv{"v": expr.Int(int64(r.Intn(n)))}
+		}
+		addRow("eq-random", n, c, envs)
+	}
+	for _, n := range sizes {
+		c := buildBands(n)
+		envs := make([]expr.Env, evalsFor(n))
+		for i := range envs {
+			envs[i] = expr.MapEnv{"v": expr.Int(int64(r.Intn(n * 10)))}
+		}
+		addRow("range-bands", n, c, envs)
+	}
+
+	// Batch amortization at the largest size: per-call Eval loop vs
+	// one EvalBatch over the same inputs.
+	n := sizes[len(sizes)-1]
+	c, perm := buildEq(n)
+	envs := make([]expr.Env, evalsFor(n))
+	for i := range envs {
+		envs[i] = expr.MapEnv{"v": expr.Int(int64(perm[r.Intn(n)]))}
+	}
+	loopD := measure(c, envs, true)
+	start := time.Now()
+	_, errs := c.EvalBatch(envs)
+	batchD := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"eq-batch*", fmt.Sprint(n), fmt.Sprint(len(envs)),
+		secs(loopD), secs(batchD), micros(loopD, len(envs)), micros(batchD, len(envs)),
+		fmt.Sprintf("%.1fx", float64(loopD)/float64(batchD)),
+	})
+	t.Notes = append(t.Notes,
+		"eq-batch*: linear column = per-call indexed Eval loop, indexed column = one EvalBatch call")
+	return t
+}

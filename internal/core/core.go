@@ -20,6 +20,7 @@ import (
 	"bpms/internal/model"
 	"bpms/internal/obs"
 	"bpms/internal/resource"
+	"bpms/internal/rules"
 	"bpms/internal/shard"
 	"bpms/internal/storage"
 	"bpms/internal/task"
@@ -423,6 +424,10 @@ func Open(opts Options) (*BPMS, error) {
 	}
 	if opts.Metrics != nil {
 		b.registerSamplers(opts.Metrics)
+		// Decision tables are compiled ad hoc (script tasks, API
+		// callers), not owned by core, so their instruments attach
+		// through the package-level hook.
+		rules.SetMetrics(opts.Metrics)
 	}
 	if opts.AuditInterval > 0 {
 		b.Auditor = obs.NewAuditor(b.auditorConfig(opts))

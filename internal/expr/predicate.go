@@ -1,0 +1,227 @@
+package expr
+
+// Predicate extraction: the analysis API behind the decision-table
+// indexer (internal/rules). A compiled condition like
+//
+//	region == "EU" && amount >= 1000 && amount < 10000
+//
+// decomposes into atomic predicates of the form `var op literal`,
+// which the rules planner turns into hash and interval indexes so a
+// 10k-rule table is probed instead of scanned. Extraction is purely
+// syntactic — it never changes what an expression means, it only
+// reports when the meaning is simple enough to index.
+
+// PredKind classifies an extracted atom.
+type PredKind int
+
+// Predicate kinds.
+const (
+	// PredOpaque marks a condition (or conjunct) that is not an
+	// indexable comparison; callers must evaluate it directly.
+	PredOpaque PredKind = iota
+	// PredEq is `var == literal` (either operand order) or
+	// `var in [literal, ...]`: the variable must equal one of Values.
+	PredEq
+	// PredRange is `var <op> literal` with an ordering operator,
+	// normalized so the variable is on the left: Var Op Bound.
+	PredRange
+)
+
+// RangeOp is the normalized comparison operator of a PredRange atom.
+type RangeOp int
+
+// Range operators (variable on the left).
+const (
+	RangeLT RangeOp = iota // var <  bound
+	RangeLE                // var <= bound
+	RangeGT                // var >  bound
+	RangeGE                // var >= bound
+)
+
+// String renders the operator.
+func (o RangeOp) String() string {
+	switch o {
+	case RangeLT:
+		return "<"
+	case RangeLE:
+		return "<="
+	case RangeGT:
+		return ">"
+	case RangeGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Predicate is one atomic comparison between a single variable and
+// literal values, extracted from a condition AST.
+type Predicate struct {
+	Kind PredKind
+	// Var is the variable (input column) the atom constrains.
+	Var string
+	// Values holds the allowed literals of a PredEq atom: one value
+	// for `==`, the list elements for `in`. Satisfied when the
+	// variable equals (Value.Equal) any of them; an empty set (from
+	// `var in []`) is never satisfied.
+	Values []Value
+	// Op and Bound describe a PredRange atom: Var Op Bound.
+	Op    RangeOp
+	Bound Value
+}
+
+// Predicates decomposes the program into indexable atoms. The root
+// may be a chain of `&&` conjunctions; each conjunct must be an
+// equality (`var == lit`, `lit == var`, `var in [lits...]`) or an
+// ordering comparison against a number or string literal (either
+// operand order; `lit < var` is normalized to `var > lit`). The
+// program is equivalent to the conjunction of the returned atoms
+// whenever every atom evaluates without error — which holds exactly
+// when each Var is bound and, for PredRange atoms, the bound value's
+// class (numeric or string) matches the variable's; callers must
+// check those conditions before trusting the decomposition.
+//
+// A nil result means the program is opaque (at least one conjunct is
+// not an indexable atom) and must be evaluated directly.
+func (p *Program) Predicates() []Predicate {
+	var atoms []Predicate
+	if !collectAtoms(p.root, &atoms) {
+		return nil
+	}
+	return atoms
+}
+
+func collectAtoms(n Node, out *[]Predicate) bool {
+	b, ok := n.(*binaryNode)
+	if !ok {
+		return false
+	}
+	if b.op == tokAnd {
+		return collectAtoms(b.x, out) && collectAtoms(b.y, out)
+	}
+	pred, ok := classifyAtom(b)
+	if !ok {
+		return false
+	}
+	*out = append(*out, pred)
+	return true
+}
+
+func classifyAtom(b *binaryNode) (Predicate, bool) {
+	switch b.op {
+	case tokEq:
+		if name, ok := identName(b.x); ok {
+			if lit, ok := literalValue(b.y); ok {
+				return Predicate{Kind: PredEq, Var: name, Values: []Value{lit}}, true
+			}
+		}
+		if lit, ok := literalValue(b.x); ok {
+			if name, ok := identName(b.y); ok {
+				return Predicate{Kind: PredEq, Var: name, Values: []Value{lit}}, true
+			}
+		}
+	case tokLt, tokLte, tokGt, tokGte:
+		if name, ok := identName(b.x); ok {
+			if lit, ok := literalValue(b.y); ok && orderableLiteral(lit) {
+				return Predicate{Kind: PredRange, Var: name, Op: rangeOpOf(b.op), Bound: lit}, true
+			}
+		}
+		if lit, ok := literalValue(b.x); ok && orderableLiteral(lit) {
+			if name, ok := identName(b.y); ok {
+				return Predicate{Kind: PredRange, Var: name, Op: rangeOpOf(b.op).flip(), Bound: lit}, true
+			}
+		}
+	case tokIn:
+		name, ok := identName(b.x)
+		if !ok {
+			break
+		}
+		l, ok := b.y.(*listNode)
+		if !ok {
+			break
+		}
+		vals := make([]Value, 0, len(l.elems))
+		for _, e := range l.elems {
+			lit, ok := literalValue(e)
+			if !ok {
+				return Predicate{}, false
+			}
+			vals = append(vals, lit)
+		}
+		return Predicate{Kind: PredEq, Var: name, Values: vals}, true
+	}
+	return Predicate{}, false
+}
+
+func identName(n Node) (string, bool) {
+	id, ok := n.(*identNode)
+	if !ok {
+		return "", false
+	}
+	return id.name, true
+}
+
+// literalValue returns the constant value of a scalar literal node,
+// accepting a negated numeric literal (`-3`, `-1.5`).
+func literalValue(n Node) (Value, bool) {
+	switch t := n.(type) {
+	case *litNode:
+		return t.v, true
+	case *unaryNode:
+		if t.op != tokMinus {
+			return Null, false
+		}
+		lit, ok := t.x.(*litNode)
+		if !ok {
+			return Null, false
+		}
+		switch lit.v.Kind() {
+		case KindInt:
+			i, _ := lit.v.AsInt()
+			return Int(-i), true
+		case KindFloat:
+			f, _ := lit.v.AsFloat()
+			return Float(-f), true
+		}
+	}
+	return Null, false
+}
+
+// orderableLiteral reports whether the literal can appear on the
+// right of an ordering comparison without the comparison being a
+// guaranteed type error (Value.Compare orders numbers with numbers
+// and strings with strings only).
+func orderableLiteral(v Value) bool {
+	switch v.Kind() {
+	case KindInt, KindFloat, KindString:
+		return true
+	}
+	return false
+}
+
+func rangeOpOf(k tokenKind) RangeOp {
+	switch k {
+	case tokLt:
+		return RangeLT
+	case tokLte:
+		return RangeLE
+	case tokGt:
+		return RangeGT
+	default:
+		return RangeGE
+	}
+}
+
+// flip mirrors the operator across the comparison (`lit < var` is
+// `var > lit`).
+func (o RangeOp) flip() RangeOp {
+	switch o {
+	case RangeLT:
+		return RangeGT
+	case RangeLE:
+		return RangeGE
+	case RangeGT:
+		return RangeLT
+	default:
+		return RangeLE
+	}
+}

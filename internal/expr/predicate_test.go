@@ -1,0 +1,122 @@
+package expr
+
+import (
+	"testing"
+)
+
+func mustProgram(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestPredicatesEquality(t *testing.T) {
+	tests := []struct {
+		src  string
+		vals []Value
+	}{
+		{`v == 5`, []Value{Int(5)}},
+		{`5 == v`, []Value{Int(5)}},
+		{`v == "eu"`, []Value{String("eu")}},
+		{`v == true`, []Value{Bool(true)}},
+		{`v == null`, []Value{Null}},
+		{`v == -3`, []Value{Int(-3)}},
+		{`v == -2.5`, []Value{Float(-2.5)}},
+		{`v in [1, 2, 3]`, []Value{Int(1), Int(2), Int(3)}},
+		{`v in ["a", "b"]`, []Value{String("a"), String("b")}},
+		{`v in []`, nil},
+	}
+	for _, tc := range tests {
+		atoms := mustProgram(t, tc.src).Predicates()
+		if len(atoms) != 1 {
+			t.Fatalf("%q: got %d atoms, want 1", tc.src, len(atoms))
+		}
+		a := atoms[0]
+		if a.Kind != PredEq || a.Var != "v" {
+			t.Fatalf("%q: got %+v, want PredEq on v", tc.src, a)
+		}
+		if len(a.Values) != len(tc.vals) {
+			t.Fatalf("%q: got %d values, want %d", tc.src, len(a.Values), len(tc.vals))
+		}
+		for i, want := range tc.vals {
+			if !a.Values[i].Equal(want) {
+				t.Fatalf("%q: value %d = %v, want %v", tc.src, i, a.Values[i], want)
+			}
+		}
+	}
+}
+
+func TestPredicatesRange(t *testing.T) {
+	tests := []struct {
+		src   string
+		op    RangeOp
+		bound Value
+	}{
+		{`v < 10`, RangeLT, Int(10)},
+		{`v <= 10`, RangeLE, Int(10)},
+		{`v > 10`, RangeGT, Int(10)},
+		{`v >= 10`, RangeGE, Int(10)},
+		// Reversed operand order mirrors the operator.
+		{`10 > v`, RangeLT, Int(10)},
+		{`10 >= v`, RangeLE, Int(10)},
+		{`10 < v`, RangeGT, Int(10)},
+		{`10 <= v`, RangeGE, Int(10)},
+		{`v < -1.5`, RangeLT, Float(-1.5)},
+		{`-3 > v`, RangeLT, Int(-3)},
+		{`v < "m"`, RangeLT, String("m")},
+	}
+	for _, tc := range tests {
+		atoms := mustProgram(t, tc.src).Predicates()
+		if len(atoms) != 1 {
+			t.Fatalf("%q: got %d atoms, want 1", tc.src, len(atoms))
+		}
+		a := atoms[0]
+		if a.Kind != PredRange || a.Var != "v" || a.Op != tc.op || !a.Bound.Equal(tc.bound) {
+			t.Fatalf("%q: got %+v, want range v %s %v", tc.src, a, tc.op, tc.bound)
+		}
+	}
+}
+
+func TestPredicatesConjunction(t *testing.T) {
+	atoms := mustProgram(t, `v >= 2 && (v < 7 && u == "x")`).Predicates()
+	if len(atoms) != 3 {
+		t.Fatalf("got %d atoms, want 3", len(atoms))
+	}
+	if atoms[0].Kind != PredRange || atoms[0].Op != RangeGE || atoms[0].Var != "v" {
+		t.Fatalf("atom 0 = %+v", atoms[0])
+	}
+	if atoms[1].Kind != PredRange || atoms[1].Op != RangeLT || atoms[1].Var != "v" {
+		t.Fatalf("atom 1 = %+v", atoms[1])
+	}
+	if atoms[2].Kind != PredEq || atoms[2].Var != "u" {
+		t.Fatalf("atom 2 = %+v", atoms[2])
+	}
+}
+
+func TestPredicatesOpaque(t *testing.T) {
+	opaque := []string{
+		`v != 5`,             // no index structure for exclusion
+		`v == w`,             // two variables
+		`v + 1 == 2`,         // computed operand
+		`len(v) > 0`,         // function call
+		`v`,                  // bare truthiness
+		`true`,               // constant
+		`!(v == 5)`,          // negation
+		`v == 5 || v == 6`,   // disjunction (only && decomposes)
+		`v < [1]`,            // unorderable bound literal
+		`v < true`,           // unorderable bound literal
+		`v in x`,             // non-literal list
+		`v in [1, x]`,        // non-literal element
+		`v == 1 && (w || u)`, // opaque conjunct poisons the whole condition
+		`data.x == 1`,        // member access
+		`-v == 1`,            // negated variable is not a literal
+	}
+	for _, src := range opaque {
+		if atoms := mustProgram(t, src).Predicates(); atoms != nil {
+			t.Fatalf("%q: got atoms %+v, want opaque", src, atoms)
+		}
+	}
+}

@@ -28,9 +28,20 @@ const (
 	MetricAuditViolations  = "bpms_audit_violations_total"
 	MetricAuditActive      = "bpms_audit_active_violations"
 	MetricAuditSweepTime   = "bpms_audit_sweep_seconds"
+	MetricRulesEval        = "bpms_rules_eval_seconds"
+	MetricRulesDecisions   = "bpms_rules_decisions_total"
 	MetricUptime           = "bpms_uptime_seconds"
 	MetricStartTime        = "bpms_process_start_time_seconds"
 )
+
+// RulesBuckets are the latency bounds for decision-table evaluation:
+// an indexed probe lands around a microsecond, a 10k-rule linear scan
+// in the milliseconds, so the default 50µs floor would flatten the
+// distribution this histogram exists to show.
+var RulesBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 50e-3, 250e-3, 1,
+}
 
 // Metrics owns the registry and hands out pre-resolved instrument
 // handles to the subsystems. A nil *Metrics is the disabled form:
@@ -169,6 +180,32 @@ func (m *Metrics) Tasks() TaskMetrics {
 		Items: func(state string) *Gauge {
 			return m.registry.Gauge(MetricTaskItems,
 				"Work items by state.", "state", state)
+		},
+	}
+}
+
+// RulesMetrics instruments decision-table evaluation.
+type RulesMetrics struct {
+	// Eval observes each table evaluation (per env for EvalBatch).
+	Eval *Histogram
+	// Decisions returns the per-table outcome counter; result is
+	// "match", "no_match" (ErrNoMatch), or "error" (any other
+	// evaluation failure). Resolved once per table at wiring time.
+	Decisions func(table, result string) *Counter
+}
+
+// Rules returns the decision-table handles.
+func (m *Metrics) Rules() RulesMetrics {
+	if m == nil {
+		return RulesMetrics{}
+	}
+	return RulesMetrics{
+		Eval: m.registry.Histogram(MetricRulesEval,
+			"Decision-table evaluation latency.", RulesBuckets),
+		Decisions: func(table, result string) *Counter {
+			return m.registry.Counter(MetricRulesDecisions,
+				"Decision-table evaluations by table and result.",
+				"table", table, "result", result)
 		},
 	}
 }

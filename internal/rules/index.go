@@ -1,0 +1,644 @@
+// Decision-table indexing: the query planner behind Compiled.Eval.
+//
+// Compile decomposes every rule's conditions into indexable atoms
+// (expr.Program.Predicates) and, for the rules where that succeeds
+// completely, builds per-column structures: a hash index over
+// equality literals and interval indexes (a centered interval tree
+// plus sorted one-sided lists) over range bounds. Eval then probes
+// each column with the bound input value and intersects per-column
+// candidate bitsets, so an equality-dominated 10k-rule table costs a
+// handful of hash lookups instead of 10k expression evaluations.
+//
+// Exactness is the design constraint: the indexed path must return
+// byte-identical decisions AND errors to the linear scan. Three
+// mechanisms deliver that:
+//
+//   - Rules whose conditions don't fully decompose ("resid" rules)
+//     are never indexed; Eval always visits them, in table order,
+//     merged with the indexed candidates.
+//   - A probe precheck per column: if the input variable is unbound,
+//     or its class (number/string) can't be ordered against the
+//     column's range bounds, the indexed rules themselves could raise
+//     evaluation errors — so Eval falls back to the (memoized) linear
+//     scan for that call instead of guessing.
+//   - Under a passing precheck every indexed predicate is error-free
+//     by construction (Value.Equal is total; Value.Compare succeeds
+//     for matching classes), so skipping non-candidates cannot skip
+//     an error the linear scan would have surfaced.
+//
+// Numeric keys are float64 images, which is exactly faithful because
+// Value.Compare orders all numerics via AsFloat; equality buckets
+// verify entries with Value.Equal so int64s beyond 2^53 that share a
+// float image cannot collide into a wrong match.
+package rules
+
+import (
+	"math/bits"
+	"slices"
+	"sort"
+
+	"bpms/internal/expr"
+)
+
+// ---------------------------------------------------------------------------
+// Bitsets
+
+// bitset is a fixed-width set of rule indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) and(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// next returns the smallest set bit >= i, or -1.
+func (b bitset) next(i int) int {
+	w := i >> 6
+	if w >= len(b) {
+		return -1
+	}
+	k := uint(i) & 63
+	cur := b[w] >> k << k
+	for {
+		if cur != 0 {
+			return w<<6 + bits.TrailingZeros64(cur)
+		}
+		w++
+		if w >= len(b) {
+			return -1
+		}
+		cur = b[w]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Interval index
+
+// ival is one rule's combined range constraint on a column, in key
+// space (float64 for numerics, string for strings).
+type ival[K string | float64] struct {
+	lo, hi         K
+	loOpen, hiOpen bool
+	noLo, noHi     bool // unbounded side
+	rule           int
+}
+
+func (iv *ival[K]) contains(v K) bool {
+	if !iv.noLo && (v < iv.lo || (v == iv.lo && iv.loOpen)) {
+		return false
+	}
+	if !iv.noHi && (v > iv.hi || (v == iv.hi && iv.hiOpen)) {
+		return false
+	}
+	return true
+}
+
+// rangeIndex answers stabbing queries ("which intervals contain v")
+// over one column's range constraints. Bounded intervals live in a
+// centered interval tree; one-sided intervals live in sorted lists
+// scanned with an early break, so a query touches O(log n + hits)
+// intervals for typical band layouts.
+type rangeIndex[K string | float64] struct {
+	tree   *itree[K]
+	openLo []ival[K] // no lower bound, sorted by hi descending
+	openHi []ival[K] // no upper bound, sorted by lo ascending
+}
+
+func buildRangeIndex[K string | float64](ivs []ival[K]) *rangeIndex[K] {
+	if len(ivs) == 0 {
+		return nil
+	}
+	r := &rangeIndex[K]{}
+	var bounded []ival[K]
+	for _, iv := range ivs {
+		switch {
+		case iv.noLo:
+			r.openLo = append(r.openLo, iv)
+		case iv.noHi:
+			r.openHi = append(r.openHi, iv)
+		default:
+			bounded = append(bounded, iv)
+		}
+	}
+	sort.Slice(r.openLo, func(a, b int) bool { return r.openLo[a].hi > r.openLo[b].hi })
+	sort.Slice(r.openHi, func(a, b int) bool { return r.openHi[a].lo < r.openHi[b].lo })
+	r.tree = buildITree(bounded)
+	return r
+}
+
+func (r *rangeIndex[K]) stab(v K, hit func(int)) {
+	for i := range r.openLo {
+		iv := &r.openLo[i]
+		if iv.hi < v {
+			break
+		}
+		if iv.contains(v) {
+			hit(iv.rule)
+		}
+	}
+	for i := range r.openHi {
+		iv := &r.openHi[i]
+		if iv.lo > v {
+			break
+		}
+		if iv.contains(v) {
+			hit(iv.rule)
+		}
+	}
+	r.tree.stab(v, hit)
+}
+
+// itree is a centered interval tree: intervals straddling the center
+// key are stored at the node (sorted both ways for one-sided scans),
+// the rest recurse left/right of it.
+type itree[K string | float64] struct {
+	center      K
+	byLo        []ival[K] // straddling, sorted by lo ascending
+	byHi        []ival[K] // straddling, sorted by hi descending
+	left, right *itree[K]
+}
+
+func buildITree[K string | float64](ivs []ival[K]) *itree[K] {
+	if len(ivs) == 0 {
+		return nil
+	}
+	keys := make([]K, 0, 2*len(ivs))
+	for i := range ivs {
+		keys = append(keys, ivs[i].lo, ivs[i].hi)
+	}
+	slices.Sort(keys)
+	// The median is an endpoint of some interval, so at least one
+	// interval straddles it and both recursions strictly shrink.
+	n := &itree[K]{center: keys[len(keys)/2]}
+	var left, right []ival[K]
+	for _, iv := range ivs {
+		switch {
+		case iv.hi < n.center:
+			left = append(left, iv)
+		case iv.lo > n.center:
+			right = append(right, iv)
+		default:
+			n.byLo = append(n.byLo, iv)
+		}
+	}
+	n.byHi = append([]ival[K](nil), n.byLo...)
+	sort.Slice(n.byLo, func(a, b int) bool { return n.byLo[a].lo < n.byLo[b].lo })
+	sort.Slice(n.byHi, func(a, b int) bool { return n.byHi[a].hi > n.byHi[b].hi })
+	n.left = buildITree(left)
+	n.right = buildITree(right)
+	return n
+}
+
+func (n *itree[K]) stab(v K, hit func(int)) {
+	for n != nil {
+		switch {
+		case v < n.center:
+			// Straddling intervals reach past center >= v, so only the
+			// lo endpoint can disqualify; byLo's order gives the break.
+			for i := range n.byLo {
+				iv := &n.byLo[i]
+				if iv.lo > v {
+					break
+				}
+				if iv.contains(v) {
+					hit(iv.rule)
+				}
+			}
+			n = n.left
+		case v > n.center:
+			for i := range n.byHi {
+				iv := &n.byHi[i]
+				if iv.hi < v {
+					break
+				}
+				if iv.contains(v) {
+					hit(iv.rule)
+				}
+			}
+			n = n.right
+		default:
+			// v == center: left subtree ends below it, right starts
+			// above it; only the straddlers can contain v.
+			for i := range n.byLo {
+				if n.byLo[i].contains(v) {
+					hit(n.byLo[i].rule)
+				}
+			}
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Equality index
+
+// Value classes for range-comparability prechecks.
+const (
+	classNone byte = 0
+	classNum  byte = 'f'
+	classStr  byte = 's'
+)
+
+func valClass(v expr.Value) byte {
+	switch v.Kind() {
+	case expr.KindInt, expr.KindFloat:
+		return classNum
+	case expr.KindString:
+		return classStr
+	}
+	return classNone
+}
+
+// eqKey buckets equality literals by their comparison image: all
+// numerics by float64 image (Value.Equal compares cross-kind numerics
+// that way), strings, bools, and null each by themselves.
+type eqKey struct {
+	kind byte // 'n' null, 'b' bool, classNum, classStr
+	b    bool
+	f    float64
+	s    string
+}
+
+func eqKeyOf(v expr.Value) (eqKey, bool) {
+	switch v.Kind() {
+	case expr.KindNull:
+		return eqKey{kind: 'n'}, true
+	case expr.KindBool:
+		b, _ := v.AsBool()
+		return eqKey{kind: 'b', b: b}, true
+	case expr.KindInt, expr.KindFloat:
+		f, _ := v.AsFloat()
+		return eqKey{kind: classNum, f: f}, true
+	case expr.KindString:
+		s, _ := v.AsString()
+		return eqKey{kind: classStr, s: s}, true
+	}
+	return eqKey{}, false
+}
+
+// eqEntry is one distinct literal in a bucket and the rules it
+// admits. The literal is kept so probes re-verify with Value.Equal:
+// distinct int64s can share a float64 bucket image beyond 2^53.
+type eqEntry struct {
+	lit  expr.Value
+	bits bitset
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule constraint reduction (compile time)
+
+// colConstraint folds every atom one rule places on one column into a
+// canonical constraint: an equality set, or a single interval.
+type colConstraint struct {
+	hasEq  bool
+	eqVals []expr.Value
+
+	class          byte // classNone until a range atom arrives
+	lo, hi         expr.Value
+	hasLo, hasHi   bool
+	loOpen, hiOpen bool
+
+	// unsat marks a contradiction (v == 1 && v == 2); the rule stays
+	// indexable, it just matches nothing whenever the precheck passes.
+	unsat bool
+}
+
+func rangeKeyNum(v expr.Value) float64 { f, _ := v.AsFloat(); return f }
+func rangeKeyStr(v expr.Value) (string, bool) {
+	s, ok := v.AsString()
+	return s, ok
+}
+
+// classKeyLess orders two bound literals of the same class.
+func boundLess(class byte, a, b expr.Value) bool {
+	if class == classStr {
+		as, _ := a.AsString()
+		bs, _ := b.AsString()
+		return as < bs
+	}
+	return rangeKeyNum(a) < rangeKeyNum(b)
+}
+
+func boundEqual(class byte, a, b expr.Value) bool {
+	return !boundLess(class, a, b) && !boundLess(class, b, a)
+}
+
+// add folds one atom in. It returns false when the rule must stay on
+// the linear path (mixed numeric/string range bounds on one column:
+// whatever the input's class, one of the comparisons would error).
+func (cc *colConstraint) add(a expr.Predicate) bool {
+	switch a.Kind {
+	case expr.PredEq:
+		if !cc.hasEq {
+			cc.hasEq = true
+			cc.eqVals = append([]expr.Value(nil), a.Values...)
+			return true
+		}
+		// Conjunction of equality sets is their intersection.
+		kept := cc.eqVals[:0]
+		for _, v := range cc.eqVals {
+			for _, w := range a.Values {
+				if v.Equal(w) {
+					kept = append(kept, v)
+					break
+				}
+			}
+		}
+		cc.eqVals = kept
+		return true
+	case expr.PredRange:
+		cls := valClass(a.Bound)
+		if cc.class == classNone {
+			cc.class = cls
+		} else if cc.class != cls {
+			return false
+		}
+		open := a.Op == expr.RangeGT || a.Op == expr.RangeLT
+		if a.Op == expr.RangeGT || a.Op == expr.RangeGE {
+			if !cc.hasLo || boundLess(cc.class, cc.lo, a.Bound) ||
+				(boundEqual(cc.class, cc.lo, a.Bound) && open && !cc.loOpen) {
+				cc.lo, cc.loOpen, cc.hasLo = a.Bound, open, true
+			}
+		} else {
+			if !cc.hasHi || boundLess(cc.class, a.Bound, cc.hi) ||
+				(boundEqual(cc.class, cc.hi, a.Bound) && open && !cc.hiOpen) {
+				cc.hi, cc.hiOpen, cc.hasHi = a.Bound, open, true
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// finalize reconciles the equality set against the range bounds. It
+// returns false when the rule must stay on the linear path: an
+// equality literal whose class can't be ordered against the range
+// bounds means any input matching that literal would hit a comparison
+// error in the remaining atoms.
+func (cc *colConstraint) finalize() bool {
+	if cc.hasEq {
+		if cc.class != classNone {
+			kept := cc.eqVals[:0]
+			for _, v := range cc.eqVals {
+				if valClass(v) != cc.class {
+					return false
+				}
+				if cc.boundsAdmit(v) {
+					kept = append(kept, v)
+				}
+			}
+			cc.eqVals = kept
+		}
+		cc.unsat = len(cc.eqVals) == 0
+		return true
+	}
+	if cc.hasLo && cc.hasHi {
+		if boundLess(cc.class, cc.hi, cc.lo) ||
+			(boundEqual(cc.class, cc.lo, cc.hi) && (cc.loOpen || cc.hiOpen)) {
+			cc.unsat = true
+		}
+	}
+	return true
+}
+
+// boundsAdmit reports whether an equality literal (same class as the
+// bounds) satisfies the interval.
+func (cc *colConstraint) boundsAdmit(v expr.Value) bool {
+	if cc.hasLo && (boundLess(cc.class, v, cc.lo) ||
+		(boundEqual(cc.class, v, cc.lo) && cc.loOpen)) {
+		return false
+	}
+	if cc.hasHi && (boundLess(cc.class, cc.hi, v) ||
+		(boundEqual(cc.class, v, cc.hi) && cc.hiOpen)) {
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+
+// column is the compiled index over one input variable.
+type column struct {
+	name string
+	eq   map[eqKey][]*eqEntry
+	num  *rangeIndex[float64]
+	str  *rangeIndex[string]
+	// needNum/needStr record that some indexed rule holds a range
+	// bound of that class on this column — even a rule whose combined
+	// constraint is unsatisfiable and therefore absent from the built
+	// indexes. A probe value of the wrong class could make that rule's
+	// atoms error under the linear scan, so the precheck must fall
+	// back on the flags, not on which indexes happen to exist.
+	needNum, needStr bool
+	// rest holds indexed rules with no atom on this column: they are
+	// satisfied regardless of the probe value.
+	rest bitset
+}
+
+// plan is the compiled index over a table: the set of fully-indexable
+// rules, the always-visited residual rules, and one index per column.
+type plan struct {
+	indexed bitset // fully-indexable rules
+	resid   []int  // all other rules, ascending table order
+	cols    []column
+}
+
+// buildPlan compiles the index structures, or returns nil when no
+// rule is indexable (Eval then always runs the memoized linear scan).
+func buildPlan(c *Compiled) *plan {
+	n := len(c.table.Rules)
+	perRule := make([]map[string]*colConstraint, n)
+	indexed := newBitset(n)
+	var resid []int
+	colNames := map[string]bool{}
+
+	for ri := range c.table.Rules {
+		rc := map[string]*colConstraint{}
+		ok := true
+		for _, p := range c.conds[ri] {
+			atoms := p.Predicates()
+			if atoms == nil {
+				ok = false
+				break
+			}
+			for _, a := range atoms {
+				cc := rc[a.Var]
+				if cc == nil {
+					cc = &colConstraint{}
+					rc[a.Var] = cc
+				}
+				if !cc.add(a) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			for _, cc := range rc {
+				if !cc.finalize() {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			resid = append(resid, ri)
+			continue
+		}
+		indexed.set(ri)
+		perRule[ri] = rc
+		for name := range rc {
+			colNames[name] = true
+		}
+	}
+	if indexed.count() == 0 {
+		return nil
+	}
+
+	names := make([]string, 0, len(colNames))
+	for name := range colNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	p := &plan{indexed: indexed, resid: resid, cols: make([]column, 0, len(names))}
+	for _, name := range names {
+		col := column{name: name, eq: map[eqKey][]*eqEntry{}, rest: newBitset(n)}
+		var numIvs []ival[float64]
+		var strIvs []ival[string]
+		for ri := indexed.next(0); ri >= 0; ri = indexed.next(ri + 1) {
+			cc := perRule[ri][name]
+			if cc != nil {
+				col.needNum = col.needNum || cc.class == classNum
+				col.needStr = col.needStr || cc.class == classStr
+			}
+			switch {
+			case cc == nil:
+				col.rest.set(ri)
+			case cc.unsat:
+				// Contradictory constraint: the rule can never match
+				// on the indexed path, so it appears in no structure.
+			case cc.hasEq:
+				for _, v := range cc.eqVals {
+					col.addEq(v, ri, n)
+				}
+			case cc.class == classStr:
+				lo, hi := "", ""
+				if cc.hasLo {
+					lo, _ = rangeKeyStr(cc.lo)
+				}
+				if cc.hasHi {
+					hi, _ = rangeKeyStr(cc.hi)
+				}
+				strIvs = append(strIvs, ival[string]{
+					lo: lo, hi: hi, loOpen: cc.loOpen, hiOpen: cc.hiOpen,
+					noLo: !cc.hasLo, noHi: !cc.hasHi, rule: ri,
+				})
+			default:
+				var lo, hi float64
+				if cc.hasLo {
+					lo = rangeKeyNum(cc.lo)
+				}
+				if cc.hasHi {
+					hi = rangeKeyNum(cc.hi)
+				}
+				numIvs = append(numIvs, ival[float64]{
+					lo: lo, hi: hi, loOpen: cc.loOpen, hiOpen: cc.hiOpen,
+					noLo: !cc.hasLo, noHi: !cc.hasHi, rule: ri,
+				})
+			}
+		}
+		col.num = buildRangeIndex(numIvs)
+		col.str = buildRangeIndex(strIvs)
+		p.cols = append(p.cols, col)
+	}
+	return p
+}
+
+func (col *column) addEq(v expr.Value, ri, n int) {
+	key, ok := eqKeyOf(v)
+	if !ok {
+		return // literals are always scalars; defensive
+	}
+	for _, e := range col.eq[key] {
+		if e.lit.Equal(v) {
+			e.bits.set(ri)
+			return
+		}
+	}
+	e := &eqEntry{lit: v, bits: newBitset(n)}
+	e.bits.set(ri)
+	col.eq[key] = append(col.eq[key], e)
+}
+
+// probe intersects the per-column candidate sets into st.cand. A
+// false return means the indexed path cannot be trusted for this env
+// (unbound column, or a value class the column's range bounds can't
+// be ordered against) and the caller must use the linear scan.
+func (c *Compiled) probe(env expr.Env, st *evalState) bool {
+	p := c.plan
+	st.cand.copyFrom(p.indexed)
+	for i := range p.cols {
+		col := &p.cols[i]
+		v, bound := env.Lookup(col.name)
+		if !bound {
+			return false
+		}
+		cls := valClass(v)
+		if (col.needNum && cls != classNum) || (col.needStr && cls != classStr) {
+			return false
+		}
+		if col.needNum {
+			// NaN defeats interval logic (Value.Compare reports NaN
+			// "equal" to everything); let the linear scan decide.
+			if f := rangeKeyNum(v); f != f {
+				return false
+			}
+		}
+		st.tmp.copyFrom(col.rest)
+		if len(col.eq) > 0 {
+			if key, ok := eqKeyOf(v); ok {
+				for _, e := range col.eq[key] {
+					if e.lit.Equal(v) {
+						st.tmp.or(e.bits)
+					}
+				}
+			}
+		}
+		if col.num != nil {
+			col.num.stab(rangeKeyNum(v), st.tmp.set)
+		}
+		if col.str != nil {
+			s, _ := v.AsString()
+			col.str.stab(s, st.tmp.set)
+		}
+		st.cand.and(st.tmp)
+	}
+	return true
+}

@@ -1,0 +1,509 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"bpms/internal/expr"
+)
+
+// ---------------------------------------------------------------------------
+// Differential harness: the indexed path must agree with the linear
+// oracle decision-for-decision AND error-for-error.
+
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func sameOutputs(a, b map[string]expr.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDecision(a, b *Decision) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Matched) != len(b.Matched) {
+		return false
+	}
+	for i := range a.Matched {
+		if a.Matched[i] != b.Matched[i] {
+			return false
+		}
+	}
+	if !sameOutputs(a.Outputs, b.Outputs) {
+		return false
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !sameOutputs(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstOracle(t *testing.T, c *Compiled, env expr.Env, ctx string) {
+	t.Helper()
+	want, wantErr := c.EvalLinear(env)
+	got, gotErr := c.Eval(env)
+	if !sameError(wantErr, gotErr) {
+		t.Fatalf("%s: error mismatch\n  linear:  %v\n  indexed: %v", ctx, wantErr, gotErr)
+	}
+	if !sameDecision(want, got) {
+		t.Fatalf("%s: decision mismatch\n  linear:  %+v\n  indexed: %+v", ctx, want, got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Randomized table generator: mixed equality/range/opaque cells over a
+// small value domain so matches, ties, contradictions, and evaluation
+// errors all occur with useful frequency.
+
+var genPolicies = []HitPolicy{Unique, First, Any, Priority, Collect, RuleOrder}
+
+func randCond(r *rand.Rand) string {
+	vars := []string{"a", "b", "s"}
+	v := vars[r.Intn(len(vars))]
+	ops := []string{"<", "<=", ">", ">="}
+	switch r.Intn(14) {
+	case 0:
+		return "-"
+	case 1:
+		return fmt.Sprintf("%s == %d", v, r.Intn(6))
+	case 2:
+		return fmt.Sprintf("%d == %s", r.Intn(6), v)
+	case 3:
+		return fmt.Sprintf(`s == "x%d"`, r.Intn(4))
+	case 4:
+		return fmt.Sprintf("%s in [%d, %d, %d]", v, r.Intn(6), r.Intn(6), r.Intn(6))
+	case 5:
+		return fmt.Sprintf(`s in ["x%d", "x%d"]`, r.Intn(4), r.Intn(4))
+	case 6:
+		return fmt.Sprintf("%s %s %d", v, ops[r.Intn(4)], r.Intn(6))
+	case 7:
+		return fmt.Sprintf("%d %s %s", r.Intn(6), ops[r.Intn(4)], v)
+	case 8:
+		return fmt.Sprintf("%s %s %.1f", v, ops[r.Intn(4)], r.Float64()*6)
+	case 9:
+		lo := r.Intn(5)
+		return fmt.Sprintf("%s >= %d && %s < %d", v, lo, v, lo+1+r.Intn(3))
+	case 10:
+		return fmt.Sprintf(`s %s "x%d"`, ops[r.Intn(4)], r.Intn(4))
+	case 11:
+		// Contradictions and cross-class combinations: unsat or
+		// linear-only, depending on classes.
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%s == %d && %s == %d", v, r.Intn(4), v, r.Intn(4))
+		case 1:
+			return fmt.Sprintf(`%s == %d && %s < "x9"`, v, r.Intn(4), v)
+		default:
+			return v + " in []"
+		}
+	case 12:
+		// Opaque: negation, arithmetic, two variables, functions.
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%s != %d", v, r.Intn(6))
+		case 1:
+			return fmt.Sprintf("%s + 0 == %d", v, r.Intn(6))
+		case 2:
+			return "a > b"
+		default:
+			return "len(s) >= 2"
+		}
+	default:
+		return fmt.Sprintf("%s == %d", v, r.Intn(6))
+	}
+}
+
+func randOutput(r *rand.Rand, ri int) string {
+	switch r.Intn(5) {
+	case 0:
+		return `"k"` // constant: lets ANY agree
+	case 1:
+		return "a" // env-dependent (may be unbound)
+	case 2:
+		return "10 / (a - 3)" // errors when a == 3
+	default:
+		return fmt.Sprintf("%d", ri)
+	}
+}
+
+func randTable(r *rand.Rand, iter int) Table {
+	n := 1 + r.Intn(12)
+	t := Table{
+		Name:      fmt.Sprintf("fuzz-%d", iter),
+		HitPolicy: genPolicies[iter%len(genPolicies)],
+		Outputs:   []string{"o1", "o2"},
+	}
+	for ri := 0; ri < n; ri++ {
+		rule := Rule{Priority: r.Intn(4)}
+		for k := r.Intn(3); k > 0; k-- {
+			rule.Conditions = append(rule.Conditions, randCond(r))
+		}
+		rule.Outputs = map[string]string{
+			"o1": randOutput(r, ri),
+			"o2": `"v"`,
+		}
+		t.Rules = append(t.Rules, rule)
+	}
+	return t
+}
+
+func randEnv(r *rand.Rand) expr.MapEnv {
+	env := expr.MapEnv{}
+	for _, v := range []string{"a", "b", "s"} {
+		switch r.Intn(10) {
+		case 0:
+			// unbound
+		case 1:
+			env[v] = expr.Float(r.Float64() * 6)
+		case 2:
+			env[v] = expr.String(fmt.Sprintf("x%d", r.Intn(4)))
+		case 3:
+			env[v] = expr.Bool(r.Intn(2) == 0)
+		case 4:
+			if r.Intn(2) == 0 {
+				env[v] = expr.Null
+			} else {
+				env[v] = expr.Int(int64(r.Intn(6)))
+			}
+		default:
+			env[v] = expr.Int(int64(r.Intn(6)))
+		}
+	}
+	// s is usually a string so string predicates get real coverage.
+	if r.Intn(4) != 0 {
+		env["s"] = expr.String(fmt.Sprintf("x%d", r.Intn(4)))
+	}
+	return env
+}
+
+func TestDifferentialRandomTables(t *testing.T) {
+	r := rand.New(rand.NewSource(1503))
+	for iter := 0; iter < 600; iter++ {
+		tbl := randTable(r, iter)
+		c, err := Compile(tbl)
+		if err != nil {
+			t.Fatalf("iter %d: Compile: %v", iter, err)
+		}
+		for e := 0; e < 15; e++ {
+			env := randEnv(r)
+			checkAgainstOracle(t, c, env, fmt.Sprintf("iter %d (%s) env %v", iter, tbl.HitPolicy, env))
+		}
+	}
+}
+
+func TestDifferentialEvalBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		tbl := randTable(r, iter)
+		c, err := Compile(tbl)
+		if err != nil {
+			t.Fatalf("iter %d: Compile: %v", iter, err)
+		}
+		envs := make([]expr.Env, 25)
+		for i := range envs {
+			envs[i] = randEnv(r)
+		}
+		ds, errs := c.EvalBatch(envs)
+		for i, env := range envs {
+			want, wantErr := c.EvalLinear(env)
+			if !sameError(wantErr, errs[i]) {
+				t.Fatalf("iter %d env %d: error mismatch: linear %v, batch %v", iter, i, wantErr, errs[i])
+			}
+			if !sameDecision(want, ds[i]) {
+				t.Fatalf("iter %d env %d: decision mismatch: linear %+v, batch %+v", iter, i, want, ds[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentIndexedEval hammers one compiled table from many
+// goroutines (meaningful under -race: the CI test job runs the suite
+// with the race detector) and checks every result against expectations
+// computed serially by the oracle.
+func TestConcurrentIndexedEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tbl := randTable(r, 3) // Priority policy slot, via iter%6
+	tbl.HitPolicy = First
+	c := MustCompile(tbl)
+	const envsN = 64
+	envs := make([]expr.MapEnv, envsN)
+	type expectation struct {
+		d   *Decision
+		err error
+	}
+	want := make([]expectation, envsN)
+	for i := range envs {
+		envs[i] = randEnv(r)
+		want[i].d, want[i].err = c.EvalLinear(envs[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				i := (g + k) % envsN
+				d, err := c.Eval(envs[i])
+				if !sameError(want[i].err, err) || !sameDecision(want[i].d, d) {
+					t.Errorf("goroutine %d env %d: got (%+v, %v), want (%+v, %v)", g, i, d, err, want[i].d, want[i].err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Handcrafted exactness cases for the fallback and merge machinery.
+
+func eqTable(policy HitPolicy, n int) Table {
+	t := Table{Name: "eq", HitPolicy: policy, Outputs: []string{"o"}}
+	for i := 0; i < n; i++ {
+		t.Rules = append(t.Rules, Rule{
+			Conditions: []string{fmt.Sprintf("v == %d", i)},
+			Outputs:    map[string]string{"o": fmt.Sprintf("%d", i)},
+			Priority:   i,
+		})
+	}
+	return t
+}
+
+func TestIndexedEqTableAllPolicies(t *testing.T) {
+	for _, p := range genPolicies {
+		c := MustCompile(eqTable(p, 50))
+		for v := -1; v <= 50; v++ {
+			checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(int64(v))}, fmt.Sprintf("policy %s v=%d", p, v))
+		}
+	}
+}
+
+func TestUnboundColumnFallsBack(t *testing.T) {
+	c := MustCompile(eqTable(First, 10))
+	_, err := c.Eval(expr.MapEnv{})
+	if err == nil || !strings.Contains(err.Error(), `unbound variable "v"`) {
+		t.Fatalf("got %v, want unbound-variable error from the linear path", err)
+	}
+	checkAgainstOracle(t, c, expr.MapEnv{}, "unbound")
+}
+
+func TestResidErrorBeforeCandidate(t *testing.T) {
+	// Rule 0 is opaque and errors (unbound variable inside arithmetic);
+	// rule 1 is indexed and matches. The linear scan dies at rule 0, so
+	// the indexed path must too — not return rule 1's match.
+	c := MustCompile(Table{
+		Name: "resid-err", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"missing + 0 > 1"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{"a == 1"}, Outputs: map[string]string{"o": "1"}},
+		},
+	})
+	env := expr.MapEnv{"a": expr.Int(1)}
+	_, err := c.Eval(env)
+	if err == nil || !strings.Contains(err.Error(), "rule 0") {
+		t.Fatalf("got %v, want rule 0 evaluation error", err)
+	}
+	checkAgainstOracle(t, c, env, "resid error")
+}
+
+func TestMixedClassColumnFallsBack(t *testing.T) {
+	// Rule 0 matches numerically; rule 1 would raise a type error when
+	// reached with a number. FIRST stops at rule 0, so no error — and
+	// with a string input rule 1's comparison errors only after rule 0
+	// failed. Both orderings must survive indexing.
+	c := MustCompile(Table{
+		Name: "mixed", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"a < 5"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{`a < "m"`}, Outputs: map[string]string{"o": "1"}},
+		},
+	})
+	for _, env := range []expr.MapEnv{
+		{"a": expr.Int(3)},
+		{"a": expr.Int(7)},
+		{"a": expr.String("f")},
+		{"a": expr.String("z")},
+	} {
+		checkAgainstOracle(t, c, env, fmt.Sprintf("env %v", env))
+	}
+}
+
+func TestLargeIntFloatImageCollision(t *testing.T) {
+	// 2^53 and 2^53+1 share a float64 image; the equality buckets must
+	// separate them via exact Value.Equal verification.
+	const big = int64(1) << 53
+	c := MustCompile(Table{
+		Name: "bigint", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{fmt.Sprintf("v == %d", big)}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{fmt.Sprintf("v == %d", big+1)}, Outputs: map[string]string{"o": "1"}},
+		},
+	})
+	d, err := c.Eval(expr.MapEnv{"v": expr.Int(big + 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Matched) != 1 || d.Matched[0] != 1 {
+		t.Fatalf("matched %v, want [1]", d.Matched)
+	}
+	checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(big)}, "2^53")
+	checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(big + 1)}, "2^53+1")
+}
+
+func TestContradictionAndEmptyIn(t *testing.T) {
+	c := MustCompile(Table{
+		Name: "unsat", HitPolicy: Collect, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"v == 1 && v == 2"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{"v in []"}, Outputs: map[string]string{"o": "1"}},
+			{Conditions: []string{"v >= 0"}, Outputs: map[string]string{"o": "2"}},
+		},
+	})
+	for v := 0; v <= 3; v++ {
+		env := expr.MapEnv{"v": expr.Int(int64(v))}
+		d, err := c.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Matched) != 1 || d.Matched[0] != 2 {
+			t.Fatalf("v=%d: matched %v, want [2]", v, d.Matched)
+		}
+		checkAgainstOracle(t, c, env, fmt.Sprintf("v=%d", v))
+	}
+}
+
+func TestCatchAllRuleInRestSets(t *testing.T) {
+	// A rule with no conditions is indexable with no atoms: it must sit
+	// in every column's rest set and match any probe.
+	c := MustCompile(Table{
+		Name: "catchall", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"v == 1"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{"-"}, Outputs: map[string]string{"o": "1"}},
+		},
+	})
+	for _, v := range []expr.Value{expr.Int(1), expr.Int(9), expr.String("x"), expr.Bool(true)} {
+		checkAgainstOracle(t, c, expr.MapEnv{"v": v}, v.String())
+	}
+}
+
+func TestRangeBandsUnique(t *testing.T) {
+	t.Run("bounded", func(t *testing.T) {
+		tbl := Table{Name: "bands", HitPolicy: Unique, Outputs: []string{"o"}}
+		for i := 0; i < 40; i++ {
+			tbl.Rules = append(tbl.Rules, Rule{
+				Conditions: []string{fmt.Sprintf("v >= %d && v < %d", i*10, (i+1)*10)},
+				Outputs:    map[string]string{"o": fmt.Sprintf("%d", i)},
+			})
+		}
+		c := MustCompile(tbl)
+		for v := -5; v < 405; v += 3 {
+			checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(int64(v))}, fmt.Sprintf("v=%d", v))
+		}
+		checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Float(99.5)}, "float probe")
+	})
+	t.Run("one-sided", func(t *testing.T) {
+		tbl := Table{Name: "thresholds", HitPolicy: Collect, Outputs: []string{"o"}}
+		for i := 0; i < 20; i++ {
+			cond := fmt.Sprintf("v >= %d", i*5)
+			if i%2 == 0 {
+				cond = fmt.Sprintf("v < %d", i*7)
+			}
+			tbl.Rules = append(tbl.Rules, Rule{
+				Conditions: []string{cond},
+				Outputs:    map[string]string{"o": fmt.Sprintf("%d", i)},
+			})
+		}
+		c := MustCompile(tbl)
+		for v := -10; v < 150; v += 2 {
+			checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(int64(v))}, fmt.Sprintf("v=%d", v))
+		}
+	})
+}
+
+func TestStringRangeIndex(t *testing.T) {
+	tbl := Table{Name: "strbands", HitPolicy: First, Outputs: []string{"o"}}
+	for i := 0; i < 10; i++ {
+		tbl.Rules = append(tbl.Rules, Rule{
+			Conditions: []string{fmt.Sprintf(`v >= "g%d" && v < "g%d"`, i, i+1)},
+			Outputs:    map[string]string{"o": fmt.Sprintf("%d", i)},
+		})
+	}
+	c := MustCompile(tbl)
+	for i := 0; i < 12; i++ {
+		checkAgainstOracle(t, c, expr.MapEnv{"v": expr.String(fmt.Sprintf("g%d", i))}, fmt.Sprintf("g%d", i))
+		checkAgainstOracle(t, c, expr.MapEnv{"v": expr.String(fmt.Sprintf("g%dx", i))}, fmt.Sprintf("g%dx", i))
+	}
+	checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(3)}, "numeric probe of string column")
+}
+
+func TestUniqueViolationPairMatchesLinear(t *testing.T) {
+	// UNIQUE must report the same (first, second) pair the linear scan
+	// does, with a residual rule sitting between the two indexed hits.
+	c := MustCompile(Table{
+		Name: "upair", HitPolicy: Unique, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"v == 1"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{"v != 0"}, Outputs: map[string]string{"o": "1"}}, // residual
+			{Conditions: []string{"v >= 1"}, Outputs: map[string]string{"o": "2"}},
+		},
+	})
+	env := expr.MapEnv{"v": expr.Int(1)}
+	_, err := c.Eval(env)
+	if !errors.Is(err, ErrNotUnique) || !strings.Contains(err.Error(), "rules 0 and 1") {
+		t.Fatalf("got %v, want ErrNotUnique for rules 0 and 1", err)
+	}
+	checkAgainstOracle(t, c, env, "unique pair")
+}
+
+func TestPlanCoverage(t *testing.T) {
+	// White-box: the equality table is fully indexed, opaque rules land
+	// in resid, and a fully opaque table has no plan at all.
+	c := MustCompile(eqTable(First, 8))
+	if c.plan == nil || len(c.plan.resid) != 0 || c.plan.indexed.count() != 8 {
+		t.Fatalf("eq table plan = %+v, want 8 indexed / 0 resid", c.plan)
+	}
+	c = MustCompile(Table{
+		Name: "opaque", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{{Conditions: []string{"v != 1"}, Outputs: map[string]string{"o": "0"}}},
+	})
+	if c.plan != nil {
+		t.Fatalf("fully opaque table built a plan: %+v", c.plan)
+	}
+	c = MustCompile(Table{
+		Name: "split", HitPolicy: First, Outputs: []string{"o"},
+		Rules: []Rule{
+			{Conditions: []string{"v == 1"}, Outputs: map[string]string{"o": "0"}},
+			{Conditions: []string{"v != 1"}, Outputs: map[string]string{"o": "1"}},
+		},
+	})
+	if c.plan == nil || len(c.plan.resid) != 1 || c.plan.resid[0] != 1 {
+		t.Fatalf("split plan = %+v, want resid [1]", c.plan)
+	}
+}

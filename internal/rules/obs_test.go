@@ -1,0 +1,71 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"bpms/internal/expr"
+	"bpms/internal/obs"
+)
+
+func TestMetricsWiring(t *testing.T) {
+	m := obs.New()
+	SetMetrics(m)
+	defer SetMetrics(nil)
+
+	c := MustCompile(eqTable(First, 20))
+	if _, err := c.Eval(expr.MapEnv{"v": expr.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Eval(expr.MapEnv{"v": expr.Int(999)}); err == nil {
+		t.Fatal("expected ErrNoMatch")
+	}
+	if _, err := c.Eval(expr.MapEnv{}); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+	ds, errs := c.EvalBatch([]expr.Env{
+		expr.MapEnv{"v": expr.Int(1)},
+		expr.MapEnv{"v": expr.Int(2)},
+	})
+	if errs[0] != nil || errs[1] != nil || ds[0] == nil || ds[1] == nil {
+		t.Fatalf("batch failed: %v %v", errs[0], errs[1])
+	}
+
+	var b strings.Builder
+	if err := m.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		obs.MetricRulesEval + "_count 5",
+		obs.MetricRulesDecisions + `{table="eq",result="match"} 3`,
+		obs.MetricRulesDecisions + `{table="eq",result="no_match"} 1`,
+		obs.MetricRulesDecisions + `{table="eq",result="error"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsDetach: tables resolve fresh handles when the registry
+// changes generation, and a detached registry stops counting.
+func TestMetricsDetach(t *testing.T) {
+	m := obs.New()
+	SetMetrics(m)
+	c := MustCompile(eqTable(First, 4))
+	if _, err := c.Eval(expr.MapEnv{"v": expr.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	SetMetrics(nil)
+	if _, err := c.Eval(expr.MapEnv{"v": expr.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := m.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), obs.MetricRulesDecisions+`{table="eq",result="match"} 1`) {
+		t.Errorf("detached registry kept counting:\n%s", b.String())
+	}
+}

@@ -4,15 +4,26 @@
 // their condition and output cells to expression programs once and are
 // then safe for concurrent evaluation; the engine invokes tables from
 // script tasks and gateway conditions, and they are benchmarked in
-// experiment T7.
+// experiments T7 and T15.
+//
+// Compile additionally builds a column index over every rule whose
+// conditions decompose into `var == literal` / `var <op> literal`
+// atoms (see index.go), so Eval on large equality- or range-dominated
+// tables probes candidate sets instead of scanning all rules. The
+// linear scan remains, exactly as before, as the fallback for opaque
+// conditions and as the differential-test oracle (EvalLinear).
 package rules
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bpms/internal/expr"
+	"bpms/internal/obs"
 )
 
 // HitPolicy selects how multiple matching rules combine.
@@ -81,6 +92,17 @@ type Compiled struct {
 	table Table
 	conds [][]*expr.Program
 	outs  []map[string]*expr.Program
+
+	// plan is the column index over fully-indexable rules (nil when
+	// no rule is indexable — Eval then always runs the linear scan).
+	plan *plan
+	// prio holds rule indices sorted by priority descending (table
+	// order breaking ties), built for PRIORITY tables so an
+	// index-covered Eval stops at the first hit in priority order.
+	prio []int
+
+	pool  sync.Pool // *evalState
+	hands atomic.Pointer[tableHandles]
 }
 
 // Compile validates the table and compiles every cell.
@@ -94,8 +116,22 @@ func Compile(t Table) (*Compiled, error) {
 	if len(t.Rules) == 0 {
 		return nil, fmt.Errorf("%w: table %q has no rules", ErrBadDefinition, t.Name)
 	}
+	seenOut := make(map[string]bool, len(t.Outputs))
+	for _, name := range t.Outputs {
+		if seenOut[name] {
+			return nil, fmt.Errorf("%w: table %q declares output %q twice", ErrBadDefinition, t.Name, name)
+		}
+		seenOut[name] = true
+	}
 	c := &Compiled{table: t}
+	seenID := make(map[string]int, len(t.Rules))
 	for ri, r := range t.Rules {
+		if r.ID != "" {
+			if prev, dup := seenID[r.ID]; dup {
+				return nil, fmt.Errorf("%w: table %q rules %d and %d share id %q", ErrBadDefinition, t.Name, prev, ri, r.ID)
+			}
+			seenID[r.ID] = ri
+		}
 		var conds []*expr.Program
 		for ci, src := range r.Conditions {
 			if src == "" || src == "-" {
@@ -103,7 +139,8 @@ func Compile(t Table) (*Compiled, error) {
 			}
 			// The shared cache deduplicates programs across tables and
 			// recompilations of the same table (rule sets are routinely
-			// re-deployed with most cells unchanged).
+			// re-deployed with most cells unchanged). Program identity
+			// is also the per-Eval memoization key.
 			p, err := expr.Cached(src)
 			if err != nil {
 				return nil, fmt.Errorf("%w: rule %d condition %d: %v", ErrBadDefinition, ri, ci, err)
@@ -124,6 +161,20 @@ func Compile(t Table) (*Compiled, error) {
 			outs[name] = p
 		}
 		c.outs = append(c.outs, outs)
+	}
+	c.plan = buildPlan(c)
+	if t.HitPolicy == Priority {
+		c.prio = make([]int, len(t.Rules))
+		for i := range c.prio {
+			c.prio[i] = i
+		}
+		sort.Slice(c.prio, func(a, b int) bool {
+			pa, pb := t.Rules[c.prio[a]].Priority, t.Rules[c.prio[b]].Priority
+			if pa != pb {
+				return pa > pb
+			}
+			return c.prio[a] < c.prio[b]
+		})
 	}
 	return c, nil
 }
@@ -151,13 +202,179 @@ type Decision struct {
 	List []map[string]expr.Value
 }
 
-// Eval evaluates the table against env.
+// ---------------------------------------------------------------------------
+// Observability
+
+var (
+	obsMetrics atomic.Pointer[obs.Metrics]
+	obsGen     atomic.Uint64
+)
+
+// SetMetrics wires decision-table evaluation to an observability
+// registry (nil detaches). Compiled tables pick the change up lazily
+// on their next Eval; handles are pre-resolved once per table per
+// registry generation so the hot path stays a few atomic loads.
+func SetMetrics(m *obs.Metrics) {
+	obsMetrics.Store(m)
+	obsGen.Add(1)
+}
+
+// tableHandles are one table's pre-resolved instruments (all nil-safe
+// when detached).
+type tableHandles struct {
+	gen     uint64
+	eval    *obs.Histogram
+	match   *obs.Counter
+	noMatch *obs.Counter
+	errs    *obs.Counter
+}
+
+func (h *tableHandles) count(err error) {
+	switch {
+	case err == nil:
+		h.match.Inc()
+	case errors.Is(err, ErrNoMatch):
+		h.noMatch.Inc()
+	default:
+		h.errs.Inc()
+	}
+}
+
+func (c *Compiled) handles() *tableHandles {
+	gen := obsGen.Load()
+	if h := c.hands.Load(); h != nil && h.gen == gen {
+		return h
+	}
+	h := &tableHandles{gen: gen}
+	if m := obsMetrics.Load(); m != nil {
+		rm := m.Rules()
+		h.eval = rm.Eval
+		h.match = rm.Decisions(c.table.Name, "match")
+		h.noMatch = rm.Decisions(c.table.Name, "no_match")
+		h.errs = rm.Decisions(c.table.Name, "error")
+	}
+	c.hands.Store(h)
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation state (probe buffers + per-call predicate memo)
+
+// evalState carries the reusable buffers of one evaluation: candidate
+// bitsets for the index probe and the per-call predicate memo. Cells
+// compiled from the same source share one *expr.Program (expr.Cached),
+// so the memo evaluates each distinct condition at most once per env;
+// expression functions are pure, making the reuse exact — including
+// reusing an error result.
+type evalState struct {
+	cand, tmp bitset
+	memo      map[*expr.Program]condResult
+}
+
+type condResult struct {
+	hit bool
+	err error
+}
+
+func (st *evalState) reset() {
+	if st.memo != nil {
+		clear(st.memo)
+	}
+}
+
+func (st *evalState) evalBool(p *expr.Program, env expr.Env) (bool, error) {
+	if st == nil {
+		return p.EvalBool(env)
+	}
+	if r, ok := st.memo[p]; ok {
+		return r.hit, r.err
+	}
+	hit, err := p.EvalBool(env)
+	if st.memo == nil {
+		st.memo = make(map[*expr.Program]condResult, 16)
+	}
+	st.memo[p] = condResult{hit: hit, err: err}
+	return hit, err
+}
+
+func (c *Compiled) getState() *evalState {
+	if v := c.pool.Get(); v != nil {
+		st := v.(*evalState)
+		st.reset()
+		return st
+	}
+	words := 0
+	if c.plan != nil {
+		words = len(c.plan.indexed)
+	}
+	return &evalState{cand: make(bitset, words), tmp: make(bitset, words)}
+}
+
+func (c *Compiled) putState(st *evalState) { c.pool.Put(st) }
+
+// ---------------------------------------------------------------------------
+// Eval
+
+// Eval evaluates the table against env: through the column index when
+// the plan covers this input (see index.go), otherwise via the
+// memoized linear scan. Both paths return identical decisions and
+// errors.
 func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
+	h := c.handles()
+	t0 := h.eval.Start()
+	st := c.getState()
+	d, err := c.evalWith(env, st)
+	c.putState(st)
+	h.eval.Since(t0)
+	h.count(err)
+	return d, err
+}
+
+// EvalBatch evaluates the table against every env, reusing the probe
+// buffers and recycling one memo table across the batch — the bulk
+// entry point for rules-task call sites that score many cases against
+// one table. Results are positional: decisions[i] / errs[i] belong to
+// envs[i], and an error for one env never affects the others.
+func (c *Compiled) EvalBatch(envs []expr.Env) ([]*Decision, []error) {
+	h := c.handles()
+	decisions := make([]*Decision, len(envs))
+	errs := make([]error, len(envs))
+	st := c.getState()
+	for i, env := range envs {
+		if i > 0 {
+			st.reset()
+		}
+		t0 := h.eval.Start()
+		decisions[i], errs[i] = c.evalWith(env, st)
+		h.eval.Since(t0)
+		h.count(errs[i])
+	}
+	c.putState(st)
+	return decisions, errs
+}
+
+// EvalLinear evaluates via the original unindexed row scan, with no
+// memoization. It is retained as the differential-test oracle and the
+// benchmark baseline for the indexed path.
+func (c *Compiled) EvalLinear(env expr.Env) (*Decision, error) {
+	return c.evalLinear(env, nil)
+}
+
+func (c *Compiled) evalWith(env expr.Env, st *evalState) (*Decision, error) {
+	if c.plan != nil && c.probe(env, st) {
+		return c.evalIndexed(env, st)
+	}
+	return c.evalLinear(env, st)
+}
+
+// evalLinear is the table-order scan; st may be nil (oracle mode) to
+// disable memoization.
+func (c *Compiled) evalLinear(env expr.Env, st *evalState) (*Decision, error) {
 	var matched []int
 	for ri := range c.table.Rules {
 		ok := true
 		for _, cond := range c.conds[ri] {
-			hit, err := cond.EvalBool(env)
+			hit, err := st.evalBool(cond, env)
 			if err != nil {
 				return nil, fmt.Errorf("rules: table %q rule %d: %w", c.table.Name, ri, err)
 			}
@@ -179,6 +396,103 @@ func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
 	if len(matched) == 0 {
 		return nil, fmt.Errorf("%w: table %q", ErrNoMatch, c.table.Name)
 	}
+	pick := matched[0]
+	if c.table.HitPolicy == Priority {
+		for _, ri := range matched[1:] {
+			if c.table.Rules[ri].Priority > c.table.Rules[pick].Priority {
+				pick = ri
+			}
+		}
+	}
+	return c.decide(matched, pick, env)
+}
+
+// evalIndexed walks the probe's candidate set merged with the
+// residual (non-indexable) rules in table order. Candidates match by
+// construction; residual rules evaluate through the memo. The merge
+// preserves the linear scan's ordering guarantees — which rule a
+// FIRST stops at, which pair UNIQUE reports, and which residual
+// condition errors first.
+func (c *Compiled) evalIndexed(env expr.Env, st *evalState) (*Decision, error) {
+	hp := c.table.HitPolicy
+	resid := c.plan.resid
+
+	if hp == Priority && len(resid) == 0 {
+		// Index-covered PRIORITY: matches come straight from the
+		// candidate bitset, and the compile-time priority order finds
+		// the winner at its first hit instead of comparing every match.
+		var matched []int
+		for ri := st.cand.next(0); ri >= 0; ri = st.cand.next(ri + 1) {
+			matched = append(matched, ri)
+		}
+		if len(matched) == 0 {
+			return nil, fmt.Errorf("%w: table %q", ErrNoMatch, c.table.Name)
+		}
+		pick := matched[0]
+		for _, ri := range c.prio {
+			if st.cand.has(ri) {
+				pick = ri
+				break
+			}
+		}
+		return c.decide(matched, pick, env)
+	}
+
+	var matched []int
+	pick, best := -1, 0
+	nextCand := st.cand.next(0)
+	rj := 0
+	for nextCand >= 0 || rj < len(resid) {
+		ri := 0
+		isCand := false
+		if nextCand >= 0 && (rj >= len(resid) || nextCand < resid[rj]) {
+			ri, isCand = nextCand, true
+			nextCand = st.cand.next(nextCand + 1)
+		} else {
+			ri = resid[rj]
+			rj++
+		}
+		if !isCand {
+			hit := true
+			for _, cond := range c.conds[ri] {
+				h, err := st.evalBool(cond, env)
+				if err != nil {
+					return nil, fmt.Errorf("rules: table %q rule %d: %w", c.table.Name, ri, err)
+				}
+				if !h {
+					hit = false
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		matched = append(matched, ri)
+		if hp == Priority && (pick < 0 || c.table.Rules[ri].Priority > best) {
+			pick, best = ri, c.table.Rules[ri].Priority
+		}
+		if hp == First {
+			break
+		}
+		if hp == Unique && len(matched) > 1 {
+			return nil, fmt.Errorf("%w: table %q rules %d and %d", ErrNotUnique, c.table.Name, matched[0], matched[1])
+		}
+	}
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("%w: table %q", ErrNoMatch, c.table.Name)
+	}
+	p := matched[0]
+	if hp == Priority {
+		p = pick
+	}
+	return c.decide(matched, p, env)
+}
+
+// decide turns the matched set into a Decision. pick is the rule
+// whose outputs single-result policies return (ignored for ANY and
+// the multi policies).
+func (c *Compiled) decide(matched []int, pick int, env expr.Env) (*Decision, error) {
 	d := &Decision{Matched: matched}
 	if c.table.HitPolicy.multi() {
 		for _, ri := range matched {
@@ -190,15 +504,7 @@ func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
 		}
 		return d, nil
 	}
-	pick := matched[0]
-	switch c.table.HitPolicy {
-	case Priority:
-		for _, ri := range matched[1:] {
-			if c.table.Rules[ri].Priority > c.table.Rules[pick].Priority {
-				pick = ri
-			}
-		}
-	case Any:
+	if c.table.HitPolicy == Any {
 		first, err := c.evalOutputs(matched[0], env)
 		if err != nil {
 			return nil, err
@@ -208,8 +514,10 @@ func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
 			if err != nil {
 				return nil, err
 			}
-			for k, v := range first {
-				if !v.Equal(other[k]) {
+			// Compare in declared-output order so which output a
+			// disagreement reports is deterministic.
+			for _, k := range c.table.Outputs {
+				if !first[k].Equal(other[k]) {
 					return nil, fmt.Errorf("%w: table %q output %q", ErrAnyDisagree, c.table.Name, k)
 				}
 			}
@@ -227,8 +535,10 @@ func (c *Compiled) Eval(env expr.Env) (*Decision, error) {
 
 func (c *Compiled) evalOutputs(ri int, env expr.Env) (map[string]expr.Value, error) {
 	out := make(map[string]expr.Value, len(c.outs[ri]))
-	for name, p := range c.outs[ri] {
-		v, err := p.Eval(env)
+	// Declared order, not map order: which output's error surfaces
+	// must not vary between calls.
+	for _, name := range c.table.Outputs {
+		v, err := c.outs[ri][name].Eval(env)
 		if err != nil {
 			return nil, fmt.Errorf("rules: table %q rule %d output %q: %w", c.table.Name, ri, name, err)
 		}

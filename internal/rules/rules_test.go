@@ -2,6 +2,7 @@ package rules
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -195,6 +196,14 @@ func TestCompileErrors(t *testing.T) {
 			Rules: []Rule{{Outputs: map[string]string{"x": "1"}}}}, "missing output"},
 		{"bad output", Table{Name: "t", HitPolicy: First, Outputs: []string{"x"},
 			Rules: []Rule{{Outputs: map[string]string{"x": ")("}}}}, "output"},
+		{"duplicate output", Table{Name: "t", HitPolicy: First, Outputs: []string{"x", "x"},
+			Rules: []Rule{{Outputs: map[string]string{"x": "1"}}}}, `declares output "x" twice`},
+		{"duplicate rule id", Table{Name: "t", HitPolicy: First, Outputs: []string{"x"},
+			Rules: []Rule{
+				{ID: "r", Outputs: map[string]string{"x": "1"}},
+				{Outputs: map[string]string{"x": "2"}},
+				{ID: "r", Outputs: map[string]string{"x": "3"}},
+			}}, `rules 0 and 2 share id "r"`},
 	}
 	for _, tt := range cases {
 		_, err := Compile(tt.tbl)
@@ -244,6 +253,112 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if _, _, err := DecodeJSON([]byte("{broken")); err == nil {
 		t.Error("bad JSON should fail")
+	}
+}
+
+func TestEmptyRuleIDsNeverCollide(t *testing.T) {
+	if _, err := Compile(Table{
+		Name: "t", HitPolicy: First, Outputs: []string{"x"},
+		Rules: []Rule{
+			{Outputs: map[string]string{"x": "1"}},
+			{Outputs: map[string]string{"x": "2"}},
+		},
+	}); err != nil {
+		t.Fatalf("empty IDs rejected: %v", err)
+	}
+}
+
+// TestPriorityShortCircuit verifies the compile-time priority order:
+// on an index-covered table the winner is found at the first hit in
+// priority order, and ties keep the earliest rule, exactly like the
+// linear comparison scan.
+func TestPriorityShortCircuit(t *testing.T) {
+	tbl := Table{Name: "prio", HitPolicy: Priority, Outputs: []string{"o"}}
+	// Overlapping bands so several rules match at once; priorities
+	// deliberately not aligned with table order, with a tie at the top.
+	prios := []int{1, 5, 3, 5, 2}
+	for i, p := range prios {
+		tbl.Rules = append(tbl.Rules, Rule{
+			Conditions: []string{fmt.Sprintf("v >= %d", i)},
+			Outputs:    map[string]string{"o": fmt.Sprintf("%d", i)},
+			Priority:   p,
+		})
+	}
+	c := MustCompile(tbl)
+	if c.plan == nil || len(c.plan.resid) != 0 {
+		t.Fatalf("priority table should be index-covered, plan = %+v", c.plan)
+	}
+	if want := []int{1, 3, 2, 4, 0}; fmt.Sprint(c.prio) != fmt.Sprint(want) {
+		t.Fatalf("prio order = %v, want %v", c.prio, want)
+	}
+	d, err := c.Eval(expr.MapEnv{"v": expr.Int(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five match; rules 1 and 3 tie at priority 5 and rule 1 wins.
+	if len(d.Matched) != 5 || d.Outputs["o"].String() != "1" {
+		t.Fatalf("d = %+v, want all matched with rule 1's outputs", d)
+	}
+	for v := 0; v <= 6; v++ {
+		checkAgainstOracle(t, c, expr.MapEnv{"v": expr.Int(int64(v))}, fmt.Sprintf("v=%d", v))
+	}
+}
+
+func TestEvalBatchPositional(t *testing.T) {
+	c := MustCompile(riskTable(Unique))
+	envs := []expr.Env{
+		expr.MapEnv{"amount": expr.Int(50)},
+		expr.MapEnv{}, // unbound → error
+		expr.MapEnv{"amount": expr.Int(5000)},
+	}
+	ds, errs := c.EvalBatch(envs)
+	if len(ds) != 3 || len(errs) != 3 {
+		t.Fatalf("got %d/%d results", len(ds), len(errs))
+	}
+	if errs[0] != nil || ds[0].Outputs["risk"].String() != `"low"` {
+		t.Fatalf("batch[0] = %+v, %v", ds[0], errs[0])
+	}
+	if errs[1] == nil || ds[1] != nil {
+		t.Fatalf("batch[1] should fail, got %+v, %v", ds[1], errs[1])
+	}
+	if errs[2] != nil || ds[2].Outputs["risk"].String() != `"medium"` {
+		t.Fatalf("batch[2] = %+v, %v", ds[2], errs[2])
+	}
+}
+
+// countingEnv counts lookups of "v" — a proxy for how many times a
+// condition referencing it was actually evaluated.
+type countingEnv struct{ calls *int }
+
+func (e countingEnv) Lookup(name string) (expr.Value, bool) {
+	if name == "v" {
+		*e.calls++
+		return expr.Int(1), true
+	}
+	return expr.Null, false
+}
+
+// TestMemoizationSharesConditionResults proves the per-Eval memo: two
+// rules sharing a condition source evaluate it once per call.
+func TestMemoizationSharesConditionResults(t *testing.T) {
+	calls := 0
+	env := countingEnv{calls: &calls}
+	c := MustCompile(Table{
+		Name: "memo", HitPolicy: Collect, Outputs: []string{"o"},
+		// Opaque conditions (so the linear/memoized path runs), the
+		// same source on every rule.
+		Rules: []Rule{
+			{Conditions: []string{"v + 0 == 1"}, Outputs: map[string]string{"o": "1"}},
+			{Conditions: []string{"v + 0 == 1"}, Outputs: map[string]string{"o": "2"}},
+			{Conditions: []string{"v + 0 == 1"}, Outputs: map[string]string{"o": "3"}},
+		},
+	})
+	d, err := c.Eval(env)
+	if err != nil || len(d.Matched) != 3 {
+		t.Fatalf("d = %+v, err = %v", d, err)
+	}
+	if calls != 1 {
+		t.Fatalf("shared condition evaluated %d times, want 1 (memoized)", calls)
 	}
 }
 
